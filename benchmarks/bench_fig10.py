@@ -1,0 +1,49 @@
+"""Fig 10 reproduction: cost of the implementation (§6.4).
+
+For each of the three kernels with three parallelizable loops, compare the
+relative speedup of the "SPMD SIMD" and "Generic SIMD" builds against the
+two-level "No SIMD" build (teams SPMD everywhere, SIMD group size 32):
+
+* SPMD-SIMD should perform similarly to No-SIMD (low overhead);
+* Generic-SIMD should pay roughly the paper's ~15 % state-machine and
+  variable-sharing penalty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.perf.experiment import run_fig10
+from repro.perf.report import fig10_table
+
+
+def _run(benchmark, kernel):
+    result = run_once(benchmark, lambda: run_fig10(kernel))
+    print("\n" + fig10_table(result))
+    benchmark.extra_info["relative"] = {
+        v: round(r, 4) for v, r in result.relative.items()
+    }
+    spmd = result.relative["spmd_simd"]
+    generic = result.relative["generic_simd"]
+    assert spmd > 0.85, f"SPMD-SIMD should be close to No-SIMD, got {spmd:.3f}x"
+    assert 0.70 < generic < 1.0, (
+        f"Generic-SIMD should pay a moderate penalty (~0.85x), got {generic:.3f}x"
+    )
+    assert generic < spmd, "generic mode must not beat SPMD mode"
+    return result
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_laplace3d(benchmark):
+    _run(benchmark, "laplace3d")
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_muram_transpose(benchmark):
+    _run(benchmark, "muram_transpose")
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_muram_interpol(benchmark):
+    _run(benchmark, "muram_interpol")

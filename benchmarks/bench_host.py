@@ -1,0 +1,90 @@
+"""Host-side benches: data residency (A7) and target-task overlap (A8).
+
+These quantify the host-layer substrates the paper's §3 background assumes:
+structured ``target data`` regions amortizing transfers, and ``nowait``
+target tasks overlapping on helper streams (Tian et al. [26] in the
+paper's related work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import api as omp
+from repro.gpu.costmodel import benchmark_profile
+from repro.gpu.device import Device
+from repro.host import target_data
+from repro.host.tasks import TaskQueue
+
+
+def scale_kernel(n):
+    def body(tc, ivs, view):
+        (i,) = ivs
+        v = yield from tc.load(view["buf"], i)
+        yield from tc.compute("fma")
+        yield from tc.store(view["buf"], i, 2.0 * v)
+
+    return omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(n, body=body)),
+        ("buf",),
+        name="scale",
+    )
+
+
+@pytest.mark.benchmark(group="host")
+def test_data_residency(benchmark):
+    """A7: per-launch mapping vs one resident region across 8 launches."""
+    N, ITERS = 4096, 8
+
+    def run():
+        kernel = scale_kernel(N)
+        host = np.ones(N)
+        # Per-launch mapping.
+        dev = Device(benchmark_profile())
+        naive = 0.0
+        a = host.copy()
+        for _ in range(ITERS):
+            with target_data(dev, buf=(a, "tofrom")) as region:
+                omp.launch(dev, kernel, num_teams=8, team_size=128,
+                           args=region.buffers)
+            naive += region.counters.transfer_us
+        # Resident region.
+        dev = Device(benchmark_profile())
+        b = host.copy()
+        with target_data(dev, buf=(b, "tofrom")) as region:
+            for _ in range(ITERS):
+                omp.launch(dev, kernel, num_teams=8, team_size=128,
+                           args=region.buffers)
+        assert np.array_equal(a, b)
+        return {"naive_us": naive, "resident_us": region.counters.transfer_us}
+
+    out = run_once(benchmark, run)
+    ratio = out["naive_us"] / out["resident_us"]
+    print(f"\nA7 — residency: per-launch {out['naive_us']:.1f} us vs resident "
+          f"{out['resident_us']:.1f} us ({ratio:.1f}x saved)")
+    assert ratio > 4.0
+
+
+@pytest.mark.benchmark(group="host")
+def test_task_overlap(benchmark):
+    """A8: nowait target tasks overlap independent kernels on streams."""
+    N = 2048
+
+    def run():
+        dev = Device(benchmark_profile())
+        kernel = scale_kernel(N)
+        queue = TaskQueue(dev, num_streams=4)
+        for i in range(8):
+            buf = dev.from_array(f"b{i}", np.ones(N))
+            queue.submit(kernel, {"buf": buf}, depend_out=(f"b{i}",),
+                         num_teams=4, team_size=128)
+        queue.taskwait()
+        return {"makespan": queue.makespan_us, "serial": queue.serial_us}
+
+    out = run_once(benchmark, run)
+    overlap = out["serial"] / out["makespan"]
+    print(f"\nA8 — task overlap: serial {out['serial']:.1f} us vs 4-stream "
+          f"makespan {out['makespan']:.1f} us ({overlap:.2f}x)")
+    assert overlap > 2.0

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These track the *interpreter's* wall-clock throughput (lane-steps per
+second) so regressions in the scheduler hot path show up, and record the
+cost-model outputs of canonical access patterns as a calibration record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_scheduler_throughput_streaming(benchmark):
+    """Vector triad over 4 blocks x 128 threads: pure event-loop speed."""
+
+    def run():
+        dev = Device(nvidia_a100())
+        n = 4 * 128 * 8
+        x = dev.from_array("x", np.arange(n, dtype=np.float64))
+        y = dev.from_array("y", np.zeros(n))
+
+        def k(tc, x, y):
+            i = tc.global_tid
+            while i < n:
+                v = yield from tc.load(x, i)
+                yield from tc.compute("fma")
+                yield from tc.store(y, i, 2.0 * v)
+                i += tc.block_dim * tc.num_blocks
+        kc = dev.launch(k, 4, 128, args=(x, y))
+        assert np.array_equal(y.to_numpy(), 2.0 * np.arange(n))
+        return kc
+
+    kc = benchmark(run)
+    benchmark.extra_info["rounds"] = kc.rounds
+    benchmark.extra_info["cycles"] = kc.cycles
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_scheduler_throughput_barrier_heavy(benchmark):
+    """Alternating compute/barrier: stresses the release scanner."""
+
+    def run():
+        dev = Device(nvidia_a100())
+
+        def k(tc):
+            for _ in range(64):
+                yield from tc.compute("alu")
+                yield from tc.syncthreads()
+
+        return dev.launch(k, 2, 256)
+
+    kc = benchmark(run)
+    assert kc.syncblocks == 2 * 64
+    benchmark.extra_info["sync_cycles"] = kc.sync_cycles
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_scheduler_throughput_atomic_contention(benchmark):
+    """All lanes hammer one address: atomic serialization path."""
+
+    def run():
+        dev = Device(nvidia_a100())
+        acc = dev.alloc("acc", 1, np.int64)
+
+        def k(tc, acc):
+            for _ in range(16):
+                yield from tc.atomic_add(acc, 0, 1)
+
+        kc = dev.launch(k, 2, 128, args=(acc,))
+        assert acc.read(0) == 2 * 128 * 16
+        return kc
+
+    kc = benchmark(run)
+    benchmark.extra_info["atomic_conflicts"] = kc.total("atomic_conflicts")
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_coalescing_cost_calibration(benchmark):
+    """Record the modelled cost ratio of scattered vs coalesced access."""
+
+    def run():
+        out = {}
+        # One SM holding 8 warps: throughput terms decide, as on a loaded
+        # device — a lone block would hide the difference under latency.
+        n = 32 * 16 * 8
+        for label, stride in (("coalesced", 1), ("scattered", 16)):
+            dev = Device(nvidia_a100().with_overrides(num_sms=1))
+            x = dev.from_array("x", np.zeros(n))
+
+            def k(tc, x, stride=stride):
+                for r in range(8):
+                    idx = ((r * 32 + tc.block_id * 8 + tc.lane_id) * stride) % n
+                    yield from tc.load(x, idx)
+
+            out[label] = dev.launch(k, 8, 32, args=(x,)).cycles
+        return out
+
+    out = benchmark(run)
+    ratio = out["scattered"] / out["coalesced"]
+    benchmark.extra_info["scatter_penalty"] = round(ratio, 2)
+    assert ratio > 1.0

@@ -1,0 +1,15 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs a full, deterministic simulation once per round (the
+simulations are expensive and their *cycle* outputs are exact, so repeated
+timing rounds only measure interpreter noise).  Figures are printed so a
+``pytest benchmarks/ --benchmark-only`` run reproduces the paper's plots as
+text.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

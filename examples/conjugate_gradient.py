@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Conjugate gradient: a real solver composed from the public API.
+
+Shows what a downstream application looks like: a sparse SPD system solved
+by CG, with
+
+* the SpMV using three-level parallelism (TDPF over rows + ``simd`` over
+  each row's nonzeros, with the **reduction extension** storing row sums);
+* dot products and AXPYs as two-level kernels;
+* the host orchestrating iterations and convergence checks while all
+  vectors stay device-resident inside one ``target data`` region.
+
+Run:  python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro import Device, omp
+from repro.host import target_data
+
+N = 96
+TOL = 1e-8
+
+
+def make_spd_csr(n, density=0.08, seed=31):
+    """Random sparse symmetric positive-definite matrix in CSR form."""
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, n)) < density, rng.standard_normal((n, n)), 0.0)
+    dense = (dense + dense.T) / 2.0
+    dense += np.eye(n) * (np.abs(dense).sum(axis=1) + 1.0)  # diagonal dominance
+    row_ptr = [0]
+    col_idx, values = [], []
+    for i in range(n):
+        cols = np.nonzero(dense[i])[0]
+        col_idx.extend(cols)
+        values.extend(dense[i, cols])
+        row_ptr.append(len(col_idx))
+    return (
+        dense,
+        np.array(row_ptr, dtype=np.int64),
+        np.array(col_idx, dtype=np.int64),
+        np.array(values, dtype=np.float64),
+    )
+
+
+# --- kernels -----------------------------------------------------------
+
+
+def spmv_kernel(n):
+    """y = A @ p, rows across teams x groups, nonzeros across lanes."""
+
+    def row_pre(tc, ivs, view):
+        (row,) = ivs
+        bounds = yield from tc.load_vec(view["row_ptr"], (row, row + 1))
+        yield from tc.compute("alu")
+        return {"lo": int(bounds[0]), "len": int(bounds[1] - bounds[0])}
+
+    def element(tc, ivs, view):
+        row, j = ivs
+        e = int(view["lo"]) + j
+        col = yield from tc.load(view["col_idx"], e)
+        a = yield from tc.load(view["values"], e)
+        p = yield from tc.load(view["p"], int(col))
+        yield from tc.compute("fma")
+        return float(a) * float(p)
+
+    def store_row(tc, ivs, view, total):
+        (row,) = ivs
+        yield from tc.store(view["ap"], row, total)
+
+    inner = omp.simd(
+        omp.loop(lambda view, row: view["len"], body=element,
+                 uses=("col_idx", "values", "p")),
+        reduction=("add", store_row),
+    )
+    tree = omp.target(
+        omp.teams_distribute_parallel_for(
+            n, pre=row_pre, captures=[("lo", "i64"), ("len", "i64")],
+            uses=("row_ptr", "ap"), nested=inner,
+        )
+    )
+    return omp.compile(tree, ("row_ptr", "col_idx", "values", "p", "ap"),
+                       name="cg.spmv")
+
+
+def dot_kernel(n):
+    """out[0] = u . v (atomic accumulation)."""
+
+    def body(tc, ivs, view):
+        (i,) = ivs
+        u = yield from tc.load(view["u"], i)
+        v = yield from tc.load(view["v"], i)
+        yield from tc.compute("fma")
+        yield from tc.atomic_add(view["out"], 0, float(u) * float(v))
+
+    tree = omp.target(omp.teams_distribute_parallel_for(n, body=body))
+    return omp.compile(tree, ("out", "u", "v"), name="cg.dot")
+
+
+def axpy_kernel(n):
+    """y = y + alpha * x (alpha staged in a 1-element buffer)."""
+
+    def body(tc, ivs, view):
+        (i,) = ivs
+        alpha = yield from tc.load(view["alpha"], 0)
+        x = yield from tc.load(view["x"], i)
+        y = yield from tc.load(view["y"], i)
+        yield from tc.compute("fma")
+        yield from tc.store(view["y"], i, float(y) + float(alpha) * float(x))
+
+    tree = omp.target(omp.teams_distribute_parallel_for(n, body=body))
+    return omp.compile(tree, ("alpha", "x", "y"), name="cg.axpy")
+
+
+def xpay_kernel(n):
+    """p = r + beta * p."""
+
+    def body(tc, ivs, view):
+        (i,) = ivs
+        beta = yield from tc.load(view["beta"], 0)
+        r = yield from tc.load(view["r"], i)
+        p = yield from tc.load(view["p"], i)
+        yield from tc.compute("fma")
+        yield from tc.store(view["p"], i, float(r) + float(beta) * float(p))
+
+    tree = omp.target(omp.teams_distribute_parallel_for(n, body=body))
+    return omp.compile(tree, ("beta", "p", "r"), name="cg.xpay")
+
+
+# --- solver --------------------------------------------------------------
+
+
+def solve(n=N, verbose=True):
+    dense, row_ptr, col_idx, values = make_spd_csr(n)
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(n)
+
+    dev = Device()
+    geometry = dict(num_teams=4, team_size=64, simd_len=8)
+    spmv, dot, axpy, xpay = (k(n) for k in (spmv_kernel, dot_kernel, axpy_kernel, xpay_kernel))
+    total_cycles = 0.0
+
+    with target_data(
+        dev,
+        row_ptr=(row_ptr, "to"), col_idx=(col_idx, "to"), values=(values, "to"),
+        x=(np.zeros(n), "tofrom"), r=(b.copy(), "to"), p=(b.copy(), "to"),
+        ap=(np.zeros(n), "alloc"), scal=(np.zeros(1), "alloc"),
+    ) as region:
+        bufs = region.buffers
+        scal = bufs["scal"]
+
+        def run(kernel, args, simd_len=1):
+            nonlocal total_cycles
+            g = dict(geometry)
+            g["simd_len"] = simd_len
+            res = omp.launch(dev, kernel, args=args, **g)
+            total_cycles += res.cycles
+            return res
+
+        def device_dot(u, v):
+            scal.fill_from(np.zeros(1))
+            run(dot, {"out": scal, "u": bufs[u], "v": bufs[v]})
+            return float(scal.read(0))
+
+        rs_old = device_dot("r", "r")
+        iters = 0
+        for iters in range(1, n + 1):
+            run(spmv, {k: bufs[k] for k in ("row_ptr", "col_idx", "values", "p", "ap")},
+                simd_len=geometry["simd_len"])
+            p_ap = device_dot("p", "ap")
+            alpha = rs_old / p_ap
+            scal.fill_from(np.array([alpha]))
+            run(axpy, {"alpha": scal, "x": bufs["p"], "y": bufs["x"]})
+            scal.fill_from(np.array([-alpha]))
+            run(axpy, {"alpha": scal, "x": bufs["ap"], "y": bufs["r"]})
+            rs_new = device_dot("r", "r")
+            if verbose and iters % 8 == 0:
+                print(f"  iter {iters:3d}: residual {np.sqrt(rs_new):.3e}")
+            if np.sqrt(rs_new) < TOL:
+                break
+            scal.fill_from(np.array([rs_new / rs_old]))
+            run(xpay, {"beta": scal, "p": bufs["p"], "r": bufs["r"]})
+            rs_old = rs_new
+        x_host = np.array(bufs["x"].to_numpy())
+
+    expect = np.linalg.solve(dense, b)
+    err = np.max(np.abs(x_host - expect))
+    if verbose:
+        print(f"\nconverged in {iters} iterations; max |x - x_ref| = {err:.2e}")
+        print(f"device cycles across all launches: {total_cycles:,.0f}")
+        c = region.counters
+        print(f"host-device traffic: {c.h2d_bytes + c.d2h_bytes:,} bytes in "
+              f"{c.h2d_transfers + c.d2h_transfers} transfers "
+              f"(vectors stayed resident)")
+    return x_host, expect, iters
+
+
+def main() -> None:
+    print(f"solving a {N}x{N} sparse SPD system with device-side CG")
+    x, expect, iters = solve()
+    assert np.allclose(x, expect, atol=1e-6), "CG result mismatch!"
+    print("verified against numpy.linalg.solve ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Host-device data management: keep data resident across kernels.
+
+The paper's background (§3) notes the host "handles memory allocation and
+movement between the host and target devices".  This example shows why the
+structured ``target data`` region matters: iterating a stencil with a
+region around the whole loop moves each array once, while mapping per
+launch pays the PCIe toll every iteration.
+
+Run:  python examples/host_data.py
+"""
+
+import numpy as np
+
+from repro import Device, omp
+from repro.host import target_data
+
+N = 1024
+ITERS = 8
+
+
+def smooth_body(tc, ivs, view):
+    (i,) = ivs
+    if i == 0 or i == N - 1:
+        v = yield from tc.load(view["src"], i)
+        yield from tc.store(view["dst"], i, v)
+        return
+    vals = yield from tc.load_vec(view["src"], (i - 1, i, i + 1))
+    yield from tc.compute("fma", 2)
+    yield from tc.store(view["dst"], i, sum(vals) / 3.0)
+
+
+def reference(host):
+    ref = host.copy()
+    for _ in range(ITERS):
+        new = ref.copy()
+        new[1:-1] = (ref[:-2] + ref[1:-1] + ref[2:]) / 3.0
+        ref = new
+    return ref
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    host = rng.standard_normal(N)
+    kernel = omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(N, body=smooth_body)),
+        ("dst", "src"),
+    )
+
+    # Style A — naive: a fresh tofrom mapping around every launch.
+    dev = Device()
+    a = host.copy()
+    b = np.zeros(N)
+    naive_us = 0.0
+    for _ in range(ITERS):
+        with target_data(dev, src=(a, "tofrom"), dst=(b, "tofrom")) as region:
+            omp.launch(dev, kernel, num_teams=4, team_size=128,
+                       args=region.buffers)
+        naive_us += region.counters.transfer_us
+        a, b = b, a
+    assert np.allclose(a, reference(host))
+    print(f"per-launch mapping: {ITERS} iterations, {naive_us:8.1f} us of "
+          f"host-device transfers")
+
+    # Style B — resident: one region around the whole iteration loop.
+    dev = Device()
+    a2 = host.copy()
+    b2 = np.zeros(N)
+    with target_data(dev, src=(a2, "tofrom"), dst=(b2, "tofrom")) as region:
+        bufs = region.buffers
+        src, dst = bufs["src"], bufs["dst"]
+        for _ in range(ITERS):
+            omp.launch(dev, kernel, num_teams=4, team_size=128,
+                       args={"src": src, "dst": dst})
+            src, dst = dst, src
+    # After an even number of swaps the result sits in the buffer mapped
+    # to `src`'s host array... the final swap means results are in a2/b2
+    # depending on parity; check the right one.
+    result = a2 if ITERS % 2 == 0 else b2
+    assert np.allclose(result, reference(host))
+    print(f"resident region:    {ITERS} iterations, "
+          f"{region.counters.transfer_us:8.1f} us of host-device transfers")
+    print(f"\ntransfer savings: {naive_us / region.counters.transfer_us:.1f}x "
+          f"({region.counters.h2d_transfers} h2d + "
+          f"{region.counters.d2h_transfers} d2h instead of "
+          f"{ITERS * 4})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Pragma-string frontend, guarded SPMDization, and the AMD fallback.
+
+Three shorter tours in one script:
+
+1. build a program from OpenMP pragma text (the mini-Clang frontend);
+2. force teams SPMD on a split construct — the *guarded SPMDization* the
+   paper cites as future work — and verify identical results;
+3. launch generic-mode simd on the AMD profile and watch the §5.4.1
+   demotion: no wavefront barriers ⇒ simd loops run sequentially.
+
+Run:  python examples/pragma_and_portability.py
+"""
+
+import numpy as np
+
+from repro import Device, omp
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.frontend import pragma
+from repro.gpu.costmodel import amd_mi100
+from repro.runtime.icv import ExecMode
+
+N, M = 128, 32
+
+
+def element(tc, ivs, view):
+    i, j = ivs
+    idx = i * M + j
+    v = yield from tc.load(view["x"], idx)
+    yield from tc.store(view["y"], idx, v * v)
+
+
+def make_args(dev):
+    return {
+        "x": dev.from_array("x", np.arange(N * M, dtype=np.float64)),
+        "y": dev.from_array("y", np.zeros(N * M)),
+    }
+
+
+def expected():
+    return np.arange(N * M, dtype=np.float64) ** 2
+
+
+def part1_pragma_frontend():
+    print("— 1. pragma frontend —")
+    dev = Device()
+    args = make_args(dev)
+    inner = pragma("simd simdlen(8)", CanonicalLoop(trip_count=M, body=element))
+    tree = pragma(
+        "target teams distribute parallel for schedule(static_cyclic)",
+        CanonicalLoop(trip_count=N, nested=inner),
+    )
+    r = omp.launch(dev, tree, num_teams=4, team_size=64, simd_len=8, args=args)
+    assert np.allclose(args["y"].to_numpy(), expected())
+    print(f"  compiled from pragma text; modes: teams={r.cfg.teams_mode.value}, "
+          f"parallel={r.cfg.parallel_mode.value}; verified ✓\n")
+
+
+def part2_guarded_spmdization():
+    print("— 2. guarded SPMDization —")
+    results = {}
+    for label, mode in (("analysis (generic)", ExecMode.AUTO),
+                        ("forced SPMD", ExecMode.SPMD)):
+        dev = Device()
+        args = make_args(dev)
+        tree = omp.target(
+            omp.teams_distribute(N, nested=omp.parallel_for(M, body=element)),
+            teams_mode=mode,
+        )
+        r = omp.launch(dev, tree, num_teams=4, team_size=64, args=args)
+        results[label] = (args["y"].to_numpy(), r.cycles, r.cfg.teams_mode)
+        print(f"  {label:<19} teams={r.cfg.teams_mode.value:<7} "
+              f"cycles={r.cycles:>9,.0f}")
+    a, b = results.values()
+    assert np.array_equal(a[0], b[0]) and np.allclose(a[0], expected())
+    print(f"  identical results; SPMDization saved "
+          f"{(1 - b[1] / a[1]) * 100:.0f}% of the cycles ✓\n")
+
+
+def part3_amd_demotion():
+    print("— 3. AMD wavefront fallback (§5.4.1) —")
+
+    def pre(tc, ivs, view):
+        yield from tc.compute("alu")
+        return {"base": int(ivs[0]) * M}
+
+    def body(tc, ivs, view):
+        i, j = ivs
+        idx = int(view["base"]) + j
+        v = yield from tc.load(view["x"], idx)
+        yield from tc.store(view["y"], idx, v * v)
+
+    tree = omp.target(
+        omp.teams_distribute_parallel_for(
+            N, pre=pre, captures=[("base", "i64")],
+            nested=omp.simd(M, body=body), uses=(),
+        )
+    )
+    dev = Device(amd_mi100())
+    args = make_args(dev)
+    r = omp.launch(dev, tree, num_teams=2, team_size=128, simd_len=8, args=args)
+    assert np.allclose(args["y"].to_numpy(), expected())
+    print(f"  requested simd_len=8, effective={r.cfg.simd_len} "
+          f"(demoted={r.cfg.simd_demoted})")
+    print(f"  {r.runtime.simd_sequential} simd regions ran sequentially — no "
+          "wavefront-level barrier, no generic-mode SIMD, results still "
+          "correct ✓")
+
+
+if __name__ == "__main__":
+    part1_pragma_frontend()
+    part2_guarded_spmdization()
+    part3_amd_demotion()

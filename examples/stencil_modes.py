@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Execution-mode cost study on a 3-D stencil (the paper's Fig 10).
+
+The same 7-point Laplace stencil in three builds:
+
+* ``no_simd`` — classic two-level offload over the collapsed loop nest;
+* ``spmd_simd`` — third level tightly nested ⇒ everything SPMD; the simd
+  machinery should cost (almost) nothing;
+* ``generic_simd`` — sequential per-(i,j) code breaks the tight nesting ⇒
+  the parallel region runs generic: SIMD worker state machine, variable
+  sharing space, warp barriers.  The paper measured ≈15 % for this.
+
+Run:  python examples/stencil_modes.py
+"""
+
+from repro.gpu.costmodel import benchmark_profile
+from repro.gpu.device import Device
+from repro.kernels import laplace3d
+from repro.perf.report import ascii_bars
+
+
+def main() -> None:
+    dev = Device(benchmark_profile())
+    data = laplace3d.build_data(dev, nx=16, ny=16, nz=66)
+    print(f"grid: {data.nx}x{data.ny}x{data.nz}, interior updated with a "
+          "7-point stencil\n")
+
+    cycles = {}
+    for variant in ("no_simd", "spmd_simd", "generic_simd"):
+        r = laplace3d.run(dev, data, variant, simd_len=32,
+                          num_teams=16, team_size=128)
+        assert data.check(), variant
+        cycles[variant] = r.cycles
+        extra = ""
+        if variant == "generic_simd":
+            extra = (
+                f"  <- {r.runtime.simd_wakeups} simd-worker wakeups, "
+                f"{r.counters.syncwarps} warp barriers"
+            )
+        print(
+            f"{variant:<13} teams={r.cfg.teams_mode.value:<5} "
+            f"parallel={r.cfg.parallel_mode.value:<8} "
+            f"cycles={r.cycles:>10,.0f}{extra}"
+        )
+
+    base = cycles["no_simd"]
+    rel = {v: base / c for v, c in cycles.items()}
+    print("\nrelative speedup vs no_simd (paper: SPMD ~1.0, generic ~0.85):")
+    print(ascii_bars(rel))
+    print(
+        "\ntakeaway (paper §6.5): tight nesting is free — only pay for "
+        "generic mode when the code truly needs sequential per-iteration "
+        "work between the parallel and simd levels."
+    )
+
+
+if __name__ == "__main__":
+    main()

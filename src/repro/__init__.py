@@ -1,0 +1,40 @@
+"""repro — reproduction of "Implementing OpenMP's SIMD Directive in LLVM's
+GPU Runtime" (ICPP 2023).
+
+Layers (bottom-up):
+
+* :mod:`repro.gpu` — a SIMT GPU simulator (the hardware substrate).
+* :mod:`repro.runtime` — the OpenMP device runtime with the paper's
+  three-level parallelism: ``__target_init``, ``__parallel``, ``__simd``,
+  SIMD groups, state machines, and the variable sharing space.
+* :mod:`repro.codegen` — the mini Clang/OpenMP-IRBuilder: directive trees,
+  canonical loops, outlining, globalization, SPMDization.
+* :mod:`repro.core` — the public API most users want: build a directive
+  program, compile it, launch it.
+* :mod:`repro.kernels` — the paper's evaluation codes.
+* :mod:`repro.perf` — the experiment harness regenerating Fig 9 / Fig 10.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Device, omp
+
+    dev = Device()
+    x = dev.from_array("x", np.arange(1 << 14, dtype=np.float64))
+    y = dev.from_array("y", np.zeros(1 << 14))
+
+    def body(tc, i, args):
+        v = yield from tc.load(args["x"], i)
+        yield from tc.store(args["y"], i, 2.0 * v)
+
+    prog = omp.target(
+        omp.teams_distribute_parallel_for(x.size, body=body)
+    )
+    omp.launch(dev, prog, num_teams=32, team_size=128, args={"x": x, "y": y})
+"""
+
+from repro._version import __version__
+from repro.gpu import Device
+from repro.core import api as omp
+
+__all__ = ["Device", "omp", "__version__"]

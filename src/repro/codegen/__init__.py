@@ -1,0 +1,42 @@
+"""Mini Clang / OpenMP-IRBuilder: directive trees lowered onto the runtime.
+
+The paper's codegen contribution (§4) is reproduced structurally:
+
+* :mod:`repro.codegen.canonical_loop` — ``OMPCanonicalLoop``: normalized
+  loops with trip-count and body callbacks;
+* :mod:`repro.codegen.directives` — the directive tree (the supported
+  construct matrix);
+* :mod:`repro.codegen.outline` — loop-task outlining: payload layouts and
+  capture plumbing for the outlined functions;
+* :mod:`repro.codegen.globalize` — variable globalization decisions (§4.3);
+* :mod:`repro.codegen.spmdization` — tightly-nested analysis choosing
+  GENERIC vs SPMD per level (§3.2, §5.4);
+* :mod:`repro.codegen.irbuilder` / :mod:`repro.codegen.program` — lowering
+  into runtime calls and the launchable :class:`CompiledKernel`;
+* :mod:`repro.codegen.frontend` — the user-facing builder ("mini-Clang").
+"""
+
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import (
+    Simd,
+    ParallelFor,
+    Target,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+)
+from repro.codegen.program import CompiledKernel
+from repro.codegen.irbuilder import compile_kernel
+from repro.codegen.spmdization import SpmdReport, analyze_modes
+
+__all__ = [
+    "CanonicalLoop",
+    "CompiledKernel",
+    "ParallelFor",
+    "Simd",
+    "SpmdReport",
+    "Target",
+    "TeamsDistribute",
+    "TeamsDistributeParallelFor",
+    "analyze_modes",
+    "compile_kernel",
+]

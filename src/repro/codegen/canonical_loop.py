@@ -1,0 +1,124 @@
+"""``OMPCanonicalLoop``: normalized loops with trip-count and body callbacks.
+
+Clang represents every OpenMP loop directive over an ``OMPCanonicalLoop``
+node that can produce (a) the loop's trip count and (b) the mapping from the
+logical iteration number to the user's loop variable (§4.2 of the paper).
+Our :class:`CanonicalLoop` plays the same role:
+
+* ``trip_count`` may be a plain ``int``, a host-evaluable callable
+  ``f(view, *outer_ivs) -> int``, or a device generator
+  ``g(tc, view, *outer_ivs)`` that loads memory to compute the count (e.g.
+  ``row_ptr[i+1] - row_ptr[i]`` for the sparse kernel) — the paper's
+  "callback to generate the trip count of the loop";
+* ``start``/``step`` map the normalized induction value ``k`` to the user
+  loop variable ``start + k*step`` — the body callback then receives the
+  user-facing value;
+* ``body`` is the loop-body callback: a generator
+  ``body(tc, ivs, view)`` where ``ivs`` is the tuple of all enclosing loop
+  variables (outermost first) and ``view`` the named argument environment;
+* alternatively ``nested`` holds a nested directive, with optional ``pre`` /
+  ``post`` sequential per-iteration code around it.  ``pre`` is a generator
+  ``pre(tc, ivs, view) -> dict`` whose returned locals are captured into the
+  nested construct's payload (``captures`` declares their names and slot
+  kinds); non-``None`` ``pre``/``post`` is what breaks tight nesting and
+  forces generic mode (§5.4).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+from repro.errors import CodegenError
+from repro.gpu.events import Compute
+
+TripCount = Union[int, Callable]
+
+
+@dataclass
+class CanonicalLoop:
+    """A normalized OpenMP loop: trip count, iv mapping, and content."""
+
+    trip_count: TripCount
+    body: Optional[Callable] = None
+    nested: Optional[object] = None  # a directive node
+    pre: Optional[Callable] = None
+    post: Optional[Callable] = None
+    #: Launch-argument names the content references (None = all).
+    uses: Optional[Sequence[str]] = None
+    #: Locals produced by ``pre`` to pass into ``nested``: (name, kind)
+    #: pairs with kind in {"buf", "f64", "i64"}.
+    captures: Tuple[Tuple[str, str], ...] = ()
+    start: int = 0
+    step: int = 1
+    name: str = "loop"
+
+    def __post_init__(self) -> None:
+        if (self.body is None) == (self.nested is None):
+            raise CodegenError(
+                f"loop {self.name!r} must have exactly one of body= or nested="
+            )
+        if self.body is not None and (self.pre or self.post or self.captures):
+            raise CodegenError(
+                f"loop {self.name!r}: pre/post/captures only apply around a "
+                "nested construct"
+            )
+        if self.step == 0:
+            raise CodegenError(f"loop {self.name!r} has step 0")
+        if self.captures and self.pre is None:
+            raise CodegenError(
+                f"loop {self.name!r} declares captures but has no pre= to "
+                "produce them"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def tight(self) -> bool:
+        """True when the nested construct is tightly nested (no pre/post)."""
+        return self.pre is None and self.post is None
+
+    def user_iv(self, k: int) -> int:
+        """Map a normalized induction value to the user loop variable."""
+        return self.start + k * self.step
+
+    def static_trip(self) -> Optional[int]:
+        """The trip count if it is a compile-time constant, else None."""
+        return self.trip_count if isinstance(self.trip_count, int) else None
+
+
+def evaluate_trip(tc, loop: CanonicalLoop, view, outer_ivs: Tuple[int, ...]):
+    """Device-side trip count evaluation (a generator).
+
+    Constant counts are free; host callables charge one ALU op for the
+    bound arithmetic; device generators run with their memory traffic
+    charged like any other device code.
+    """
+    trip = loop.trip_count
+    if isinstance(trip, int):
+        if trip < 0:
+            raise CodegenError(f"loop {loop.name!r} has negative trip count")
+        return trip
+    if inspect.isgeneratorfunction(trip):
+        value = yield from trip(tc, view, *outer_ivs)
+    else:
+        yield Compute("alu", 1)
+        value = trip(view, *outer_ivs)
+    value = int(value)
+    if value < 0:
+        raise CodegenError(
+            f"loop {loop.name!r} trip count callback returned {value}"
+        )
+    return value
+
+
+def from_range(
+    start: int, stop: int, step: int = 1, **kwargs
+) -> CanonicalLoop:
+    """Build a canonical loop from ``range(start, stop, step)`` semantics."""
+    if step == 0:
+        raise CodegenError("step must be nonzero")
+    span = stop - start
+    trip = max(0, -(-span // step) if step > 0 else -(span // -step))
+    # Normalize: iv k in [0, trip) maps to start + k*step.
+    return CanonicalLoop(trip_count=trip, start=start, step=step, **kwargs)

@@ -1,0 +1,234 @@
+"""Directive tree nodes — the supported construct matrix.
+
+Like the early LLVM offloading implementations the paper builds on, the
+lowering supports a closed matrix of construct combinations (everything the
+paper's evaluation needs, §6):
+
+* ``Target(TeamsDistribute(loop))`` — outer loop across teams; each
+  iteration's content may be a leaf body or a nested :class:`ParallelFor`
+  (the classic two-level shape; the teams region runs **generic**);
+* ``Target(TeamsDistributeParallelFor(loop))`` — the combined construct:
+  iterations split across (team × OpenMP thread); content may be a leaf
+  body or a nested :class:`Simd` (the three-level shape; the teams region
+  runs **SPMD**);
+* ``ParallelFor(loop)`` — inner worksharing across the team's SIMD groups;
+  content may be a leaf body or a nested :class:`Simd`;
+* ``Simd(loop)`` — innermost; leaf body only.
+
+Nesting is validated eagerly so a malformed tree fails at construction with
+a :class:`~repro.errors.DirectiveNestingError`, not at launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DirectiveNestingError
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.runtime.icv import ExecMode
+from repro.runtime.workshare import SCHEDULES
+
+
+def _check_for_reduction(reduction, loop) -> None:
+    if reduction is None:
+        return
+    op, finalize = reduction
+    if op not in ("add", "max", "min"):
+        raise DirectiveNestingError(
+            f"unsupported reduction op {op!r}; expected add/max/min"
+        )
+    if not callable(finalize):
+        raise DirectiveNestingError("reduction finalizer must be callable")
+    if loop.body is None:
+        raise DirectiveNestingError(
+            "for-level reductions require a leaf loop body (combine it with "
+            "a simd-level reduction instead for three-level reduces)"
+        )
+
+
+def _check_schedule(schedule: str, chunk: int) -> None:
+    if schedule not in SCHEDULES:
+        raise DirectiveNestingError(
+            f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
+        )
+    if chunk < 1:
+        raise DirectiveNestingError("schedule chunk must be >= 1")
+
+
+class Directive:
+    """Base class for directive nodes."""
+
+    kind = "directive"
+
+
+@dataclass
+class Simd(Directive):
+    """``#pragma omp simd`` — innermost, leaf-body loop.
+
+    ``reduction`` is the future-work extension (§7): an ``(op, finalize)``
+    pair where ``op`` ∈ {"add", "max", "min"} combines the values returned
+    by the loop body across iterations and group lanes, and ``finalize`` is
+    a generator ``finalize(tc, ivs, view, total)`` the SIMD main thread runs
+    with the group total (e.g. storing a row sum).
+    """
+
+    loop: CanonicalLoop
+    #: ``simdlen`` hint; the actual group size is the launch's ``simd_len``.
+    simdlen: Optional[int] = None
+    #: Optional reduction clause: (op, finalize generator fn).
+    reduction: Optional[tuple] = None
+    #: True models a loop body defined in another translation unit: the
+    #: dispatch if/cascade cannot see it, so calls take the indirect
+    #: fallback path (§5.5) — used by ablation A2.
+    external: bool = False
+    kind = "simd"
+
+    def __post_init__(self) -> None:
+        if self.loop.body is None:
+            raise DirectiveNestingError(
+                "simd must be the innermost construct (leaf body only)"
+            )
+        if self.simdlen is not None and self.simdlen < 1:
+            raise DirectiveNestingError("simdlen must be >= 1")
+        if self.reduction is not None:
+            op, finalize = self.reduction
+            if op not in ("add", "max", "min"):
+                raise DirectiveNestingError(
+                    f"unsupported reduction op {op!r}; expected add/max/min"
+                )
+            if not callable(finalize):
+                raise DirectiveNestingError("reduction finalizer must be callable")
+
+
+@dataclass
+class ParallelFor(Directive):
+    """``#pragma omp parallel for`` across the team's SIMD groups."""
+
+    loop: CanonicalLoop
+    mode: ExecMode = ExecMode.AUTO
+    schedule: str = "static_cyclic"
+    chunk: int = 1
+    #: ``reduction`` clause for the for loop (§7 extension beyond simd):
+    #: (op, finalize) — the leaf body returns a value per iteration,
+    #: executors accumulate, and the first executor runs
+    #: ``finalize(tc, ivs_outer, view, team_total)`` once per region.
+    reduction: Optional[tuple] = None
+    kind = "parallel_for"
+
+    def __post_init__(self) -> None:
+        _check_schedule(self.schedule, self.chunk)
+        _check_for_reduction(self.reduction, self.loop)
+        nested = self.loop.nested
+        if nested is not None and not isinstance(nested, Simd):
+            raise DirectiveNestingError(
+                "parallel for may only nest a simd construct, got "
+                f"{type(nested).__name__}"
+            )
+
+
+@dataclass
+class TeamsDistribute(Directive):
+    """``#pragma omp teams distribute`` — outer loop across teams."""
+
+    loop: CanonicalLoop
+    #: ``dist_schedule`` of the distribute level (how iterations map to
+    #: teams): "static" contiguous blocks (the default) or "static_cyclic"
+    #: round-robin chunks of ``dist_chunk``.
+    schedule: str = "static"
+    dist_chunk: int = 1
+    #: ``num_teams`` / ``thread_limit`` clause hints, used as launch
+    #: defaults when the caller does not pass a geometry.
+    num_teams: Optional[int] = None
+    thread_limit: Optional[int] = None
+    kind = "teams_distribute"
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("static", "static_cyclic"):
+            raise DirectiveNestingError(
+                "dist_schedule must be static or static_cyclic, got "
+                f"{self.schedule!r}"
+            )
+        if self.dist_chunk < 1:
+            raise DirectiveNestingError("dist_chunk must be >= 1")
+        nested = self.loop.nested
+        if nested is not None and not isinstance(nested, ParallelFor):
+            raise DirectiveNestingError(
+                "teams distribute may only nest a parallel for construct, "
+                f"got {type(nested).__name__}"
+            )
+
+
+@dataclass
+class TeamsDistributeParallelFor(Directive):
+    """The combined ``teams distribute parallel for`` construct.
+
+    Iterations are split across teams (contiguous ``distribute`` chunks) and
+    then across each team's SIMD groups (``for`` schedule).  Because
+    distribute and for share the loop, there is no sequential scheduling
+    code for a team main thread to run — this is why the paper's three-level
+    kernels get an SPMD teams region (§6.3).
+    """
+
+    loop: CanonicalLoop
+    schedule: str = "static_cyclic"
+    chunk: int = 1
+    mode: ExecMode = ExecMode.AUTO  # parallel-level mode override
+    #: ``dist_schedule`` controlling the distribute (team) level split.
+    dist_schedule: str = "static"
+    dist_chunk: int = 1
+    #: for-level ``reduction`` clause (see :class:`ParallelFor`).
+    reduction: Optional[tuple] = None
+    #: ``num_teams`` / ``thread_limit`` clause hints (launch defaults).
+    num_teams: Optional[int] = None
+    thread_limit: Optional[int] = None
+    kind = "tdpf"
+
+    def __post_init__(self) -> None:
+        _check_schedule(self.schedule, self.chunk)
+        _check_for_reduction(self.reduction, self.loop)
+        if self.dist_schedule not in ("static", "static_cyclic"):
+            raise DirectiveNestingError(
+                "dist_schedule must be static or static_cyclic, got "
+                f"{self.dist_schedule!r}"
+            )
+        if self.dist_chunk < 1:
+            raise DirectiveNestingError("dist_chunk must be >= 1")
+        nested = self.loop.nested
+        if nested is not None and not isinstance(nested, Simd):
+            raise DirectiveNestingError(
+                "teams distribute parallel for may only nest a simd "
+                f"construct, got {type(nested).__name__}"
+            )
+
+
+@dataclass
+class Target(Directive):
+    """``#pragma omp target`` — the offloaded region."""
+
+    child: Directive
+    teams_mode: ExecMode = ExecMode.AUTO
+    kind = "target"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, (TeamsDistribute, TeamsDistributeParallelFor)):
+            raise DirectiveNestingError(
+                "target must contain a teams distribute or combined teams "
+                f"distribute parallel for construct, got {type(self.child).__name__}"
+            )
+
+
+def iter_loops(node: Directive):
+    """Yield ``(directive, loop, depth)`` for every loop in the tree."""
+    if isinstance(node, Target):
+        yield from iter_loops(node.child)
+        return
+    loop = node.loop
+    depth = 0
+    while True:
+        yield node, loop, depth
+        if loop.nested is None:
+            return
+        node = loop.nested
+        loop = node.loop
+        depth += 1

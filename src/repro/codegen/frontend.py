@@ -1,0 +1,125 @@
+"""Pragma-string frontend: a miniature of Clang's directive parsing (§4.2).
+
+Where Clang turns ``#pragma omp teams distribute parallel for`` tokens into
+an ``OMPExecutableDirective``, :func:`pragma` turns the equivalent string
+(with a small clause grammar) into our directive nodes::
+
+    node = pragma("teams distribute parallel for schedule(static_cyclic,2)",
+                  my_loop)
+    prog = pragma("target", node)
+
+Supported clause syntax: ``schedule(kind[,chunk])``, ``simdlen(n)``,
+``mode(generic|spmd)``.  Unknown directives or clauses raise
+:class:`~repro.errors.CodegenError` with the offending token, like a
+compiler diagnostic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CodegenError
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import (
+    Directive,
+    ParallelFor,
+    Simd,
+    Target,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+)
+from repro.core.clauses import parse_mode, parse_schedule
+from repro.runtime.icv import ExecMode
+
+_CLAUSE_RE = re.compile(r"(\w+)\s*\(([^)]*)\)")
+
+#: Directive spellings, longest first so prefixes do not shadow.
+_DIRECTIVES = (
+    "target teams distribute parallel for simd",
+    "target teams distribute parallel for",
+    "target teams distribute",
+    "teams distribute parallel for simd",
+    "teams distribute parallel for",
+    "teams distribute",
+    "parallel for simd",
+    "parallel for",
+    "simd",
+    "target",
+)
+
+
+def _split(text: str) -> Tuple[str, Dict[str, str]]:
+    """Split pragma text into the directive name and its clauses."""
+    text = text.strip()
+    if text.startswith("#pragma"):
+        text = text.split("omp", 1)[-1].strip()
+    clauses = {m.group(1): m.group(2) for m in _CLAUSE_RE.finditer(text)}
+    head = _CLAUSE_RE.sub("", text).strip()
+    head = re.sub(r"\s+", " ", head)
+    for name in _DIRECTIVES:
+        if head == name:
+            return name, clauses
+    raise CodegenError(
+        f"unknown or unsupported directive {head!r}; supported: {_DIRECTIVES}"
+    )
+
+
+def pragma(text: str, operand=None) -> Directive:
+    """Build a directive node from pragma text.
+
+    ``operand`` is the associated loop (:class:`CanonicalLoop`) for loop
+    directives, or the child directive for ``target``.  The combined
+    ``... simd`` spellings expect the loop's ``nested`` to already hold the
+    :class:`Simd` node (matching how Clang splits combined directives).
+    """
+    name, raw = _split(text)
+    if name != "target" and name.startswith("target "):
+        # Split the combined target spelling: clauses apply to the inner
+        # construct; the teams mode can only be forced via mode() on a bare
+        # ``target`` pragma.
+        clause_text = " ".join(f"{k}({v})" for k, v in raw.items())
+        inner = pragma(f"{name[len('target '):]} {clause_text}", operand)
+        return Target(inner)
+    schedule = parse_schedule(raw["schedule"]) if "schedule" in raw else None
+    mode = parse_mode(raw["mode"]) if "mode" in raw else ExecMode.AUTO
+    simdlen: Optional[int] = int(raw["simdlen"]) if "simdlen" in raw else None
+    num_teams: Optional[int] = int(raw["num_teams"]) if "num_teams" in raw else None
+    thread_limit: Optional[int] = (
+        int(raw["thread_limit"]) if "thread_limit" in raw else None
+    )
+    known = {"schedule", "simdlen", "mode", "num_teams", "thread_limit"}
+    unknown = set(raw) - known
+    if unknown:
+        raise CodegenError(f"unknown clause(s) {sorted(unknown)} on {name!r}")
+
+    def want_loop() -> CanonicalLoop:
+        if not isinstance(operand, CanonicalLoop):
+            raise CodegenError(f"directive {name!r} needs a CanonicalLoop operand")
+        return operand
+
+    if name == "target":
+        if not isinstance(operand, Directive):
+            raise CodegenError("target needs a directive operand")
+        return Target(operand, teams_mode=mode)
+    if name == "simd":
+        return Simd(want_loop(), simdlen=simdlen)
+    if name in ("parallel for", "parallel for simd"):
+        sched = schedule or parse_schedule("static_cyclic")
+        return ParallelFor(want_loop(), mode=mode, schedule=sched.kind, chunk=sched.chunk)
+    if name in ("teams distribute",):
+        sched = schedule or parse_schedule("static")
+        return TeamsDistribute(
+            want_loop(), schedule=sched.kind,
+            num_teams=num_teams, thread_limit=thread_limit,
+        )
+    if name in (
+        "teams distribute parallel for",
+        "teams distribute parallel for simd",
+    ):
+        sched = schedule or parse_schedule("static_cyclic")
+        return TeamsDistributeParallelFor(
+            want_loop(), mode=mode, schedule=sched.kind, chunk=sched.chunk,
+            num_teams=num_teams, thread_limit=thread_limit,
+        )
+    raise CodegenError(f"unhandled directive {name!r}")  # pragma: no cover

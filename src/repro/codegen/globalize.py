@@ -1,0 +1,107 @@
+"""Variable globalization (§4.3 of the paper).
+
+When a ``simd`` loop executes in the CPU-centric generic mode, variables the
+outlined loop body references must be visible to the whole SIMD group, so
+local (thread-private) storage is promoted:
+
+* *captured scalars* are staged through the variable sharing space — that
+  happens mechanically in :mod:`repro.runtime.sharing`;
+* *local array allocations* are re-homed from lane-private memory into
+  team-shared memory (this module's :func:`globalized_alloc`);
+* *untraceable* values (our stand-in: buffers the compiler did not see at
+  outlining) are copied to shared memory just before the loop.
+
+:func:`plan` produces the compile-time report of these decisions, used by
+DESIGN/EXPERIMENTS reporting and asserted on by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.codegen.directives import Target, iter_loops
+from repro.codegen.spmdization import SpmdReport
+from repro.runtime.icv import ExecMode
+from repro.runtime.state import TeamRuntime
+
+
+@dataclass
+class GlobalizationDecision:
+    """One variable's storage decision."""
+
+    task: str
+    var: str
+    kind: str  # "capture-scalar" | "use-buffer" | "local-array"
+    storage: str  # "register" | "sharing-space" | "team-shared"
+    reason: str
+
+
+@dataclass
+class GlobalizationPlan:
+    decisions: List[GlobalizationDecision] = field(default_factory=list)
+
+    @property
+    def promoted(self) -> List[GlobalizationDecision]:
+        return [d for d in self.decisions if d.storage != "register"]
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"{d.task}:{d.var} [{d.kind}] -> {d.storage} ({d.reason})"
+            for d in self.decisions
+        )
+
+
+def plan(target: Target, report: SpmdReport) -> GlobalizationPlan:
+    """Compile-time globalization decisions for every outlined region."""
+    out = GlobalizationPlan()
+    parallel_generic = report.parallel_mode is ExecMode.GENERIC
+    teams_generic = report.teams_mode is ExecMode.GENERIC
+    enclosing_captures: list = []
+    for node, loop, depth in iter_loops(target):
+        if node.kind == "simd":
+            staged = parallel_generic
+            storage = "sharing-space" if staged else "register"
+            reason = (
+                "generic parallel: SIMD workers fetch the payload from the "
+                "variable sharing space"
+                if staged
+                else "SPMD parallel: payload stays thread-local"
+            )
+        elif node.kind in ("parallel_for", "tdpf"):
+            staged = teams_generic
+            storage = "sharing-space" if staged else "register"
+            reason = (
+                "generic teams: workers fetch the payload from the team "
+                "staging slots"
+                if staged
+                else "SPMD teams: payload stays thread-local"
+            )
+        else:
+            continue
+        task = f"{node.kind}:{loop.name}"
+        # Captures declared by *enclosing* loops travel in this task's
+        # payload; the innermost task carries the whole chain.
+        for name, _ in enclosing_captures:
+            out.decisions.append(
+                GlobalizationDecision(task, name, "capture-scalar", storage, reason)
+            )
+        uses = loop.uses if loop.uses is not None else ("<all args>",)
+        for name in uses:
+            out.decisions.append(
+                GlobalizationDecision(task, name, "use-buffer", storage, reason)
+            )
+        enclosing_captures.extend(loop.captures)
+    return out
+
+
+def globalized_alloc(tc, rt: TeamRuntime, name: str, size: int, dtype, shared: bool):
+    """Allocate a per-iteration scratch array with the §4.3 promotion rule.
+
+    ``shared=True`` (generic-mode simd) re-homes the allocation into team
+    shared memory via :meth:`TeamRuntime.globalize_shared` so SIMD workers
+    can see it; otherwise it stays a lane-private allocation.
+    """
+    if shared:
+        return rt.globalize_shared(name, size, dtype)
+    return tc.alloca(name, size, dtype)

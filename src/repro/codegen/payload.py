@@ -1,0 +1,23 @@
+"""Payload packing/unpacking (re-export).
+
+The conversion helpers live in :mod:`repro.runtime.payload` because the
+runtime unpacks payloads on the device side; codegen builds the layouts in
+:mod:`repro.codegen.outline`.  This module keeps the DESIGN.md name stable
+for users looking for "payload" under codegen.
+"""
+
+from repro.runtime.payload import (
+    PayloadLayout,
+    bits_to_f64,
+    bits_to_i64,
+    f64_to_bits,
+    i64_to_bits,
+)
+
+__all__ = [
+    "PayloadLayout",
+    "bits_to_f64",
+    "bits_to_i64",
+    "f64_to_bits",
+    "i64_to_bits",
+]

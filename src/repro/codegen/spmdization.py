@@ -1,0 +1,150 @@
+"""SPMDization analysis: choosing GENERIC vs SPMD per level.
+
+The rules follow the paper's §3.2/§5.4 and its §6 experiment descriptions:
+
+* **teams**: a combined ``teams distribute parallel for`` runs SPMD — there
+  is no sequential scheduling code between the teams and parallel levels.
+  A ``teams distribute`` whose iterations contain a ``parallel`` construct
+  runs GENERIC: the team main thread iterates the distribute loop and
+  launches parallel regions ("With this structure the teams region will run
+  in generic mode", §6.3).
+* **parallel**: SPMD iff every nested ``simd`` is *tightly* nested (no
+  sequential ``pre``/``post`` code around it) — "The simplest case for when
+  SPMD is applicable is when all affected OpenMP regions are tightly
+  nested" (§3.2).  A leaf parallel loop (no ``simd``) is SPMD with group
+  size one, identical to the pre-existing two-level behaviour (§5.4).
+
+Forcing a mode with a clause overrides the analysis.  Forcing SPMD where
+the analysis says GENERIC is the *guarded SPMDization* extension the paper
+cites from Huber et al. [16] and lists as future work for parallel regions:
+it is allowed, flagged in the report, and requires the sequential code to
+be side-effect-free under redundant execution (our ``pre`` callbacks are
+value-producing only, so this holds by construction — but the broadcast
+cost is then paid by every thread executing ``pre`` redundantly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import DirectiveNestingError
+from repro.codegen.directives import (
+    ParallelFor,
+    Simd,
+    Target,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+)
+from repro.runtime.icv import ExecMode
+
+
+@dataclass
+class SpmdReport:
+    """Outcome of the mode analysis, with human-readable reasoning."""
+
+    teams_mode: ExecMode
+    parallel_mode: ExecMode
+    reasons: List[str] = field(default_factory=list)
+    #: True when a forced clause overrode the analysis (guarded SPMDization).
+    forced: bool = False
+
+    def describe(self) -> str:
+        lines = [
+            f"teams: {self.teams_mode.value}, parallel: {self.parallel_mode.value}"
+            + (" (forced)" if self.forced else "")
+        ]
+        lines += [f"  - {r}" for r in self.reasons]
+        return "\n".join(lines)
+
+
+def _parallel_mode_for(loop) -> Tuple[ExecMode, str]:
+    nested = loop.nested
+    if nested is None:
+        return (
+            ExecMode.SPMD,
+            "parallel loop is a leaf (no simd): SPMD with group size 1, "
+            "identical to the two-level implementation (§5.4)",
+        )
+    assert isinstance(nested, Simd)
+    if loop.tight:
+        return (
+            ExecMode.SPMD,
+            "simd is tightly nested in the parallel loop: SPMD (§3.2)",
+        )
+    return (
+        ExecMode.GENERIC,
+        "sequential code surrounds the nested simd loop: generic mode with "
+        "the SIMD worker state machine (§5.3)",
+    )
+
+
+def analyze_modes(target: Target) -> SpmdReport:
+    """Resolve the execution mode of the teams and parallel levels."""
+    if not isinstance(target, Target):
+        raise DirectiveNestingError(
+            f"analysis expects a Target tree, got {type(target).__name__}"
+        )
+    child = target.child
+    reasons: List[str] = []
+    forced = False
+
+    if isinstance(child, TeamsDistributeParallelFor):
+        teams_mode = ExecMode.SPMD
+        reasons.append(
+            "combined teams distribute parallel for: no sequential code "
+            "between the teams and parallel levels — teams SPMD (§6.3)"
+        )
+        parallel_mode, why = _parallel_mode_for(child.loop)
+        reasons.append(why)
+        clause = child.mode
+    elif isinstance(child, TeamsDistribute):
+        teams_mode = ExecMode.GENERIC
+        reasons.append(
+            "teams distribute with per-iteration parallel regions: the team "
+            "main thread schedules the distribute loop — teams generic (§6.3)"
+        )
+        inner = child.loop.nested
+        if inner is None:
+            parallel_mode = ExecMode.SPMD
+            reasons.append(
+                "no parallel construct: parallel level unused (SPMD, size 1)"
+            )
+            clause = ExecMode.AUTO
+        else:
+            assert isinstance(inner, ParallelFor)
+            parallel_mode, why = _parallel_mode_for(inner.loop)
+            reasons.append(why)
+            clause = inner.mode
+    else:  # pragma: no cover - Target validates this already
+        raise DirectiveNestingError(f"unsupported target child {child!r}")
+
+    # Clause overrides (guarded SPMDization / forced generic).
+    if target.teams_mode is not ExecMode.AUTO and target.teams_mode != teams_mode:
+        forced = True
+        reasons.append(
+            f"teams mode forced {teams_mode.value} -> {target.teams_mode.value} "
+            "by clause"
+            + (
+                " (guarded SPMDization: sequential code will execute "
+                "redundantly on all threads)"
+                if target.teams_mode is ExecMode.SPMD
+                else ""
+            )
+        )
+        teams_mode = target.teams_mode
+    if clause is not ExecMode.AUTO and clause != parallel_mode:
+        forced = True
+        reasons.append(
+            f"parallel mode forced {parallel_mode.value} -> {clause.value} by "
+            "clause"
+            + (
+                " (guarded SPMDization of the parallel region — the paper's "
+                "§7 future work)"
+                if clause is ExecMode.SPMD
+                else ""
+            )
+        )
+        parallel_mode = clause
+
+    return SpmdReport(teams_mode, parallel_mode, reasons, forced)

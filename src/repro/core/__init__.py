@@ -1,0 +1,1 @@
+"""Public API layer (populated by repro.core.api)."""

@@ -1,0 +1,52 @@
+"""Clause helpers shared by the public API and the pragma frontend.
+
+OpenMP clauses the reproduction understands:
+
+* ``num_teams(n)`` / ``thread_limit(n)`` — launch geometry hints;
+* ``simdlen(n)`` — SIMD group size hint (the launch's ``simd_len`` wins);
+* ``schedule(kind[, chunk])`` — ``static`` | ``static_cyclic`` | ``dynamic``;
+* ``mode(generic|spmd)`` — force an execution mode (guarded SPMDization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CodegenError
+from repro.runtime.icv import ExecMode
+from repro.runtime.workshare import SCHEDULES
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A parsed ``schedule`` clause."""
+
+    kind: str = "static_cyclic"
+    chunk: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULES:
+            raise CodegenError(
+                f"unknown schedule kind {self.kind!r}; expected one of {SCHEDULES}"
+            )
+        if self.chunk < 1:
+            raise CodegenError("schedule chunk must be >= 1")
+
+
+def parse_schedule(text: str) -> Schedule:
+    """Parse ``"static"`` / ``"static,4"`` / ``"static_cyclic, 2"`` etc."""
+    parts = [p.strip() for p in text.split(",")]
+    kind = parts[0]
+    chunk = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+    return Schedule(kind, chunk)
+
+
+def parse_mode(text: str) -> ExecMode:
+    """Parse a mode clause value."""
+    try:
+        return ExecMode(text.strip().lower())
+    except ValueError:
+        raise CodegenError(
+            f"unknown execution mode {text!r}; expected 'generic', 'spmd', or 'auto'"
+        ) from None

@@ -1,0 +1,5 @@
+"""Execution-mode enum re-export for the public API surface."""
+
+from repro.runtime.icv import ExecMode
+
+__all__ = ["ExecMode"]

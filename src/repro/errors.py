@@ -1,0 +1,109 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator, runtime, or codegen derives from
+:class:`ReproError` so callers can catch the whole family with one clause.
+The split mirrors the layering of the package: simulation faults (the GPU
+substrate), runtime faults (the OpenMP device runtime), and codegen faults
+(the mini compiler).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# ---------------------------------------------------------------------------
+# GPU simulator faults
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for faults detected by the SIMT simulator."""
+
+
+class MemoryFault(SimulationError):
+    """Out-of-bounds or otherwise invalid device memory access."""
+
+
+class AllocationError(SimulationError):
+    """Device memory allocator could not satisfy a request."""
+
+
+class DeadlockError(SimulationError):
+    """No thread in a block can make progress.
+
+    Raised when a scheduling round advances no lane while unfinished lanes
+    remain — e.g. a warp-level barrier whose mask names a lane that already
+    retired, or a block barrier not reached by every live thread.
+    """
+
+
+class SynchronizationError(SimulationError):
+    """Structurally invalid synchronization (bad mask, mismatched barrier)."""
+
+
+class LaunchError(SimulationError):
+    """Invalid kernel launch configuration."""
+
+
+class DataRaceError(SimulationError):
+    """Two lanes touched the same address concurrently without atomics.
+
+    Raised only when race detection is enabled on the launch; reports the
+    address, the access kinds, and the lanes involved.
+    """
+
+
+class DeviceAssertionError(SimulationError):
+    """A device-side assertion (``tc.device_assert``) failed."""
+
+
+# ---------------------------------------------------------------------------
+# OpenMP device runtime faults
+# ---------------------------------------------------------------------------
+
+
+class RuntimeFault(ReproError):
+    """Base class for faults detected by the OpenMP device runtime."""
+
+
+class InvalidSimdGroupError(RuntimeFault):
+    """SIMD group configuration violates the paper's constraints.
+
+    SIMD groups must not span a warp and must evenly divide it (§5.1).
+    """
+
+
+class SharingSpaceError(RuntimeFault):
+    """Variable sharing space misuse (e.g. release without acquire)."""
+
+
+class UnsupportedFeatureError(RuntimeFault):
+    """Feature unavailable on the selected device profile.
+
+    Example: generic-mode SIMD on the AMD profile, which lacks
+    wavefront-level barriers (§5.4.1 of the paper).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Codegen faults
+# ---------------------------------------------------------------------------
+
+
+class CodegenError(ReproError):
+    """Base class for faults detected while lowering directive trees."""
+
+
+class DirectiveNestingError(CodegenError):
+    """Directive tree violates OpenMP nesting rules."""
+
+
+class OutliningError(CodegenError):
+    """Loop-task outlining failed (bad body signature, capture issues)."""
+
+
+class PayloadError(CodegenError):
+    """Argument payload packing/unpacking failed."""

@@ -1,0 +1,31 @@
+"""SIMT GPU simulator substrate.
+
+This package stands in for the NVIDIA A100 hardware the paper evaluated on:
+a device of streaming multiprocessors running thread blocks of warps whose
+lanes execute in lockstep rounds, with global/shared/local memory, a
+coalescing and bank-conflict model, warp and block barriers, shuffles and
+atomics, and an analytic cycle cost model (see DESIGN.md §2 for the model
+contract).
+"""
+
+from repro.gpu.costmodel import CostParams, amd_mi100, get_profile, nvidia_a100
+from repro.gpu.counters import BlockCounters, KernelCounters
+from repro.gpu.device import Device
+from repro.gpu.memory import Buffer, GlobalMemory, SharedMemory, local_buffer
+from repro.gpu.thread import ThreadCtx, full_mask
+
+__all__ = [
+    "Buffer",
+    "BlockCounters",
+    "CostParams",
+    "Device",
+    "GlobalMemory",
+    "KernelCounters",
+    "SharedMemory",
+    "ThreadCtx",
+    "amd_mi100",
+    "full_mask",
+    "get_profile",
+    "local_buffer",
+    "nvidia_a100",
+]

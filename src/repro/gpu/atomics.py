@@ -1,0 +1,36 @@
+"""Atomic read-modify-write semantics.
+
+The block scheduler applies atomics posted in one scheduling round in
+deterministic (warp, lane) order; this module implements the per-operation
+semantics.  ``cas`` takes a ``(compare, value)`` operand pair and stores
+``value`` only when the current content equals ``compare``; all operations
+return the *old* value, matching CUDA's ``atomic*`` family.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.gpu.events import ATOMIC_OPS
+from repro.gpu.memory import Buffer
+
+
+def apply_atomic(buf: Buffer, idx: int, op: str, operand):
+    """Apply one atomic op to ``buf[idx]``; returns the old value."""
+    old = buf.read(idx)
+    if op == "add":
+        buf.write(idx, old + operand)
+    elif op == "max":
+        buf.write(idx, max(old, operand))
+    elif op == "min":
+        buf.write(idx, min(old, operand))
+    elif op == "exch":
+        buf.write(idx, operand)
+    elif op == "cas":
+        compare, value = operand
+        if old == compare:
+            buf.write(idx, value)
+    else:
+        raise SimulationError(
+            f"unknown atomic op {op!r}; expected one of {ATOMIC_OPS}"
+        )
+    return old

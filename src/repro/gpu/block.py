@@ -1,0 +1,500 @@
+"""Thread-block scheduler: cooperative lockstep execution of all lanes.
+
+A :class:`ThreadBlock` owns one generator per thread and advances them in
+*rounds*: every runnable lane steps by exactly one event per round.  The
+round structure is what makes the simulation SIMT-faithful:
+
+* lanes of a warp that post the same event signature in a round form one
+  *issue group* (one warp instruction); divergent lanes issue separately;
+* memory events that issue together are coalesced together;
+* warp/block barriers block lanes until every *live* participant arrives —
+  retired threads are excluded, matching CUDA's ``__syncthreads`` treatment
+  of exited threads;
+* if a round advances no lane and releases no barrier, the block is
+  deadlocked and a :class:`~repro.errors.DeadlockError` with a per-lane
+  diagnostic is raised (this is how the test suite's failure-injection
+  cases observe protocol bugs).
+
+Side effects within a round apply in deterministic (warp, lane) order, so
+every simulation — including atomics — is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DataRaceError, DeadlockError, LaunchError, SimulationError
+from repro.gpu.atomics import apply_atomic
+from repro.gpu.coalescing import shared_conflict_degree
+from repro.gpu.costmodel import CostParams
+from repro.gpu.counters import BlockCounters
+from repro.gpu.events import (
+    T_ATOMIC,
+    T_COMPUTE,
+    T_LOAD,
+    T_SHUFFLE,
+    T_STORE,
+    T_SYNCBLOCK,
+    T_SYNCWARP,
+    T_VOTE,
+)
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.shuffle import resolve_shuffles
+from repro.gpu.thread import (
+    DONE,
+    RUN,
+    WAIT_BLOCK,
+    WAIT_SHFL,
+    WAIT_WARP,
+    Lane,
+    ThreadCtx,
+)
+
+#: Hard cap on scheduling rounds; hitting it means a runaway kernel.
+DEFAULT_MAX_ROUNDS = 5_000_000
+
+
+def _signature(ev) -> tuple:
+    """Issue-group signature: events sharing it issue as one instruction."""
+    t = ev.tag
+    if t == T_COMPUTE:
+        return (t, ev.kind)
+    if t == T_LOAD or t == T_STORE:
+        return (t, ev.buf.space)
+    if t == T_ATOMIC:
+        return (t, ev.op)
+    if t == T_SYNCWARP:
+        return (t, ev.mask)
+    if t == T_SHUFFLE:
+        return (t, ev.mode, ev.mask)
+    if t == T_VOTE:
+        return (t, ev.mode, ev.mask)
+    return (t,)
+
+
+class ThreadBlock:
+    """One simulated thread block (an OpenMP team's hardware vehicle)."""
+
+    def __init__(
+        self,
+        block_id: int,
+        num_threads: int,
+        params: CostParams,
+        gmem: GlobalMemory,
+        entry,
+        args: Sequence = (),
+        num_blocks: int = 1,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        tracer=None,
+        detect_races: bool = False,
+    ) -> None:
+        if num_threads < 1:
+            raise LaunchError("block must have at least one thread")
+        self.block_id = block_id
+        self.num_threads = num_threads
+        self.params = params
+        self.gmem = gmem
+        self.shared = SharedMemory(params.shared_mem_per_block)
+        self.counters = BlockCounters()
+        self.max_rounds = max_rounds
+        #: Optional event hook ``tracer(block_id, round, tid, event)`` —
+        #: zero-cost when None; used for debugging and protocol tests.
+        self.tracer = tracer
+        #: When True, concurrent same-address accesses without atomics
+        #: raise :class:`~repro.errors.DataRaceError` (debugging mode).
+        self.detect_races = detect_races
+        # Per-block L1 sector cache (LRU).  Dict preserves insertion order;
+        # re-inserting on hit implements LRU cheaply.
+        self._l1: dict = {}
+        self._l1_cap = max(1, params.l1_size_bytes // params.sector_bytes)
+        self._round_mem_stall = False
+        ws = params.warp_size
+        self.num_warps = -(-num_threads // ws)
+        self.lanes: List[Lane] = []
+        self.ctxs: List[ThreadCtx] = []
+        for tid in range(num_threads):
+            tc = ThreadCtx(
+                tid=tid,
+                warp_size=ws,
+                block_id=block_id,
+                num_blocks=num_blocks,
+                block_dim=num_threads,
+                block=self,
+            )
+            gen = entry(tc, *args)
+            if not hasattr(gen, "send"):
+                raise LaunchError(
+                    "kernel entry must be a generator function "
+                    f"(got {type(gen).__name__} from {entry!r})"
+                )
+            self.ctxs.append(tc)
+            self.lanes.append(Lane(tid, tc.warp_id, tc.lane_id, gen))
+        self._warps: List[List[Lane]] = [
+            self.lanes[w * ws : (w + 1) * ws] for w in range(self.num_warps)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self) -> BlockCounters:
+        """Execute the block to completion; returns its counters."""
+        lanes = self.lanes
+        c = self.counters
+        while True:
+            posted_by_warp: List[List[Tuple[Lane, object]]] = [
+                [] for _ in range(self.num_warps)
+            ]
+            advanced = 0
+            live = 0
+            for lane in lanes:
+                state = lane.state
+                if state == DONE:
+                    continue
+                live += 1
+                if state != RUN:
+                    continue
+                try:
+                    ev = lane.gen.send(lane.pending)
+                except StopIteration:
+                    lane.state = DONE
+                    live -= 1
+                    continue
+                lane.pending = None
+                posted_by_warp[lane.warp_id].append((lane, ev))
+                advanced += 1
+                if self.tracer is not None:
+                    self.tracer(self.block_id, c.rounds, lane.tid, ev)
+            if live == 0:
+                break
+            self._resolve_round(posted_by_warp)
+            released = self._release_barriers()
+            if advanced == 0 and released == 0:
+                raise DeadlockError(self._deadlock_report())
+            c.rounds += 1
+            if c.rounds > self.max_rounds:
+                raise SimulationError(
+                    f"block {self.block_id} exceeded {self.max_rounds} rounds; "
+                    "likely a runaway loop"
+                )
+        return c
+
+    # ------------------------------------------------------------------
+    def _resolve_round(self, posted_by_warp) -> None:
+        params = self.params
+        c = self.counters
+        atomic_addrs: Dict[Tuple[int, int], int] = {}
+        self._round_mem_stall = False
+        if self.detect_races:
+            self._check_races(posted_by_warp)
+
+        for warp_posts in posted_by_warp:
+            if not warp_posts:
+                continue
+            # Pass 1: side effects in lane order (deterministic).
+            for lane, ev in warp_posts:
+                tag = ev.tag
+                if tag == T_LOAD:
+                    lane.pending = tuple(ev.buf.read(i) for i in ev.idxs)
+                elif tag == T_STORE:
+                    if len(ev.idxs) != len(ev.values):
+                        raise SimulationError(
+                            f"store index/value arity mismatch on {ev.buf.name!r}"
+                        )
+                    for i, v in zip(ev.idxs, ev.values):
+                        ev.buf.write(i, v)
+                elif tag == T_ATOMIC:
+                    if ev.buf.space == "global":
+                        self._round_mem_stall = True
+                    lane.pending = apply_atomic(ev.buf, ev.idx, ev.op, ev.operand)
+                    key = (id(ev.buf), int(ev.idx))
+                    atomic_addrs[key] = atomic_addrs.get(key, 0) + 1
+                elif tag == T_SYNCWARP:
+                    lane.state = WAIT_WARP
+                    lane.wait_key = ev.mask
+                elif tag == T_SYNCBLOCK:
+                    lane.state = WAIT_BLOCK
+                    lane.wait_key = (
+                        ev.bar_id,
+                        None if ev.count is None else int(ev.count),
+                    )
+                elif tag == T_SHUFFLE:
+                    lane.state = WAIT_SHFL
+                    lane.wait_key = (ev.mask, ev.mode)
+                    lane.posted = ev
+                elif tag == T_VOTE:
+                    lane.state = WAIT_SHFL
+                    lane.wait_key = (ev.mask, ("vote", ev.mode))
+                    lane.posted = ev
+                # T_COMPUTE: no architectural side effect.
+
+            # Pass 2: issue/memory cost accounting with grouping.
+            groups: Dict[tuple, List[Tuple[Lane, object]]] = {}
+            for item in warp_posts:
+                groups.setdefault(_signature(item[1]), []).append(item)
+            c.issues += len(groups)
+            c.divergent_issues += len(groups) - 1
+            for sig, items in groups.items():
+                tag = sig[0]
+                if tag == T_COMPUTE:
+                    max_ops = max(ev.ops for _, ev in items)
+                    c.issue_cycles += params.op_cycles(sig[1], max_ops)
+                elif tag == T_LOAD or tag == T_STORE:
+                    self._account_memory(tag, sig[1], items)
+                elif tag == T_ATOMIC:
+                    n = len(items)
+                    c.atomics += n
+                    c.issue_cycles += params.op_cost.get("st", 1.0)
+                    c.mem_cycles += n * params.atomic_cycles
+                elif tag == T_SHUFFLE or tag == T_VOTE:
+                    c.issue_cycles += 1.0
+                # Barrier arrival issue cost is folded into sync_cycles
+                # charged at release.
+
+        # Device-wide atomic contention within the round.
+        extra = sum(n - 1 for n in atomic_addrs.values() if n > 1)
+        if extra:
+            c.atomic_conflicts += extra
+            c.mem_cycles += extra * params.atomic_conflict_cycles
+        # Dependent-latency exposure: L1-missing loads/atomics issued this
+        # round stall their warps; concurrent warps' accesses overlap into
+        # one exposure.
+        if self._round_mem_stall:
+            c.mem_serial_rounds += 1
+
+    def _account_memory(self, tag: int, space: str, items) -> None:
+        params = self.params
+        c = self.counters
+        positions = max(len(ev.idxs) for _, ev in items)
+        nelem = sum(len(ev.idxs) for _, ev in items)
+        if tag == T_LOAD:
+            c.loads += nelem
+            c.issue_cycles += params.op_cost.get("ld", 1.0) * positions
+        else:
+            c.stores += nelem
+            c.issue_cycles += params.op_cost.get("st", 1.0) * positions
+        if space == "global":
+            # Distinct sectors across the whole unrolled run, then filtered
+            # through the per-block L1 sector cache: hits ride the cheap L1
+            # pipe and expose no DRAM latency, misses pay full bandwidth and
+            # flag the round as a dependent-latency stall.
+            sb = params.sector_bytes
+            sectors = set()
+            transactions = 0
+            for k in range(positions):
+                pos_sectors = set()
+                for _, ev in items:
+                    idxs = ev.idxs
+                    if k < len(idxs):
+                        buf = ev.buf
+                        a = buf.byte_address(idxs[k])
+                        pos_sectors.add(a // sb)
+                        pos_sectors.add((a + buf.itemsize - 1) // sb)
+                transactions += len(pos_sectors)
+                sectors |= pos_sectors
+            l1 = self._l1
+            hits = misses = 0
+            for sec in sectors:
+                if sec in l1:
+                    hits += 1
+                    # LRU touch: move to the back.
+                    del l1[sec]
+                    l1[sec] = None
+                else:
+                    misses += 1
+                    l1[sec] = None
+            if len(l1) > self._l1_cap:
+                for old in list(l1)[: len(l1) - self._l1_cap]:
+                    del l1[old]
+            c.l1_hits += hits
+            c.l1_misses += misses
+            if tag == T_LOAD:
+                c.global_load_sectors += misses
+                if misses:
+                    self._round_mem_stall = True
+            else:
+                c.global_store_sectors += misses
+            c.lsu_transactions += transactions
+            c.mem_cycles += (
+                misses * params.sector_cycles
+                + hits * params.l1_sector_cycles
+                + transactions * params.lsu_transaction_cycles
+            )
+        elif space == "shared":
+            passes = 0
+            for k in range(positions):
+                addrs = [
+                    ev.buf.byte_address(ev.idxs[k])
+                    for _, ev in items
+                    if k < len(ev.idxs)
+                ]
+                passes += shared_conflict_degree(
+                    addrs, params.shared_banks, params.shared_word_bytes
+                )
+            c.shared_passes += passes
+            c.mem_cycles += passes * params.shared_pass_cycles
+        else:  # local
+            c.local_accesses += nelem
+            c.mem_cycles += nelem * params.local_access_cycles
+
+    # ------------------------------------------------------------------
+    def _check_races(self, posted_by_warp) -> None:
+        """Flag unsynchronized same-address conflicts within this round.
+
+        Accesses in one scheduling round are concurrent: a non-atomic write
+        racing another lane's access to the same element — write/write,
+        write/read, or write/atomic — is a data race unless both accesses
+        are atomic.  Lane-local read-modify-write is fine (one lane).
+        """
+        touches: Dict[Tuple[int, int], List[Tuple[int, str]]] = {}
+        for warp_posts in posted_by_warp:
+            for lane, ev in warp_posts:
+                tag = ev.tag
+                if tag == T_LOAD:
+                    for idx in ev.idxs:
+                        touches.setdefault((id(ev.buf), int(idx)), []).append(
+                            (lane.tid, "read")
+                        )
+                elif tag == T_STORE:
+                    for idx in ev.idxs:
+                        touches.setdefault((id(ev.buf), int(idx)), []).append(
+                            (lane.tid, "write")
+                        )
+                elif tag == T_ATOMIC:
+                    touches.setdefault((id(ev.buf), int(ev.idx)), []).append(
+                        (lane.tid, "atomic")
+                    )
+        names = {}
+        for warp_posts in posted_by_warp:
+            for _, ev in warp_posts:
+                if ev.tag in (T_LOAD, T_STORE, T_ATOMIC):
+                    names[id(ev.buf)] = ev.buf.name
+        for (buf_id, idx), accesses in touches.items():
+            if len(accesses) < 2:
+                continue
+            writers = [(t, k) for t, k in accesses if k == "write"]
+            if not writers:
+                continue
+            lanes_involved = {t for t, _ in accesses}
+            if len(lanes_involved) < 2:
+                continue  # one lane touching its own element is fine
+            # All-atomic contention is synchronized; a plain write racing
+            # anything (including an atomic) is not.
+            raise DataRaceError(
+                f"data race in block {self.block_id} on "
+                f"{names[buf_id]!r}[{idx}]: "
+                + ", ".join(f"t{t} {k}" for t, k in sorted(accesses))
+            )
+
+    # ------------------------------------------------------------------
+    def _release_barriers(self) -> int:
+        params = self.params
+        c = self.counters
+        released = 0
+
+        # Block-level barriers, grouped by (bar_id, count).  A classic
+        # barrier (count None) needs every live lane at the same key; a
+        # named counted barrier releases as soon as `count` lanes arrive.
+        live = [l for l in self.lanes if l.state != DONE]
+        by_bar: Dict[tuple, List[Lane]] = {}
+        for lane in live:
+            if lane.state == WAIT_BLOCK:
+                by_bar.setdefault(lane.wait_key, []).append(lane)
+        for key, waiters in by_bar.items():
+            _, count = key
+            if count is None:
+                ready = len(waiters) == len(live)
+            else:
+                ready = len(waiters) >= count
+            if ready:
+                for lane in waiters:
+                    lane.state = RUN
+                    lane.pending = None
+                    lane.wait_key = None
+                c.syncblocks += 1
+                c.sync_cycles += params.syncthreads_cycles
+                released += len(waiters)
+        if released:
+            return released
+
+        for warp_lanes in self._warps:
+            # Warp-level named barriers, grouped by mask.
+            by_mask: Dict[int, List[Lane]] = {}
+            shfl_groups: Dict[tuple, List[Lane]] = {}
+            for lane in warp_lanes:
+                if lane.state == WAIT_WARP:
+                    by_mask.setdefault(lane.wait_key, []).append(lane)
+                elif lane.state == WAIT_SHFL:
+                    shfl_groups.setdefault(lane.wait_key, []).append(lane)
+
+            for mask, waiters in by_mask.items():
+                if self._mask_converged(warp_lanes, mask, waiters, WAIT_WARP, mask):
+                    for lane in waiters:
+                        lane.state = RUN
+                        lane.pending = None
+                        lane.wait_key = None
+                    c.syncwarps += 1
+                    c.sync_cycles += params.syncwarp_cycles
+                    released += len(waiters)
+
+            for key, waiters in shfl_groups.items():
+                mask, mode = key
+                if self._mask_converged(warp_lanes, mask, waiters, WAIT_SHFL, key):
+                    lane_ids = sorted(l.lane_id for l in waiters)
+                    if isinstance(mode, tuple):  # ("vote", any|all|ballot)
+                        vote_mode = mode[1]
+                        preds = {l.lane_id: bool(l.posted.predicate) for l in waiters}
+                        if vote_mode == "any":
+                            result = any(preds.values())
+                        elif vote_mode == "all":
+                            result = all(preds.values())
+                        else:  # ballot
+                            result = 0
+                            for lid, p in preds.items():
+                                if p:
+                                    result |= 1 << lid
+                        results = {lid: result for lid in lane_ids}
+                    else:
+                        values = {l.lane_id: l.posted.value for l in waiters}
+                        lane_args = {l.lane_id: l.posted.lane_arg for l in waiters}
+                        results = resolve_shuffles(mode, lane_ids, values, lane_args)
+                    for lane in waiters:
+                        lane.state = RUN
+                        lane.pending = results[lane.lane_id]
+                        lane.wait_key = None
+                        lane.posted = None
+                    released += len(waiters)
+        return released
+
+    @staticmethod
+    def _mask_converged(warp_lanes, mask: int, waiters, state: int, key) -> bool:
+        """True when every lane named by ``mask`` waits with ``key``.
+
+        A retired lane named by the mask can never arrive: the group stays
+        blocked and the no-progress check reports a deadlock, mirroring the
+        undefined behaviour a real ``__syncwarp`` with an exited lane would
+        invite.
+        """
+        waiting_ids = {l.lane_id for l in waiters}
+        for lane in warp_lanes:
+            if not (mask >> lane.lane_id) & 1:
+                continue
+            if lane.state != state or lane.wait_key != key:
+                return False
+            if lane.lane_id not in waiting_ids:
+                return False
+        return bool(waiting_ids)
+
+    # ------------------------------------------------------------------
+    def _deadlock_report(self) -> str:
+        lines = [
+            f"deadlock in block {self.block_id}: no lane can make progress",
+        ]
+        for lane in self.lanes:
+            if lane.state != DONE:
+                detail = lane.describe()
+                if lane.state in (WAIT_WARP, WAIT_SHFL):
+                    detail += f" key={lane.wait_key!r}"
+                lines.append("  " + detail)
+        lines.append(
+            "hint: a barrier mask probably names a lane that retired or "
+            "diverged to a different barrier"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Memory transaction models: global coalescing and shared-memory banks.
+
+Global memory
+=============
+
+The device services a warp's memory instruction by fetching whole *sectors*
+(32 bytes on the A100-like profile).  The number of distinct sectors touched
+by the participating lanes determines the cost: a fully coalesced warp read
+of 32 contiguous ``float32`` touches 4 sectors; a stride-128 pattern touches
+32.  This is the mechanism behind the paper's motivation that performance
+"suffers if data access patterns are neither uniform nor consecutive with
+regards to worksharing loops" — and behind the SU3/ideal-kernel speedups
+when ``simd`` turns per-thread strided loops into consecutive lane accesses.
+
+Shared memory
+=============
+
+Shared memory is organised in ``banks`` word-interleaved banks.  A warp
+access completes in as many passes as the maximum number of *distinct words*
+any single bank must serve (broadcasts of the same word are free, as on real
+hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def global_sectors(addresses: Iterable[int], sector_bytes: int = 32) -> int:
+    """Number of distinct ``sector_bytes``-sized sectors covering ``addresses``.
+
+    ``addresses`` are byte addresses of the individual element accesses a
+    warp issues together (one per participating lane and vector position).
+    """
+    return len({addr // sector_bytes for addr in addresses})
+
+
+def span_sectors(addr: int, nbytes: int, sector_bytes: int = 32) -> int:
+    """Sectors covered by a contiguous ``nbytes`` run starting at ``addr``."""
+    if nbytes <= 0:
+        return 0
+    first = addr // sector_bytes
+    last = (addr + nbytes - 1) // sector_bytes
+    return last - first + 1
+
+
+def shared_conflict_degree(
+    addresses: Sequence[int], banks: int = 32, word_bytes: int = 4
+) -> int:
+    """Bank-conflict degree of a warp-synchronous shared memory access.
+
+    Returns the number of serialized passes needed: the maximum, over banks,
+    of the number of *distinct* words requested from that bank.  Identical
+    words are broadcast in one pass.  An empty access costs 0 passes.
+    """
+    per_bank: dict[int, set[int]] = {}
+    for addr in addresses:
+        word = addr // word_bytes
+        bank = word % banks
+        per_bank.setdefault(bank, set()).add(word)
+    if not per_bank:
+        return 0
+    return max(len(words) for words in per_bank.values())
+
+
+def transaction_summary(
+    addresses: Sequence[int], sector_bytes: int = 32
+) -> Tuple[int, int]:
+    """Return ``(sectors, ideal_sectors)`` for a warp-wide access.
+
+    ``ideal_sectors`` is the minimum sector count the same number of element
+    accesses could have achieved if perfectly contiguous — useful for
+    coalescing-efficiency counters.
+    """
+    addrs = list(addresses)
+    if not addrs:
+        return (0, 0)
+    sectors = global_sectors(addrs, sector_bytes)
+    # All accesses in one instruction have the same element size in this
+    # simulator; infer a conservative footprint from unique addresses.
+    unique = len(set(addrs))
+    ideal = max(1, -(-unique // max(1, sector_bytes // 4)))
+    return (sectors, ideal)

@@ -1,0 +1,187 @@
+"""Analytic cycle cost model and device profiles.
+
+The simulator executes kernels *functionally* (every load, store, barrier
+and atomic really happens, in a deterministic order) while accumulating the
+quantities below; this module turns those quantities into cycles.
+
+Model contract (also summarised in DESIGN.md §2):
+
+* Each scheduling *round* advances every runnable lane of a block by one
+  event.  A warp's events in a round are grouped into *issue groups* (one
+  per distinct instruction signature — divergent lanes issue separately);
+  each group costs ``op_cost[kind]`` issue cycles.
+* Global memory events are coalesced per issue group into 32-byte sectors
+  (:mod:`repro.gpu.coalescing`); each sector costs ``sector_cycles`` on the
+  SM's memory pipe.  Shared memory costs ``shared_pass_cycles`` per
+  bank-conflict pass.  Atomics serialize per contended address.
+* A block's time lower bound is ``rounds × round_latency`` — the dependent
+  instruction-issue interval seen by a lone warp.  This is what makes
+  single-active-warp phases (the generic-mode main thread running sequential
+  code while workers idle) expensive, which is the ~15 % generic-mode
+  penalty of the paper's Fig 10.
+* An SM runs its resident blocks concurrently (a *wave*):
+  ``wave_cycles = max(max_b rounds_b × round_latency,
+  Σ_b issue_cycles_b / issue_width, Σ_b mem_cycles_b) + Σ_b sync_cycles_b``.
+  SM time is the sum over its waves; kernel time is the max over SMs.
+* Occupancy limits residency: warps per SM, blocks per SM, and shared
+  memory per SM, so the teams-generic *extra warp* (paper Fig 2) and the
+  enlarged variable sharing space (§5.3.1) both consume real resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable cost/capacity parameters of a device profile."""
+
+    name: str = "generic"
+    #: SIMT width of a warp (NVIDIA) / wavefront (AMD).
+    warp_size: int = 32
+    #: Number of streaming multiprocessors.
+    num_sms: int = 108
+    #: Warp-instructions the SM can issue per cycle across resident warps.
+    issue_width: float = 4.0
+    #: Dependent-issue interval: minimum cycles per scheduling round, i.e.
+    #: the per-warp latency between consecutive instructions of one thread.
+    round_latency: float = 2.0
+    #: Issue cost per instruction class.
+    op_cost: Dict[str, float] = field(
+        default_factory=lambda: {
+            "alu": 1.0,
+            "fma": 1.0,
+            "sfu": 4.0,
+            "branch": 1.0,
+            "ld": 1.0,
+            "st": 1.0,
+        }
+    )
+    #: Global memory: bytes per sector and memory-pipe cycles per sector.
+    sector_bytes: int = 32
+    sector_cycles: float = 3.0
+    #: Exposed latency of one dependent global-memory step.  Charged once
+    #: per scheduling round in which the block *missed* in L1: warps that
+    #: issue loads together overlap (one exposure), phases where a lone
+    #: warp chases dependent loads pay the full chain.  This is the term
+    #: that makes the two-level sparse baseline slow — a single worker warp
+    #: serializes its rows' load chains with nothing to hide them behind.
+    mem_latency_cycles: float = 300.0
+    #: Per-SM L1/texture cache modelled as an LRU over sectors.  Hits cost
+    #: ``l1_sector_cycles`` on the (much wider) L1 pipe and no latency
+    #: exposure; misses pay ``sector_cycles`` of DRAM bandwidth.  This is
+    #: what absorbs the redundant A-row/B-column reloads of SU3_bench's
+    #: simd loop tasks, like the hardware the paper measured on.
+    l1_size_bytes: int = 128 * 1024
+    l1_sector_cycles: float = 0.25
+    #: Load-store-unit throughput: cycles per memory *transaction* (one
+    #: distinct sector touched by one warp access position).  A fully
+    #: coalesced warp load is 4 transactions; a scattered one is 32 — this
+    #: is the classic coalescing penalty, paid even on L1 hits, and the
+    #: mechanism behind the SU3/ideal-kernel simd wins (§6.3): adjacent
+    #: lanes covering one site's elements issue far fewer transactions than
+    #: one thread striding across its private matrix.
+    lsu_transaction_cycles: float = 0.4
+    #: Shared memory: banks, word size, cycles per conflict pass.
+    shared_banks: int = 32
+    shared_word_bytes: int = 4
+    shared_pass_cycles: float = 1.0
+    #: Local (register/stack) accesses: cycles per element.
+    local_access_cycles: float = 0.25
+    #: Atomic costs: fixed cost plus serialization per extra op on the same
+    #: address within one round.
+    atomic_cycles: float = 8.0
+    atomic_conflict_cycles: float = 8.0
+    #: Synchronization costs (per release, charged to the block's sync bucket).
+    syncwarp_cycles: float = 2.0
+    syncthreads_cycles: float = 30.0
+    #: Occupancy limits.
+    max_warps_per_sm: int = 64
+    max_blocks_per_sm: int = 32
+    shared_mem_per_sm: int = 164 * 1024
+    shared_mem_per_block: int = 48 * 1024
+    #: Register file per SM (32-bit registers).  Together with a launch's
+    #: ``regs_per_thread`` estimate this limits resident blocks — the
+    #: occupancy mechanism that penalizes serial inner loops holding whole
+    #: matrices in registers (SU3_bench's two-level baseline).
+    regfile_per_sm: int = 64 * 1024
+    #: Whether the ISA offers warp/wavefront-level named barriers.  The AMD
+    #: profile lacks them, which is why the paper's generic-SIMD mode is
+    #: NVIDIA-only (§5.4.1).
+    supports_warp_sync: bool = True
+
+    def op_cycles(self, kind: str, ops: int = 1) -> float:
+        """Issue cycles for ``ops`` operations of class ``kind``."""
+        return self.op_cost.get(kind, 1.0) * ops
+
+    def with_overrides(self, **kwargs) -> "CostParams":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+def nvidia_a100() -> CostParams:
+    """A100-flavoured NVIDIA profile (the paper's evaluation platform)."""
+    return CostParams(name="nvidia-a100")
+
+
+def amd_mi100() -> CostParams:
+    """MI100-flavoured AMD profile: 64-wide wavefronts, no wavefront barrier.
+
+    Used by the §5.4.1 experiments: generic-mode SIMD is unsupported, so
+    ``simd`` loops execute sequentially when a parallel region is generic.
+    """
+    return CostParams(
+        name="amd-mi100",
+        warp_size=64,
+        num_sms=120,
+        shared_mem_per_sm=64 * 1024,
+        shared_mem_per_block=64 * 1024,
+        supports_warp_sync=False,
+    )
+
+
+def benchmark_profile() -> CostParams:
+    """Scaled-down A100 used by the paper-reproduction benchmarks.
+
+    Simulating hundreds of thread blocks per data point is wasteful in a
+    cooperative interpreter, so the benchmarks scale the *device* down with
+    the problem (standard practice for academic simulators): 8 SMs instead
+    of 108, with the per-SM bandwidth share raised accordingly
+    (``sector_cycles`` 3.0 → 1.5 and ``lsu_transaction_cycles`` 0.4 → 0.25
+    model each SM owning a larger slice of HBM bandwidth and L1
+    throughput).  FP64 FMA costs 6 issue cycles — the A100 runs double
+    precision at a quarter of the scheduler's issue width, folded into the
+    op cost since the model has a single issue pool.  Launch geometries in
+    :mod:`repro.perf` are chosen so SMs hold 2+ blocks, keeping the
+    throughput terms engaged the way a full A100 run would be.
+    """
+    base = nvidia_a100()
+    op_cost = dict(base.op_cost)
+    op_cost["fma"] = 6.0
+    return base.with_overrides(
+        name="nvidia-a100-scaled8",
+        num_sms=8,
+        sector_cycles=1.5,
+        lsu_transaction_cycles=0.25,
+        op_cost=op_cost,
+    )
+
+
+#: Registry of named profiles for CLI/bench convenience.
+PROFILES = {
+    "nvidia-a100": nvidia_a100,
+    "amd-mi100": amd_mi100,
+    "nvidia-a100-scaled8": benchmark_profile,
+}
+
+
+def get_profile(name: str) -> CostParams:
+    """Look up a device profile by name."""
+    try:
+        return PROFILES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown device profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

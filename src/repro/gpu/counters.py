@@ -1,0 +1,144 @@
+"""Performance counters collected during simulation.
+
+:class:`BlockCounters` is filled in by the block scheduler while a thread
+block runs; :class:`KernelCounters` aggregates blocks and carries the final
+cycle estimate computed by :mod:`repro.gpu.device`.  Counters are plain data
+so tests and the benchmark harness can assert on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class BlockCounters:
+    """Raw event statistics for one thread block execution."""
+
+    #: Scheduling rounds executed (critical path in warp-instructions).
+    rounds: int = 0
+    #: Rounds in which the block issued at least one global-memory event —
+    #: dependent memory steps on the critical path, each paying
+    #: ``mem_latency_cycles`` of exposure.
+    mem_serial_rounds: int = 0
+    #: Warp-level issue groups (one per distinct signature per warp round).
+    issues: int = 0
+    #: Extra issues caused by divergence (groups beyond the first per warp round).
+    divergent_issues: int = 0
+    #: Issue cycles (op-cost weighted).
+    issue_cycles: float = 0.0
+    #: Global memory sectors moved, split by direction.
+    global_load_sectors: int = 0
+    global_store_sectors: int = 0
+    #: L1 sector cache hits/misses (sectors, not element accesses).
+    l1_hits: int = 0
+    l1_misses: int = 0
+    #: LSU transactions: distinct sectors per warp access position (the
+    #: per-instruction coalescing measure; paid even on L1 hits).
+    lsu_transactions: int = 0
+    #: Shared-memory conflict passes.
+    shared_passes: int = 0
+    #: Local (register/stack) element accesses.
+    local_accesses: int = 0
+    #: Memory-pipe cycles (sectors, shared passes, local accesses, atomics).
+    mem_cycles: float = 0.0
+    #: Atomic events and the extra serialization among same-address atomics.
+    atomics: int = 0
+    atomic_conflicts: int = 0
+    #: Barrier releases.
+    syncwarps: int = 0
+    syncblocks: int = 0
+    #: Synchronization cycles.
+    sync_cycles: float = 0.0
+    #: Total element loads/stores (for coalescing-efficiency ratios).
+    loads: int = 0
+    stores: int = 0
+
+    @property
+    def global_sectors(self) -> int:
+        return self.global_load_sectors + self.global_store_sectors
+
+    def coalescing_efficiency(self, element_bytes: int = 8, sector_bytes: int = 32) -> float:
+        """Useful bytes moved divided by sector bytes moved (≤ 1.0)."""
+        moved = self.global_sectors * sector_bytes
+        if moved == 0:
+            return 1.0
+        useful = (self.loads + self.stores) * element_bytes
+        return min(1.0, useful / moved)
+
+
+@dataclass
+class KernelCounters:
+    """Aggregated statistics and the cycle estimate for one kernel launch."""
+
+    blocks: List[BlockCounters] = field(default_factory=list)
+    #: Final cycle estimate (set by the device after wave composition).
+    cycles: float = 0.0
+    #: Launch geometry, recorded for reports.
+    num_blocks: int = 0
+    threads_per_block: int = 0
+    #: Occupancy data.
+    blocks_per_sm: int = 0
+    waves: int = 0
+    #: Extra diagnostics various layers may attach (e.g. runtime counters).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def total(self, attr: str) -> float:
+        """Sum a :class:`BlockCounters` field over all blocks."""
+        return sum(getattr(b, attr) for b in self.blocks)
+
+    @property
+    def rounds(self) -> int:
+        return int(self.total("rounds"))
+
+    @property
+    def issues(self) -> int:
+        return int(self.total("issues"))
+
+    @property
+    def issue_cycles(self) -> float:
+        return self.total("issue_cycles")
+
+    @property
+    def mem_cycles(self) -> float:
+        return self.total("mem_cycles")
+
+    @property
+    def sync_cycles(self) -> float:
+        return self.total("sync_cycles")
+
+    @property
+    def global_sectors(self) -> int:
+        return int(self.total("global_load_sectors") + self.total("global_store_sectors"))
+
+    @property
+    def atomics(self) -> int:
+        return int(self.total("atomics"))
+
+    @property
+    def syncwarps(self) -> int:
+        return int(self.total("syncwarps"))
+
+    @property
+    def syncblocks(self) -> int:
+        return int(self.total("syncblocks"))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers for reports and EXPERIMENTS.md."""
+        return {
+            "cycles": self.cycles,
+            "blocks": self.num_blocks,
+            "threads_per_block": self.threads_per_block,
+            "waves": self.waves,
+            "rounds": self.rounds,
+            "issues": self.issues,
+            "issue_cycles": self.issue_cycles,
+            "mem_cycles": self.mem_cycles,
+            "sync_cycles": self.sync_cycles,
+            "global_sectors": self.global_sectors,
+            "atomics": self.atomics,
+            "syncwarps": self.syncwarps,
+            "syncblocks": self.syncblocks,
+            **self.extra,
+        }

@@ -1,0 +1,126 @@
+"""The simulated device: memory ownership and kernel launch.
+
+:class:`Device` is the substrate's top-level object.  It owns global memory,
+carries a :class:`~repro.gpu.costmodel.CostParams` profile, and launches
+kernels: it instantiates one :class:`~repro.gpu.block.ThreadBlock` per grid
+block, runs them functionally in deterministic order, and composes the
+per-block counters into a cycle estimate via :mod:`repro.gpu.sm`.
+
+Typical use::
+
+    dev = Device()                      # A100-like profile
+    x = dev.from_array("x", np.arange(1024, dtype=np.float64))
+
+    def kernel(tc, x):
+        i = tc.global_tid
+        if i < x.size:
+            v = yield from tc.load(x, i)
+            yield from tc.store(x, i, 2 * v)
+
+    counters = dev.launch(kernel, num_blocks=8, threads_per_block=128, args=(x,))
+    print(counters.cycles)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
+from repro.gpu.costmodel import CostParams, nvidia_a100
+from repro.gpu.counters import KernelCounters
+from repro.gpu.memory import Buffer, GlobalMemory
+from repro.gpu.sm import compose_kernel_cycles
+
+#: CUDA-style upper bound on block size.
+MAX_THREADS_PER_BLOCK = 1024
+
+
+class Device:
+    """A simulated GPU with its global memory and cost profile."""
+
+    def __init__(self, params: Optional[CostParams] = None) -> None:
+        self.params = params if params is not None else nvidia_a100()
+        self.gmem = GlobalMemory()
+        #: Counters of the most recent launch (convenience for examples).
+        self.last_launch: Optional[KernelCounters] = None
+
+    # -- memory facade -------------------------------------------------
+    def alloc(self, name: str, size: int, dtype) -> Buffer:
+        """Allocate ``size`` elements of ``dtype`` in global memory."""
+        return self.gmem.alloc(name, size, dtype)
+
+    def from_array(self, name: str, array) -> Buffer:
+        """Allocate and initialise a global buffer from host data."""
+        return self.gmem.from_array(name, array)
+
+    def scalar(self, name: str, value, dtype=None) -> Buffer:
+        """Allocate a 1-element global buffer (a boxed scalar)."""
+        return self.gmem.scalar(name, value, dtype)
+
+    def free(self, buf: Buffer) -> None:
+        self.gmem.free(buf)
+
+    def to_numpy(self, buf: Buffer) -> np.ndarray:
+        return buf.to_numpy()
+
+    # -- launch ----------------------------------------------------------
+    def launch(
+        self,
+        entry,
+        num_blocks: int,
+        threads_per_block: int,
+        args: Sequence = (),
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        regs_per_thread: int = 32,
+        tracer=None,
+        detect_races: bool = False,
+    ) -> KernelCounters:
+        """Run ``entry(tc, *args)`` over a grid and return kernel counters.
+
+        ``entry`` must be a generator function whose first parameter is the
+        :class:`~repro.gpu.thread.ThreadCtx`.  Blocks execute sequentially
+        (a legal interleaving: blocks cannot synchronize with one another)
+        in ascending block id, so results are deterministic.
+
+        ``tracer(block_id, round, tid, event)``, when given, observes every
+        posted event — a debugging hook for protocol inspection.
+        """
+        if num_blocks < 1:
+            raise LaunchError("grid must have at least one block")
+        if not 1 <= threads_per_block <= MAX_THREADS_PER_BLOCK:
+            raise LaunchError(
+                f"threads_per_block must be in [1, {MAX_THREADS_PER_BLOCK}], "
+                f"got {threads_per_block}"
+            )
+        kc = KernelCounters(
+            num_blocks=num_blocks, threads_per_block=threads_per_block
+        )
+        shared_used = 0
+        for block_id in range(num_blocks):
+            block = ThreadBlock(
+                block_id=block_id,
+                num_threads=threads_per_block,
+                params=self.params,
+                gmem=self.gmem,
+                entry=entry,
+                args=args,
+                num_blocks=num_blocks,
+                max_rounds=max_rounds,
+                tracer=tracer,
+                detect_races=detect_races,
+            )
+            kc.blocks.append(block.run())
+            shared_used = max(shared_used, block.shared.used)
+        cycles, resident, waves = compose_kernel_cycles(
+            self.params, kc.blocks, threads_per_block, shared_used, regs_per_thread
+        )
+        kc.cycles = cycles
+        kc.blocks_per_sm = resident
+        kc.waves = waves
+        kc.extra["shared_bytes_per_block"] = float(shared_used)
+        kc.extra["regs_per_thread"] = float(regs_per_thread)
+        self.last_launch = kc
+        return kc

@@ -1,0 +1,225 @@
+"""Instruction events exchanged between device threads and the scheduler.
+
+Device code in this simulator is written as Python *generator functions*.
+Each side-effecting step — a memory access, an atomic, a synchronization, a
+chunk of arithmetic — is expressed by yielding one of the event objects
+defined here.  The block scheduler (:mod:`repro.gpu.block`) consumes the
+event, performs the architectural side effect, charges the cost model, and
+``send``s the result back into the generator.
+
+The vocabulary is deliberately small; it is the "ISA" of the simulator:
+
+========== =====================================================
+Event      Meaning
+========== =====================================================
+Compute    ``ops`` arithmetic operations of class ``kind``
+Load       read ``idxs`` elements of a buffer (lane-private)
+Store      write ``idxs``/``values`` elements of a buffer
+AtomicOp   read-modify-write one element, returns the old value
+SyncWarp   warp-level named barrier over a lane ``mask``
+SyncBlock  block-wide barrier (``__syncthreads``)
+Shuffle    register exchange between lanes of a ``mask``
+========== =====================================================
+
+Multi-element ``Load``/``Store`` events model a short unrolled run of
+accesses by one lane; the scheduler coalesces position ``k`` of every lane's
+vector together, which is exactly what the hardware would see if the loop
+were unrolled in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.gpu.memory import Buffer
+
+# Integer tags let the scheduler dispatch without isinstance chains.
+T_COMPUTE = 0
+T_LOAD = 1
+T_STORE = 2
+T_ATOMIC = 3
+T_SYNCWARP = 4
+T_SYNCBLOCK = 5
+T_SHUFFLE = 6
+T_VOTE = 7
+
+#: Vote modes (CUDA ``__any_sync`` / ``__all_sync`` / ``__ballot_sync``).
+VOTE_MODES = ("any", "all", "ballot")
+
+#: Atomic operation names accepted by :class:`AtomicOp`.
+ATOMIC_OPS = ("add", "max", "min", "exch", "cas")
+
+#: Shuffle modes accepted by :class:`Shuffle` (CUDA ``__shfl_*_sync`` family).
+SHUFFLE_MODES = ("idx", "up", "down", "xor")
+
+
+class Event:
+    """Common base for all device events."""
+
+    __slots__ = ()
+    tag = -1
+
+
+class Compute(Event):
+    """``ops`` arithmetic operations of class ``kind``.
+
+    ``kind`` selects the per-op issue cost from the cost model (e.g. ``"alu"``
+    for integer/logic, ``"fma"`` for fused multiply-add, ``"sfu"`` for
+    transcendental ops).
+    """
+
+    __slots__ = ("kind", "ops")
+    tag = T_COMPUTE
+
+    def __init__(self, kind: str = "alu", ops: int = 1) -> None:
+        self.kind = kind
+        self.ops = ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compute(kind={self.kind!r}, ops={self.ops})"
+
+
+class Load(Event):
+    """Read ``idxs`` (flat element indices) from ``buf``.
+
+    The scheduler replies with a tuple of element values, one per index.
+    """
+
+    __slots__ = ("buf", "idxs")
+    tag = T_LOAD
+
+    def __init__(self, buf: "Buffer", idxs: Sequence[int]) -> None:
+        self.buf = buf
+        self.idxs = idxs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Load({self.buf.name}, idxs={list(self.idxs)!r})"
+
+
+class Store(Event):
+    """Write ``values`` to flat element indices ``idxs`` of ``buf``."""
+
+    __slots__ = ("buf", "idxs", "values")
+    tag = T_STORE
+
+    def __init__(self, buf: "Buffer", idxs: Sequence[int], values: Sequence) -> None:
+        self.buf = buf
+        self.idxs = idxs
+        self.values = values
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Store({self.buf.name}, idxs={list(self.idxs)!r})"
+
+
+class AtomicOp(Event):
+    """Atomic read-modify-write of ``buf[idx]``.
+
+    ``op`` is one of :data:`ATOMIC_OPS`.  For ``cas`` the operand is a
+    ``(compare, value)`` pair.  The scheduler replies with the *old* value.
+    Atomics from the same scheduling round are applied in deterministic
+    (warp, lane) order, making every simulation reproducible.
+    """
+
+    __slots__ = ("buf", "idx", "op", "operand")
+    tag = T_ATOMIC
+
+    def __init__(self, buf: "Buffer", idx: int, op: str, operand) -> None:
+        self.buf = buf
+        self.idx = idx
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AtomicOp({self.buf.name}[{self.idx}], {self.op})"
+
+
+class SyncWarp(Event):
+    """Warp-level barrier over the lanes named in ``mask``.
+
+    ``mask`` is a 32-bit (or 64-bit on wide-wavefront profiles) bitmask of
+    lane ids *within the warp*.  Every live lane named by the mask must
+    eventually issue a :class:`SyncWarp` with the same mask; the scheduler
+    releases the group once all arrive.  This models CUDA's
+    ``__syncwarp(mask)`` used by the paper's SIMD-group barriers.
+    """
+
+    __slots__ = ("mask",)
+    tag = T_SYNCWARP
+
+    def __init__(self, mask: int) -> None:
+        self.mask = mask
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SyncWarp(mask={self.mask:#x})"
+
+
+class SyncBlock(Event):
+    """Block-level barrier (``__syncthreads`` / PTX ``barrier.sync id, n``).
+
+    With the defaults (``bar_id=0, count=None``) this is the classic
+    block-wide barrier: released once every *live* (non-retired) lane waits
+    on it — threads that already returned do not participate, matching CUDA
+    semantics for exited threads.
+
+    A *named* barrier (nonzero ``bar_id``) with an explicit ``count``
+    releases as soon as ``count`` lanes wait on that id, letting disjoint
+    thread subsets synchronize independently — the mechanism warp-
+    specialized runtimes (Jacob et al. [17] in the paper) use so worker
+    threads can barrier among themselves while the team main thread waits
+    on a different id.
+    """
+
+    __slots__ = ("bar_id", "count")
+    tag = T_SYNCBLOCK
+
+    def __init__(self, bar_id: int = 0, count=None) -> None:
+        self.bar_id = bar_id
+        self.count = count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SyncBlock(bar_id={self.bar_id}, count={self.count})"
+
+
+class Shuffle(Event):
+    """Register exchange between the lanes of ``mask``.
+
+    ``mode`` is one of :data:`SHUFFLE_MODES`; ``lane_arg`` is the source lane
+    (``idx``) or delta (``up``/``down``/``xor``), interpreted *relative to the
+    ordered set of lanes in the mask* so SIMD groups smaller than a warp get
+    self-contained shuffle segments.  Every live lane in the mask must issue
+    a matching shuffle; each receives its source lane's ``value`` (or its own
+    value if the source falls outside the segment).
+    """
+
+    __slots__ = ("mode", "value", "lane_arg", "mask")
+    tag = T_SHUFFLE
+
+    def __init__(self, mode: str, value, lane_arg: int, mask: int) -> None:
+        self.mode = mode
+        self.value = value
+        self.lane_arg = lane_arg
+        self.mask = mask
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Shuffle({self.mode}, lane_arg={self.lane_arg}, mask={self.mask:#x})"
+
+
+class Vote(Event):
+    """Warp vote across the lanes of ``mask`` (CUDA ``__*_sync`` votes).
+
+    Every live lane in the mask posts its ``predicate``; each receives the
+    collective result — ``any``/``all`` a bool, ``ballot`` the bitmask of
+    lanes (absolute warp lane positions) whose predicate was true.
+    """
+
+    __slots__ = ("mode", "predicate", "mask")
+    tag = T_VOTE
+
+    def __init__(self, mode: str, predicate: bool, mask: int) -> None:
+        self.mode = mode
+        self.predicate = predicate
+        self.mask = mask
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Vote({self.mode}, {self.predicate}, mask={self.mask:#x})"

@@ -1,0 +1,289 @@
+"""Device memory model: buffers, global memory, and per-block shared memory.
+
+Memory is modelled at element granularity on top of NumPy storage.  Every
+allocation is a :class:`Buffer` — a flat, typed array with a byte *base
+address* inside its memory space, so the coalescing model can reason about
+real byte addresses, and a *handle* (a 64-bit integer) so device code can
+pass references through argument payloads exactly like the ``void *``
+pointers the paper's runtime ships between threads.
+
+Spaces
+======
+
+``global``
+    Device-wide memory.  One :class:`GlobalMemory` per device; allocations
+    live until freed.  Handles index a device-wide object table.
+``shared``
+    Per-block scratchpad of fixed capacity with a bump allocator
+    (:class:`SharedMemory`).  The OpenMP runtime carves its *variable
+    sharing space* out of this, as described in §5.3.1 of the paper.
+``local``
+    Lane-private memory.  Modelled as ordinary :class:`Buffer` objects
+    tagged ``local``; accesses cost register-file rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AllocationError, MemoryFault
+
+#: Valid memory space tags.
+SPACES = ("global", "shared", "local")
+
+#: Alignment (bytes) applied to every allocation; matches CUDA's 256-byte
+#: alignment for global allocations, kept smaller for shared memory.
+GLOBAL_ALIGN = 256
+SHARED_ALIGN = 8
+
+
+def _dtype_of(dtype) -> np.dtype:
+    return np.dtype(dtype)
+
+
+class Buffer:
+    """A flat, typed device allocation.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    space:
+        One of :data:`SPACES`.
+    size:
+        Element count.
+    dtype:
+        NumPy dtype of the elements.
+    base:
+        Byte address of element 0 within the owning space.
+    handle:
+        Device-wide integer handle (0 means "not registered").
+    data:
+        Optional backing array (shared with the host); a fresh zeroed array
+        is created when omitted.
+    """
+
+    __slots__ = ("name", "space", "size", "dtype", "itemsize", "base", "handle", "data")
+
+    def __init__(
+        self,
+        name: str,
+        space: str,
+        size: int,
+        dtype,
+        base: int = 0,
+        handle: int = 0,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if space not in SPACES:
+            raise ValueError(f"unknown memory space {space!r}")
+        if size < 0:
+            raise ValueError("negative buffer size")
+        self.name = name
+        self.space = space
+        self.size = int(size)
+        self.dtype = _dtype_of(dtype)
+        self.itemsize = self.dtype.itemsize
+        self.base = int(base)
+        self.handle = int(handle)
+        if data is None:
+            data = np.zeros(self.size, dtype=self.dtype)
+        else:
+            data = np.ascontiguousarray(data).reshape(-1)
+            if data.size != self.size:
+                raise ValueError(
+                    f"backing array has {data.size} elements, expected {self.size}"
+                )
+            if data.dtype != self.dtype:
+                raise ValueError(
+                    f"backing array dtype {data.dtype} != declared {self.dtype}"
+                )
+        self.data = data
+
+    # -- element access (scheduler-side) ----------------------------------
+    def check_index(self, idx: int) -> None:
+        """Raise :class:`MemoryFault` unless ``0 <= idx < size``."""
+        if not 0 <= idx < self.size:
+            raise MemoryFault(
+                f"index {idx} out of bounds for buffer {self.name!r} "
+                f"({self.space}, size {self.size})"
+            )
+
+    def read(self, idx: int):
+        self.check_index(int(idx))
+        return self.data[int(idx)]
+
+    def write(self, idx: int, value) -> None:
+        self.check_index(int(idx))
+        self.data[int(idx)] = value
+
+    def byte_address(self, idx: int) -> int:
+        """Byte address of element ``idx`` within this buffer's space."""
+        return self.base + int(idx) * self.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    def to_numpy(self) -> np.ndarray:
+        """Host copy of the buffer contents."""
+        return self.data.copy()
+
+    def fill_from(self, array) -> None:
+        """Copy host data into the buffer (sizes must match)."""
+        arr = np.ascontiguousarray(array).reshape(-1)
+        if arr.size != self.size:
+            raise ValueError("size mismatch in fill_from")
+        self.data[:] = arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Buffer({self.name!r}, {self.space}, size={self.size}, "
+            f"dtype={self.dtype}, base={self.base:#x}, handle={self.handle})"
+        )
+
+
+def _align(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class GlobalMemory:
+    """Device-wide memory: allocator, handle table, and live-byte accounting.
+
+    The handle table doubles as the simulator's "pointer" namespace: payload
+    slots store 64-bit handles; :meth:`lookup` resolves a handle back to its
+    buffer, which is what ``invokeMicrotask`` does when unpacking arguments.
+    """
+
+    def __init__(self, capacity: int = 1 << 34) -> None:
+        self.capacity = int(capacity)
+        self._next_base = GLOBAL_ALIGN  # keep 0 as a null address
+        self._next_handle = 1  # 0 is the null handle
+        self._buffers: Dict[int, Buffer] = {}
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- allocation --------------------------------------------------------
+    def alloc(self, name: str, size: int, dtype) -> Buffer:
+        """Allocate ``size`` elements of ``dtype``; returns a registered buffer."""
+        dt = _dtype_of(dtype)
+        nbytes = int(size) * dt.itemsize
+        if self.live_bytes + nbytes > self.capacity:
+            raise AllocationError(
+                f"global memory exhausted: requested {nbytes} bytes, "
+                f"{self.capacity - self.live_bytes} available"
+            )
+        base = self._next_base
+        self._next_base = _align(base + max(nbytes, 1), GLOBAL_ALIGN)
+        handle = self._next_handle
+        self._next_handle += 1
+        buf = Buffer(name, "global", size, dt, base=base, handle=handle)
+        self._buffers[handle] = buf
+        self.live_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        self.alloc_count += 1
+        return buf
+
+    def from_array(self, name: str, array) -> Buffer:
+        """Allocate and initialise a buffer from host data."""
+        arr = np.ascontiguousarray(array).reshape(-1)
+        buf = self.alloc(name, arr.size, arr.dtype)
+        buf.data[:] = arr
+        return buf
+
+    def scalar(self, name: str, value, dtype=None) -> Buffer:
+        """Allocate a 1-element buffer holding ``value`` (a boxed scalar)."""
+        dt = _dtype_of(dtype) if dtype is not None else np.asarray(value).dtype
+        buf = self.alloc(name, 1, dt)
+        buf.data[0] = value
+        return buf
+
+    def free(self, buf: Buffer) -> None:
+        """Release a buffer; its handle becomes invalid."""
+        if buf.handle not in self._buffers:
+            raise MemoryFault(f"double free or foreign buffer {buf.name!r}")
+        del self._buffers[buf.handle]
+        self.live_bytes -= buf.nbytes
+        self.free_count += 1
+
+    # -- handles -----------------------------------------------------------
+    def register(self, buf: Buffer) -> int:
+        """Assign a device-wide handle to a buffer from another space.
+
+        Shared-memory and local buffers get handles through here so their
+        references can travel inside argument payloads.
+        """
+        if buf.handle and buf.handle in self._buffers:
+            return buf.handle
+        handle = self._next_handle
+        self._next_handle += 1
+        buf.handle = handle
+        self._buffers[handle] = buf
+        return handle
+
+    def lookup(self, handle: int) -> Buffer:
+        try:
+            return self._buffers[int(handle)]
+        except KeyError:
+            raise MemoryFault(f"dangling or null handle {handle}") from None
+
+    def live_buffers(self) -> Iterable[Buffer]:
+        return list(self._buffers.values())
+
+
+class SharedMemory:
+    """Per-block scratchpad with a bump allocator.
+
+    ``capacity`` defaults are set by the device profile (e.g. 48 KiB usable
+    per block on the A100-like profile).  The runtime reserves a *variable
+    sharing space* slice at block startup; kernel-visible allocations come
+    after it.  ``reset()`` rewinds the allocator (used between kernel
+    launches when a block object is reused).
+    """
+
+    def __init__(self, capacity: int = 48 * 1024) -> None:
+        self.capacity = int(capacity)
+        self._cursor = 0
+        self._allocs: list[Buffer] = []
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._cursor
+
+    def alloc(self, name: str, size: int, dtype) -> Buffer:
+        """Carve ``size`` elements of ``dtype`` out of the scratchpad."""
+        dt = _dtype_of(dtype)
+        nbytes = int(size) * dt.itemsize
+        base = _align(self._cursor, SHARED_ALIGN)
+        if base + nbytes > self.capacity:
+            raise AllocationError(
+                f"shared memory exhausted: requested {nbytes} bytes at "
+                f"offset {base}, capacity {self.capacity}"
+            )
+        self._cursor = base + nbytes
+        buf = Buffer(name, "shared", size, dt, base=base)
+        self._allocs.append(buf)
+        return buf
+
+    def reset(self) -> None:
+        """Rewind the allocator; previously returned buffers become stale."""
+        self._cursor = 0
+        self._allocs.clear()
+
+
+def local_buffer(name: str, size: int, dtype, data=None) -> Buffer:
+    """Create a lane-private (``local``) buffer.
+
+    Local buffers model per-thread stack allocations; the globalization pass
+    (:mod:`repro.codegen.globalize`) replaces them with shared/global storage
+    when a SIMD worker must observe them, per §4.3 of the paper.
+    """
+    return Buffer(name, "local", size, dtype, data=data)

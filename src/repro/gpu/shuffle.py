@@ -1,0 +1,66 @@
+"""Warp shuffle semantics.
+
+Shuffles exchange register values between the lanes of a mask without going
+through memory.  The paper's runtime does not use them (it stages values in
+the shared-memory sharing space), but the *reduction extension*
+(:mod:`repro.runtime.reduction`, the paper's §7 future work) builds
+SIMD-group tree reductions on them, so the substrate provides the CUDA
+``__shfl_*_sync`` family.
+
+Lane arithmetic is performed **relative to the ordered set of lanes in the
+mask**: for a SIMD group occupying lanes ``{8..15}``, ``shfl_down(value, 4)``
+moves lane 12's value to lane 8.  This gives groups smaller than a warp
+self-contained shuffle segments, the same trick CUDA's ``width`` parameter
+plays for power-of-two sub-warps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import SynchronizationError
+from repro.gpu.events import SHUFFLE_MODES
+
+
+def resolve_shuffles(
+    mode: str,
+    lanes: Sequence[int],
+    values: Dict[int, object],
+    lane_args: Dict[int, int],
+) -> Dict[int, object]:
+    """Compute each lane's shuffle result for one converged mask group.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`SHUFFLE_MODES`.
+    lanes:
+        The participating lane ids, ascending.
+    values, lane_args:
+        Per-lane posted value and lane argument (source index or delta).
+
+    Returns a dict mapping lane id → received value.  Out-of-segment sources
+    return the lane's own value, as on hardware.
+    """
+    if mode not in SHUFFLE_MODES:
+        raise SynchronizationError(f"unknown shuffle mode {mode!r}")
+    order = list(lanes)
+    pos = {lane: i for i, lane in enumerate(order)}
+    n = len(order)
+    out: Dict[int, object] = {}
+    for lane in order:
+        arg = lane_args[lane]
+        i = pos[lane]
+        if mode == "idx":
+            src = arg
+        elif mode == "up":
+            src = i - arg
+        elif mode == "down":
+            src = i + arg
+        else:  # xor
+            src = i ^ arg
+        if 0 <= src < n:
+            out[lane] = values[order[src]]
+        else:
+            out[lane] = values[lane]
+    return out

@@ -1,0 +1,106 @@
+"""Streaming-multiprocessor composition: occupancy and wave timing.
+
+Blocks execute functionally one at a time (a legal interleaving — blocks
+cannot synchronize with each other), then this module composes their
+per-block counters into a kernel cycle estimate:
+
+* :func:`blocks_per_sm` applies the three occupancy limiters (blocks, warps,
+  shared memory).  The teams-generic *extra warp* (paper Fig 2) and the
+  doubled variable-sharing space (§5.3.1) reduce occupancy through exactly
+  these limits.
+* :func:`wave_cycles` overlaps the blocks resident together in one wave:
+  issue throughput and memory throughput are shared pipes, the critical
+  path (``rounds × round_latency``) is per-block, and barrier costs do not
+  overlap.
+* :func:`compose_kernel_cycles` assigns blocks to SMs round-robin, sums
+  each SM's waves, and takes the slowest SM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import LaunchError
+from repro.gpu.costmodel import CostParams
+from repro.gpu.counters import BlockCounters
+
+
+def blocks_per_sm(
+    params: CostParams,
+    threads_per_block: int,
+    shared_bytes_per_block: int,
+    regs_per_thread: int = 32,
+) -> int:
+    """Resident blocks per SM under the four occupancy limiters.
+
+    Limits: max blocks, max warps, shared memory, and register file.  The
+    register limiter is what makes register-hungry serial inner loops (the
+    SU3 baseline caching whole matrices per thread) pay reduced occupancy.
+    """
+    if threads_per_block < 1:
+        raise LaunchError("threads_per_block must be >= 1")
+    warps = -(-threads_per_block // params.warp_size)
+    by_blocks = params.max_blocks_per_sm
+    by_warps = max(1, params.max_warps_per_sm // warps) if warps else by_blocks
+    if shared_bytes_per_block > 0:
+        by_shared = params.shared_mem_per_sm // shared_bytes_per_block
+        if by_shared == 0:
+            raise LaunchError(
+                f"block needs {shared_bytes_per_block} B shared memory; SM has "
+                f"{params.shared_mem_per_sm} B"
+            )
+    else:
+        by_shared = by_blocks
+    regs_per_block = max(1, regs_per_thread) * threads_per_block
+    by_regs = max(1, params.regfile_per_sm // regs_per_block)
+    return max(1, min(by_blocks, by_warps, by_shared, by_regs))
+
+
+def wave_cycles(params: CostParams, wave: Sequence[BlockCounters]) -> float:
+    """Cycles for one wave of blocks resident together on an SM."""
+    if not wave:
+        return 0.0
+    critical = max(
+        b.rounds * params.round_latency
+        + b.mem_serial_rounds * params.mem_latency_cycles
+        for b in wave
+    )
+    issue = sum(b.issue_cycles for b in wave) / params.issue_width
+    mem = sum(b.mem_cycles for b in wave)
+    sync = sum(b.sync_cycles for b in wave)
+    return max(critical, issue, mem) + sync
+
+
+def sm_cycles(
+    params: CostParams, blocks: Sequence[BlockCounters], resident: int
+) -> float:
+    """Total cycles for one SM running ``blocks`` in waves of ``resident``."""
+    total = 0.0
+    for start in range(0, len(blocks), resident):
+        total += wave_cycles(params, blocks[start : start + resident])
+    return total
+
+
+def compose_kernel_cycles(
+    params: CostParams,
+    blocks: Sequence[BlockCounters],
+    threads_per_block: int,
+    shared_bytes_per_block: int,
+    regs_per_thread: int = 32,
+) -> tuple[float, int, int]:
+    """Return ``(kernel_cycles, resident_blocks_per_sm, waves)``.
+
+    Blocks are assigned to SMs round-robin (the hardware scheduler is
+    greedy, but with uniform blocks the two are equivalent); kernel time is
+    the slowest SM.
+    """
+    resident = blocks_per_sm(
+        params, threads_per_block, shared_bytes_per_block, regs_per_thread
+    )
+    per_sm: List[List[BlockCounters]] = [[] for _ in range(params.num_sms)]
+    for i, b in enumerate(blocks):
+        per_sm[i % params.num_sms].append(b)
+    cycles = max(sm_cycles(params, sm, resident) for sm in per_sm)
+    busiest = max(len(sm) for sm in per_sm)
+    waves = -(-busiest // resident) if busiest else 0
+    return cycles, resident, waves

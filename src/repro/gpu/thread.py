@@ -1,0 +1,291 @@
+"""Per-thread execution context handed to device code.
+
+Device code is written as generator functions taking a :class:`ThreadCtx`
+(``tc``) first.  All architectural actions go through ``tc`` helpers, each of
+which is itself a generator to be driven with ``yield from``::
+
+    def saxpy_body(tc, i, a, x, y):
+        xi = yield from tc.load(x, i)
+        yi = yield from tc.load(y, i)
+        yield from tc.compute("fma")
+        yield from tc.store(y, i, a * xi + yi)
+
+The helpers emit exactly one event each (see :mod:`repro.gpu.events`); the
+block scheduler performs the side effect and sends back the result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SynchronizationError
+from repro.gpu.events import (
+    AtomicOp,
+    Compute,
+    Load,
+    Shuffle,
+    Store,
+    SyncBlock,
+    SyncWarp,
+    Vote,
+)
+from repro.gpu.memory import Buffer, local_buffer
+
+# Lane scheduler states (shared with repro.gpu.block).
+RUN = 0
+WAIT_WARP = 1
+WAIT_BLOCK = 2
+WAIT_SHFL = 3
+DONE = 4
+
+STATE_NAMES = {
+    RUN: "runnable",
+    WAIT_WARP: "waiting@syncwarp",
+    WAIT_BLOCK: "waiting@syncthreads",
+    WAIT_SHFL: "waiting@shuffle",
+    DONE: "retired",
+}
+
+
+def full_mask(warp_size: int) -> int:
+    """Bitmask naming every lane of a warp."""
+    return (1 << warp_size) - 1
+
+
+class ThreadCtx:
+    """Identity and device-action helpers for one simulated GPU thread.
+
+    Attributes
+    ----------
+    tid:
+        Thread id within the block (0-based).
+    lane_id:
+        Lane id within the warp (``tid % warp_size``).
+    warp_id:
+        Warp id within the block (``tid // warp_size``).
+    block_id:
+        Block index within the grid (the OpenMP team number).
+    num_blocks:
+        Grid size in blocks.
+    block_dim:
+        Threads per block for this launch.
+    warp_size:
+        SIMT width of the device profile.
+    block:
+        The owning :class:`repro.gpu.block.ThreadBlock` (gives access to
+        shared memory and, through it, the device).
+    """
+
+    __slots__ = (
+        "tid",
+        "lane_id",
+        "warp_id",
+        "block_id",
+        "num_blocks",
+        "block_dim",
+        "warp_size",
+        "block",
+        "rt",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        warp_size: int,
+        block_id: int,
+        num_blocks: int,
+        block_dim: int,
+        block,
+    ) -> None:
+        self.tid = tid
+        self.lane_id = tid % warp_size
+        self.warp_id = tid // warp_size
+        self.block_id = block_id
+        self.num_blocks = num_blocks
+        self.block_dim = block_dim
+        self.warp_size = warp_size
+        self.block = block
+        #: Slot the OpenMP runtime uses to attach its per-team context.
+        self.rt = None
+
+    # -- identity helpers --------------------------------------------------
+    @property
+    def global_tid(self) -> int:
+        """Thread id across the whole grid."""
+        return self.block_id * self.block_dim + self.tid
+
+    def warp_mask(self) -> int:
+        """Mask naming every lane of this thread's warp."""
+        return full_mask(self.warp_size)
+
+    # -- memory ------------------------------------------------------------
+    def load(self, buf: Buffer, idx: int):
+        """Read one element; returns its value."""
+        res = yield Load(buf, (idx,))
+        return res[0]
+
+    def load_vec(self, buf: Buffer, idxs: Sequence[int]):
+        """Read several elements with one unrolled access run."""
+        res = yield Load(buf, tuple(idxs))
+        return list(res)
+
+    def store(self, buf: Buffer, idx: int, value):
+        """Write one element."""
+        yield Store(buf, (idx,), (value,))
+
+    def store_vec(self, buf: Buffer, idxs: Sequence[int], values: Sequence):
+        """Write several elements with one unrolled access run."""
+        yield Store(buf, tuple(idxs), tuple(values))
+
+    # -- arithmetic accounting ----------------------------------------------
+    def compute(self, kind: str = "alu", ops: int = 1):
+        """Charge ``ops`` arithmetic operations of class ``kind``."""
+        yield Compute(kind, ops)
+
+    # -- atomics -------------------------------------------------------------
+    def atomic_add(self, buf: Buffer, idx: int, value):
+        """Atomic add; returns the old value."""
+        old = yield AtomicOp(buf, idx, "add", value)
+        return old
+
+    def atomic_max(self, buf: Buffer, idx: int, value):
+        old = yield AtomicOp(buf, idx, "max", value)
+        return old
+
+    def atomic_min(self, buf: Buffer, idx: int, value):
+        old = yield AtomicOp(buf, idx, "min", value)
+        return old
+
+    def atomic_exch(self, buf: Buffer, idx: int, value):
+        old = yield AtomicOp(buf, idx, "exch", value)
+        return old
+
+    def atomic_cas(self, buf: Buffer, idx: int, compare, value):
+        old = yield AtomicOp(buf, idx, "cas", (compare, value))
+        return old
+
+    # -- synchronization -----------------------------------------------------
+    def syncwarp(self, mask: Optional[int] = None):
+        """Warp-level named barrier (CUDA ``__syncwarp(mask)``).
+
+        The calling lane must be named by ``mask`` (defaults to the full
+        warp).  All live lanes in the mask must reach a matching syncwarp.
+        """
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        if not (mask >> self.lane_id) & 1:
+            raise SynchronizationError(
+                f"lane {self.lane_id} called syncwarp with a mask {mask:#x} "
+                "that does not include itself"
+            )
+        yield SyncWarp(mask)
+
+    def syncthreads(self, bar_id: int = 0, count: Optional[int] = None):
+        """Block-level barrier (CUDA ``__syncthreads`` / ``barrier.sync``).
+
+        The default is the classic block-wide barrier.  A nonzero
+        ``bar_id`` with an explicit ``count`` is a named barrier releasing
+        once ``count`` lanes arrive — used by warp-specialized runtimes so
+        worker threads can synchronize while the main thread waits
+        elsewhere.
+        """
+        yield SyncBlock(bar_id, count)
+
+    # -- shuffles --------------------------------------------------------------
+    def shfl(self, value, src: int, mask: Optional[int] = None):
+        """Read ``value`` from the mask-relative source lane ``src``."""
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Shuffle("idx", value, src, mask)
+        return res
+
+    def shfl_up(self, value, delta: int, mask: Optional[int] = None):
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Shuffle("up", value, delta, mask)
+        return res
+
+    def shfl_down(self, value, delta: int, mask: Optional[int] = None):
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Shuffle("down", value, delta, mask)
+        return res
+
+    def shfl_xor(self, value, delta: int, mask: Optional[int] = None):
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Shuffle("xor", value, delta, mask)
+        return res
+
+    # -- warp votes --------------------------------------------------------------
+    def vote_any(self, predicate, mask: Optional[int] = None):
+        """True iff any live lane in ``mask`` passes a true predicate."""
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Vote("any", bool(predicate), mask)
+        return res
+
+    def vote_all(self, predicate, mask: Optional[int] = None):
+        """True iff every live lane in ``mask`` passes a true predicate."""
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Vote("all", bool(predicate), mask)
+        return res
+
+    def ballot(self, predicate, mask: Optional[int] = None):
+        """Bitmask (absolute warp lane positions) of true predicates."""
+        if mask is None:
+            mask = full_mask(self.warp_size)
+        res = yield Vote("ballot", bool(predicate), mask)
+        return res
+
+    # -- diagnostics ---------------------------------------------------------
+    def device_assert(self, condition, message: str = "device assertion failed"):
+        """Device-side assertion: raises with block/thread context.
+
+        A generator for symmetry with the other helpers (it charges one
+        branch op), so call it with ``yield from``.
+        """
+        from repro.errors import DeviceAssertionError
+
+        yield Compute("branch", 1)
+        if not condition:
+            raise DeviceAssertionError(
+                f"{message} (block {self.block_id}, thread {self.tid})"
+            )
+
+    # -- allocation ------------------------------------------------------------
+    def alloca(self, name: str, size: int, dtype) -> Buffer:
+        """Lane-private stack allocation (no event; modelled as registers)."""
+        return local_buffer(f"{name}@t{self.tid}", size, dtype)
+
+    def shared_alloc(self, name: str, size: int, dtype) -> Buffer:
+        """Block-shared allocation from the scratchpad bump allocator.
+
+        Only meaningful when executed by one representative thread (or with
+        identical arguments by all threads *before* divergence); the OpenMP
+        runtime performs its shared allocations from the team main thread.
+        """
+        return self.block.shared.alloc(name, size, dtype)
+
+
+class Lane:
+    """Scheduler bookkeeping for one thread: its generator and wait state."""
+
+    __slots__ = ("tid", "warp_id", "lane_id", "gen", "state", "pending", "wait_key", "posted")
+
+    def __init__(self, tid: int, warp_id: int, lane_id: int, gen) -> None:
+        self.tid = tid
+        self.warp_id = warp_id
+        self.lane_id = lane_id
+        self.gen = gen
+        self.state = RUN
+        #: Value to ``send`` into the generator on the next advance.
+        self.pending = None
+        #: Barrier/shuffle key while waiting.
+        self.wait_key = None
+        #: The event posted this round (shuffles keep it until release).
+        self.posted = None
+
+    def describe(self) -> str:
+        return f"t{self.tid} (warp {self.warp_id}, lane {self.lane_id}): {STATE_NAMES[self.state]}"

@@ -1,0 +1,125 @@
+"""Execution tracing: record event streams, export Chrome trace JSON.
+
+Attach a :class:`TraceRecorder` to any launch to capture every posted event
+with its (block, round, thread) coordinates::
+
+    rec = TraceRecorder()
+    device.launch(kernel, 4, 128, args=(...), tracer=rec)
+    rec.save("kernel.trace.json")      # open in chrome://tracing / Perfetto
+    print(rec.summary())
+
+Rounds serve as the timeline (1 round = 1 µs in the export so Perfetto's
+zoom behaves); each thread is a track inside its block's process group.
+Use :meth:`TraceRecorder.for_thread` to replay one thread's event sequence
+in protocol debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu.events import (
+    T_ATOMIC,
+    T_COMPUTE,
+    T_LOAD,
+    T_SHUFFLE,
+    T_STORE,
+    T_SYNCBLOCK,
+    T_SYNCWARP,
+)
+
+TAG_NAMES = {
+    T_COMPUTE: "compute",
+    T_LOAD: "load",
+    T_STORE: "store",
+    T_ATOMIC: "atomic",
+    T_SYNCWARP: "syncwarp",
+    T_SYNCBLOCK: "syncblock",
+    T_SHUFFLE: "shuffle",
+}
+
+
+def _describe(ev) -> str:
+    tag = ev.tag
+    if tag == T_COMPUTE:
+        return f"compute {ev.kind} x{ev.ops}"
+    if tag == T_LOAD:
+        return f"load {ev.buf.name}[{len(ev.idxs)}]"
+    if tag == T_STORE:
+        return f"store {ev.buf.name}[{len(ev.idxs)}]"
+    if tag == T_ATOMIC:
+        return f"atomic_{ev.op} {ev.buf.name}[{ev.idx}]"
+    if tag == T_SYNCWARP:
+        return f"syncwarp {ev.mask:#x}"
+    if tag == T_SYNCBLOCK:
+        return f"syncblock id={ev.bar_id}"
+    return f"shfl_{ev.mode}"
+
+
+class TraceRecorder:
+    """Collects ``(block, round, tid, tag, label)`` rows from a launch."""
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.rows: List[Tuple[int, int, int, int, str]] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def __call__(self, block_id: int, rnd: int, tid: int, ev) -> None:
+        if self.max_events is not None and len(self.rows) >= self.max_events:
+            self.dropped += 1
+            return
+        self.rows.append((block_id, rnd, tid, ev.tag, _describe(ev)))
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def for_thread(self, block_id: int, tid: int) -> List[Tuple[int, int, str]]:
+        """One thread's timeline: ``(round, tag, label)`` rows in order."""
+        return [
+            (rnd, tag, label)
+            for b, rnd, t, tag, label in self.rows
+            if b == block_id and t == tid
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by type (plus drops, if the cap was hit)."""
+        counts = Counter(TAG_NAMES[tag] for _, _, _, tag, _ in self.rows)
+        out = dict(sorted(counts.items()))
+        if self.dropped:
+            out["dropped"] = self.dropped
+        return out
+
+    # -- export ------------------------------------------------------------
+    def to_chrome_trace(self) -> List[dict]:
+        """Trace-event JSON (``ph: X`` complete events; 1 round = 1 µs)."""
+        events = [
+            {
+                "name": TAG_NAMES[tag],
+                "cat": "device",
+                "ph": "X",
+                "ts": rnd,
+                "dur": 1,
+                "pid": block,
+                "tid": tid,
+                "args": {"detail": label},
+            }
+            for block, rnd, tid, tag, label in self.rows
+        ]
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": block,
+                "args": {"name": f"block {block}"},
+            }
+            for block in sorted({b for b, *_ in self.rows})
+        ]
+        return meta + events
+
+    def save(self, path: str) -> None:
+        """Write Chrome-trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace()}, fh)

@@ -1,0 +1,19 @@
+"""Host-side OpenMP offloading: target-data regions and transfers.
+
+The paper's background (§3): "OpenMP offloading utilizes a host-device
+execution model where the host (CPU) schedules and synchronizes target
+tasks … and handles memory allocation and movement between the host and
+target devices."  This package is that substrate: ``map`` clause semantics
+(``to``/``from``/``tofrom``/``alloc``), structured ``target data`` regions,
+``target update`` transfers, and an interconnect cost model so examples and
+benches can show the keep-data-resident lesson quantitatively.
+"""
+
+from repro.host.target_data import (
+    MapKind,
+    TargetDataRegion,
+    TransferCounters,
+    target_data,
+)
+
+__all__ = ["MapKind", "TargetDataRegion", "TransferCounters", "target_data"]

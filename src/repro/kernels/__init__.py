@@ -1,0 +1,30 @@
+"""The paper's evaluation codes (§6).
+
+Fig 9 kernels (benefit of three-level parallelism):
+
+* :mod:`repro.kernels.sparse_matvec` — CSR sparse matrix-vector product
+  adapted from the OpenACC best-practices guide; atomic update in place of
+  the not-yet-supported reduction, as in the paper.
+* :mod:`repro.kernels.su3` — SU3_bench lattice-QCD 3×3 complex matrix
+  multiply with the 36-iteration inner loop.
+* :mod:`repro.kernels.ideal` — the paper's custom benchmarking kernel: a
+  small non-collapsible inner loop that fits a warp.
+
+Fig 10 kernels (cost of the implementation; three parallelizable loops):
+
+* :mod:`repro.kernels.laplace3d` — 3-D 7-point heat-diffusion stencil.
+* :mod:`repro.kernels.muram_transpose` — 3-D transpose from the MURaM
+  OpenACC port.
+* :mod:`repro.kernels.muram_interpol` — 1-D interpolation stencil over a
+  3-D grid, also from MURaM.
+
+Every kernel module follows one pattern: a ``build_data(device, …)``
+constructor, a NumPy ``reference``, one ``program_*`` factory per variant
+(baseline / simd / mode-toggled), ``run_*`` launch helpers returning
+:class:`~repro.core.api.LaunchResult`, and a ``check`` verifying device
+output against the reference.
+"""
+
+from repro.kernels import common
+
+__all__ = ["common"]

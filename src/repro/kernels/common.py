@@ -1,0 +1,120 @@
+"""Shared workload generators for the evaluation kernels.
+
+All generators are deterministic given a seed so every experiment is
+reproducible; sizes default to values that keep the cooperative simulator in
+the seconds range while preserving each kernel's characteristic shape
+(row-length skew for the sparse kernel, warp-sized inner trips, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class CSRMatrix:
+    """A CSR sparse matrix with its dense operand vector."""
+
+    n_rows: int
+    n_cols: int
+    row_ptr: np.ndarray  # int64[n_rows+1]
+    col_idx: np.ndarray  # int64[nnz]
+    values: np.ndarray  # float64[nnz]
+    x: np.ndarray  # float64[n_cols]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_ptr[-1])
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.row_ptr)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.n_rows, self.n_cols))
+        for r in range(self.n_rows):
+            lo, hi = self.row_ptr[r], self.row_ptr[r + 1]
+            dense[r, self.col_idx[lo:hi]] += self.values[lo:hi]
+        return dense
+
+    def matvec(self) -> np.ndarray:
+        """NumPy reference ``A @ x``."""
+        y = np.zeros(self.n_rows)
+        for r in range(self.n_rows):
+            lo, hi = self.row_ptr[r], self.row_ptr[r + 1]
+            y[r] = np.dot(self.values[lo:hi], self.x[self.col_idx[lo:hi]])
+        return y
+
+
+def make_csr(
+    n_rows: int = 512,
+    n_cols: int = 512,
+    mean_nnz: float = 10.0,
+    skew: float = 0.6,
+    seed: int = 7,
+) -> CSRMatrix:
+    """Random CSR matrix with log-normally skewed row lengths.
+
+    The sparse_matvec experiment depends on "the varying sparsity of the
+    matrix" (§6.3): rows have a skewed length distribution (mean ≈
+    ``mean_nnz``) so no single SIMD group size fits every row, which is what
+    produces Fig 9's interior optimum.
+    """
+    rng = np.random.default_rng(seed)
+    mu = np.log(mean_nnz) - 0.5 * skew**2
+    lengths = np.maximum(1, rng.lognormal(mu, skew, n_rows).astype(np.int64))
+    lengths = np.minimum(lengths, n_cols)
+    row_ptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    col_idx = np.empty(nnz, dtype=np.int64)
+    for r in range(n_rows):
+        lo, hi = row_ptr[r], row_ptr[r + 1]
+        col_idx[lo:hi] = np.sort(
+            rng.choice(n_cols, size=hi - lo, replace=False)
+        )
+    values = rng.standard_normal(nnz)
+    x = rng.standard_normal(n_cols)
+    return CSRMatrix(n_rows, n_cols, row_ptr, col_idx, values, x)
+
+
+def make_grid3d(
+    nx: int = 16, ny: int = 16, nz: int = 32, seed: int = 11
+) -> np.ndarray:
+    """Random 3-D grid, C-ordered with ``z`` contiguous (stencil layout)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((nx, ny, nz))
+
+
+def flat3(i: int, j: int, k: int, ny: int, nz: int) -> int:
+    """Flat index of ``(i, j, k)`` in a C-ordered ``(nx, ny, nz)`` grid."""
+    return (i * ny + j) * nz + k
+
+
+def make_complex_matrices(
+    sites: int, links: int = 4, seed: int = 13
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SU3_bench operands: per-site link matrices ``A`` and site matrix ``B``.
+
+    Returned as interleaved-real/imaginary float64 arrays:
+    ``A[sites, links, 3, 3, 2]`` and ``B[sites, 3, 3, 2]`` — the AoS,
+    site-major layout whose per-thread strided access the simd mapping
+    fixes.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((sites, links, 3, 3, 2))
+    b = rng.standard_normal((sites, 3, 3, 2))
+    return a, b
+
+
+def su3_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """NumPy reference: ``C[s, l] = A[s, l] @ B[s]`` over complex 3×3."""
+    ac = a[..., 0] + 1j * a[..., 1]
+    bc = b[..., 0] + 1j * b[..., 1]
+    cc = np.einsum("slik,skj->slij", ac, bc)
+    out = np.empty(a.shape)
+    out[..., 0] = cc.real
+    out[..., 1] = cc.imag
+    return out

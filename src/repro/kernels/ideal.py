@@ -1,0 +1,164 @@
+"""The paper's custom benchmarking kernel (§6.3, Fig 9 "benchmark kernel").
+
+Constructed to "very closely fit the three levels of parallelism … a small
+inner loop that fits into a single warp, but is not collapsible with the
+outer-loop nest".  We reproduce that construction: every outer iteration
+owns a 32-element row whose base address comes from an indirection table
+(the data-dependent lookup is what makes the nest non-collapsible), and the
+inner loop does a few FMAs per element.
+
+* :func:`program_baseline` — two levels (combined TDPF over rows); each
+  thread loads its row base and walks the 32 elements serially: adjacent
+  lanes stride across distant rows, so nothing coalesces.
+* :func:`program_simd` — the paper's shape: TDPF over rows (teams SPMD) +
+  ``simd`` over the 32 elements with the base lookup as sequential per-row
+  code (parallel **generic**, as §6.3 states for this kernel).  Group lanes
+  cover adjacent elements: coalesced, with the dependent-load chain split
+  ``simd_len`` ways.
+
+Paper result: ≈2.15× at group size 32, with 16 close behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import api as omp
+from repro.gpu.device import Device
+
+#: Inner trip count — "fits into a single warp".
+INNER = 32
+
+#: FMAs per element (keeps the kernel latency/bandwidth-shaped rather than
+#: compute-bound, like the paper's memory-streaming construction).
+FLOPS = 2
+
+#: Element record stride in doubles: each element lives in its own 32-byte
+#: AoS record, so a serial walk touches one sector per step — the classic
+#: structure-of-records layout that starves a two-level mapping.
+PAD = 4
+
+
+@dataclass
+class IdealData:
+    """Device-resident problem for the benchmark kernel."""
+
+    n_rows: int
+    perm: np.ndarray
+    x_host: np.ndarray
+    offsets: object
+    x: object
+    y: object
+
+    def reset(self) -> None:
+        self.y.fill_from(np.zeros(self.n_rows * INNER))
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(self.n_rows * INNER)
+        for i in range(self.n_rows):
+            base = int(self.perm[i]) * INNER
+            row = self.x_host[(np.arange(INNER) + base) * PAD]
+            out[base : base + INNER] = 2.0 * row * row + 1.0
+        return out
+
+    def check(self, atol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.y.to_numpy(), self.reference(), atol=atol))
+
+
+def build_data(device: Device, n_rows: int = 256, seed: int = 17) -> IdealData:
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n_rows).astype(np.int64)
+    x_host = rng.standard_normal(n_rows * INNER * PAD)
+    return IdealData(
+        n_rows=n_rows,
+        perm=perm,
+        x_host=x_host,
+        offsets=device.from_array("ideal.offsets", perm),
+        x=device.from_array("ideal.x", x_host),
+        y=device.from_array("ideal.y", np.zeros(n_rows * INNER)),
+    )
+
+
+def _element(tc, view, base: int, j: int):
+    v = yield from tc.load(view["x"], (base + j) * PAD)
+    yield from tc.compute("fma", FLOPS)
+    yield from tc.store(view["y"], base + j, 2.0 * v * v + 1.0)
+
+
+def _serial_body(tc, ivs, view):
+    """Baseline leaf: the thread walks its whole 32-element row."""
+    (i,) = ivs
+    off = yield from tc.load(view["offsets"], i)
+    base = int(off) * INNER
+    yield from tc.compute("alu", 1)
+    for j in range(INNER):
+        yield from _element(tc, view, base, j)
+        yield from tc.compute("alu", 1)
+
+
+def _row_pre(tc, ivs, view):
+    """Sequential per-row code: the indirection lookup (non-collapsible)."""
+    (i,) = ivs
+    off = yield from tc.load(view["offsets"], i)
+    yield from tc.compute("alu", 1)
+    return {"base": int(off) * INNER}
+
+
+def _simd_body(tc, ivs, view):
+    i, j = ivs
+    yield from _element(tc, view, int(view["base"]), j)
+
+
+def program_baseline(n_rows: int):
+    """Two-level version: serial inner loop per thread."""
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(n_rows, body=_serial_body, uses=("offsets", "x", "y"), name="ideal.rows")
+        )
+    )
+
+
+def program_simd(n_rows: int):
+    """Three-level version: teams SPMD, parallel generic (per §6.3)."""
+    inner = omp.simd(
+        omp.loop(INNER, body=_simd_body, uses=("x", "y"), name="ideal.elements")
+    )
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(
+                n_rows,
+                nested=inner,
+                pre=_row_pre,
+                captures=[("base", "i64")],
+                uses=("offsets",),
+                name="ideal.rows",
+            )
+        )
+    )
+
+
+def _launch(device, data, prog, num_teams, team_size, simd_len, name):
+    args = {"offsets": data.offsets, "x": data.x, "y": data.y}
+    kernel = omp.compile(prog, tuple(args), name=name)
+    return omp.launch(
+        device, kernel, num_teams=num_teams, team_size=team_size,
+        simd_len=simd_len, args=args,
+    )
+
+
+def run_baseline(device: Device, data: IdealData, num_teams: int = 16, team_size: int = 128):
+    data.reset()
+    return _launch(device, data, program_baseline(data.n_rows), num_teams, team_size, 1, "ideal.2lvl")
+
+
+def run_simd(
+    device: Device,
+    data: IdealData,
+    simd_len: int = 32,
+    num_teams: int = 16,
+    team_size: int = 128,
+):
+    data.reset()
+    return _launch(device, data, program_simd(data.n_rows), num_teams, team_size, simd_len, "ideal.simd")

@@ -1,0 +1,193 @@
+"""laplace3d — 3-D heat-diffusion stencil (§6.4, Fig 10).
+
+A 7-point Jacobi update over the interior of a 3-D grid: three nested
+parallelizable loops, used by the paper to measure the *cost* of the simd
+implementation rather than its benefit.  "The execution modes of these
+kernels can be adjusted between generic and SPMD mode by changing whether
+or not the loops are tightly-nested" — exactly how the three variants here
+differ:
+
+* :func:`program_no_simd` — the reference point: two-level combined TDPF
+  over the collapsed (i, j, k) space; teams SPMD, group size 1.
+* :func:`program_spmd_simd` — TDPF over collapsed (i, j) + **tightly**
+  nested ``simd`` over k ⇒ parallel SPMD.
+* :func:`program_generic_simd` — identical except the (i, j) decode runs as
+  sequential per-iteration code feeding captures ⇒ non-tight ⇒ parallel
+  generic, paying the SIMD state machine and variable sharing (the ≈15 %
+  of Fig 10).
+
+All variants run the same launch geometry; Fig 10 uses SIMD group size 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import api as omp
+from repro.gpu.device import Device
+from repro.kernels.common import make_grid3d
+
+C0 = 0.4
+C1 = 0.1
+
+
+@dataclass
+class LaplaceData:
+    """Device-resident grid problem."""
+
+    nx: int
+    ny: int
+    nz: int
+    x_host: np.ndarray
+    x: object
+    y: object
+
+    def reset(self) -> None:
+        self.y.fill_from(np.zeros(self.nx * self.ny * self.nz))
+
+    def reference(self) -> np.ndarray:
+        x = self.x_host
+        out = np.zeros_like(x)
+        out[1:-1, 1:-1, 1:-1] = C0 * x[1:-1, 1:-1, 1:-1] + C1 * (
+            x[:-2, 1:-1, 1:-1]
+            + x[2:, 1:-1, 1:-1]
+            + x[1:-1, :-2, 1:-1]
+            + x[1:-1, 2:, 1:-1]
+            + x[1:-1, 1:-1, :-2]
+            + x[1:-1, 1:-1, 2:]
+        )
+        return out.reshape(-1)
+
+    def check(self, atol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.y.to_numpy(), self.reference(), atol=atol))
+
+
+def build_data(
+    device: Device, nx: int = 16, ny: int = 16, nz: int = 66, seed: int = 11
+) -> LaplaceData:
+    x_host = make_grid3d(nx, ny, nz, seed)
+    return LaplaceData(
+        nx=nx,
+        ny=ny,
+        nz=nz,
+        x_host=x_host,
+        x=device.from_array("lap.x", x_host.reshape(-1)),
+        y=device.from_array("lap.y", np.zeros(nx * ny * nz)),
+    )
+
+
+def _update(tc, view, nx, ny, nz, i, j, k):
+    """One 7-point stencil update at interior cell (i, j, k)."""
+    x, y = view["x"], view["y"]
+    c = (i * ny + j) * nz + k
+    # Centre and the two z-neighbours are contiguous: one access run.
+    mid = yield from tc.load_vec(x, (c - 1, c, c + 1))
+    n4 = yield from tc.load_vec(
+        x, (c - ny * nz, c + ny * nz, c - nz, c + nz)
+    )
+    yield from tc.compute("fma", 7)
+    val = C0 * mid[1] + C1 * (mid[0] + mid[2] + n4[0] + n4[1] + n4[2] + n4[3])
+    yield from tc.store(y, c, val)
+
+
+def _decode_ij(flat: int, ny: int):
+    return flat // (ny - 2) + 1, flat % (ny - 2) + 1
+
+
+def program_no_simd(nx: int, ny: int, nz: int):
+    """Two-level baseline: TDPF over the collapsed interior (i, j, k)."""
+    interior = (nx - 2) * (ny - 2) * (nz - 2)
+
+    def body(tc, ivs, view):
+        (flat,) = ivs
+        yield from tc.compute("alu", 4)  # 3-way index decode
+        ij, k = divmod(flat, nz - 2)
+        i, j = _decode_ij(ij, ny)
+        yield from _update(tc, view, nx, ny, nz, i, j, k + 1)
+
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(interior, body=body, uses=("x", "y"), name="lap.cells")
+        )
+    )
+
+
+def program_spmd_simd(nx: int, ny: int, nz: int):
+    """Three-level, tightly nested: parallel SPMD (Fig 10 "SPMD SIMD")."""
+    outer = (nx - 2) * (ny - 2)
+
+    def body(tc, ivs, view):
+        ij, k = ivs
+        yield from tc.compute("alu", 2)  # 2-way index decode, per element
+        i, j = _decode_ij(ij, ny)
+        yield from _update(tc, view, nx, ny, nz, i, j, k + 1)
+
+    inner = omp.simd(omp.loop(nz - 2, body=body, uses=("x", "y"), name="lap.z"))
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(outer, nested=inner, uses=(), name="lap.ij")
+        )
+    )
+
+
+def program_generic_simd(nx: int, ny: int, nz: int):
+    """Three-level, non-tight: parallel generic (Fig 10 "Generic SIMD")."""
+    outer = (nx - 2) * (ny - 2)
+
+    def pre(tc, ivs, view):
+        (ij,) = ivs
+        yield from tc.compute("alu", 2)
+        i, j = _decode_ij(ij, ny)
+        return {"i": i, "j": j}
+
+    def body(tc, ivs, view):
+        ij, k = ivs
+        yield from _update(
+            tc, view, nx, ny, nz, int(view["i"]), int(view["j"]), k + 1
+        )
+
+    inner = omp.simd(omp.loop(nz - 2, body=body, uses=("x", "y"), name="lap.z"))
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(
+                outer,
+                nested=inner,
+                pre=pre,
+                captures=[("i", "i64"), ("j", "i64")],
+                uses=(),
+                name="lap.ij",
+            )
+        )
+    )
+
+
+PROGRAMS = {
+    "no_simd": program_no_simd,
+    "spmd_simd": program_spmd_simd,
+    "generic_simd": program_generic_simd,
+}
+
+
+def run(
+    device: Device,
+    data: LaplaceData,
+    variant: str,
+    simd_len: int = 32,
+    num_teams: int = 16,
+    team_size: int = 128,
+):
+    """Launch one Fig 10 variant; group size 1 for the no-simd baseline."""
+    data.reset()
+    prog = PROGRAMS[variant](data.nx, data.ny, data.nz)
+    args = {"x": data.x, "y": data.y}
+    kernel = omp.compile(prog, tuple(args), name=f"laplace3d.{variant}")
+    return omp.launch(
+        device,
+        kernel,
+        num_teams=num_teams,
+        team_size=team_size,
+        simd_len=1 if variant == "no_simd" else simd_len,
+        args=args,
+    )

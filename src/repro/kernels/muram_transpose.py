@@ -1,0 +1,156 @@
+"""muram_transpose — 3-D array transpose from the MURaM port (§6.4, Fig 10).
+
+MURaM's radiative-MHD solver permutes its field arrays between sweep
+directions; this kernel transposes ``out[k, j, i] = in[i, j, k]`` over a
+3-D grid.  Reads along ``k`` are contiguous; writes scatter with stride
+``ny·nx`` — the transpose's inherent cost, identical in all variants.
+
+The three Fig 10 variants follow the same pattern as
+:mod:`repro.kernels.laplace3d`: a two-level collapsed baseline, a tightly
+nested ``simd`` over ``k`` (parallel SPMD), and a non-tight version whose
+per-(i, j) decode forces parallel generic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import api as omp
+from repro.gpu.device import Device
+from repro.kernels.common import make_grid3d
+
+
+@dataclass
+class TransposeData:
+    """Device-resident transpose problem."""
+
+    nx: int
+    ny: int
+    nz: int
+    x_host: np.ndarray
+    x: object
+    y: object
+
+    def reset(self) -> None:
+        self.y.fill_from(np.zeros(self.nx * self.ny * self.nz))
+
+    def reference(self) -> np.ndarray:
+        return np.transpose(self.x_host, (2, 1, 0)).reshape(-1).copy()
+
+    def check(self, atol: float = 1e-12) -> bool:
+        return bool(np.allclose(self.y.to_numpy(), self.reference(), atol=atol))
+
+
+def build_data(
+    device: Device, nx: int = 16, ny: int = 16, nz: int = 64, seed: int = 19
+) -> TransposeData:
+    x_host = make_grid3d(nx, ny, nz, seed)
+    return TransposeData(
+        nx=nx,
+        ny=ny,
+        nz=nz,
+        x_host=x_host,
+        x=device.from_array("tr.x", x_host.reshape(-1)),
+        y=device.from_array("tr.y", np.zeros(nx * ny * nz)),
+    )
+
+
+def _move(tc, view, nx, ny, nz, i, j, k):
+    v = yield from tc.load(view["x"], (i * ny + j) * nz + k)
+    yield from tc.compute("alu", 2)  # destination index arithmetic
+    yield from tc.store(view["y"], (k * ny + j) * nx + i, v)
+
+
+def program_no_simd(nx: int, ny: int, nz: int):
+    total = nx * ny * nz
+
+    def body(tc, ivs, view):
+        (flat,) = ivs
+        yield from tc.compute("alu", 4)
+        ij, k = divmod(flat, nz)
+        i, j = divmod(ij, ny)
+        yield from _move(tc, view, nx, ny, nz, i, j, k)
+
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(total, body=body, uses=("x", "y"), name="tr.cells")
+        )
+    )
+
+
+def program_spmd_simd(nx: int, ny: int, nz: int):
+    outer = nx * ny
+
+    def body(tc, ivs, view):
+        ij, k = ivs
+        yield from tc.compute("alu", 2)
+        i, j = divmod(ij, ny)
+        yield from _move(tc, view, nx, ny, nz, i, j, k)
+
+    inner = omp.simd(omp.loop(nz, body=body, uses=("x", "y"), name="tr.z"))
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(outer, nested=inner, uses=(), name="tr.ij")
+        )
+    )
+
+
+def program_generic_simd(nx: int, ny: int, nz: int):
+    outer = nx * ny
+
+    def pre(tc, ivs, view):
+        (ij,) = ivs
+        yield from tc.compute("alu", 2)
+        i, j = divmod(ij, ny)
+        return {"i": i, "j": j}
+
+    def body(tc, ivs, view):
+        ij, k = ivs
+        yield from _move(
+            tc, view, nx, ny, nz, int(view["i"]), int(view["j"]), k
+        )
+
+    inner = omp.simd(omp.loop(nz, body=body, uses=("x", "y"), name="tr.z"))
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            omp.loop(
+                outer,
+                nested=inner,
+                pre=pre,
+                captures=[("i", "i64"), ("j", "i64")],
+                uses=(),
+                name="tr.ij",
+            )
+        )
+    )
+
+
+PROGRAMS = {
+    "no_simd": program_no_simd,
+    "spmd_simd": program_spmd_simd,
+    "generic_simd": program_generic_simd,
+}
+
+
+def run(
+    device: Device,
+    data: TransposeData,
+    variant: str,
+    simd_len: int = 32,
+    num_teams: int = 16,
+    team_size: int = 128,
+):
+    data.reset()
+    prog = PROGRAMS[variant](data.nx, data.ny, data.nz)
+    args = {"x": data.x, "y": data.y}
+    kernel = omp.compile(prog, tuple(args), name=f"muram_transpose.{variant}")
+    return omp.launch(
+        device,
+        kernel,
+        num_teams=num_teams,
+        team_size=team_size,
+        simd_len=1 if variant == "no_simd" else simd_len,
+        args=args,
+    )

@@ -1,0 +1,295 @@
+"""sparse_matvec — CSR sparse matrix-vector product (§6.3, Fig 9).
+
+Adapted, as in the paper, from the OpenACC best-practices guide's SpMV.
+The inner (per-row) loop is short and its length varies with the matrix's
+sparsity; the product accumulation uses an **atomic update** because the
+paper's loop API did not yet support reductions (§6.2).
+
+Two parallelization strategies:
+
+* :func:`program_two_level` — the original two levels:
+  ``teams distribute`` over rows + ``parallel for`` over each row's
+  nonzeros.  The teams region runs **generic** (the team main schedules the
+  distribute loop), costing the extra main warp, per-row argument staging,
+  and two block barriers per row; with 32-thread teams most lanes idle on
+  short rows.
+* :func:`program_simd` — three levels: combined
+  ``teams distribute parallel for`` over rows (teams **SPMD**) + ``simd``
+  over each row's nonzeros (parallel **generic**, because the row-bounds
+  loads make the nesting non-tight).
+
+An optional reduction variant (:func:`program_simd_reduction`) exercises the
+future-work extension for ablation A5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import api as omp
+from repro.gpu.device import Device
+from repro.kernels.common import CSRMatrix, make_csr
+
+
+@dataclass
+class SpmvData:
+    """Device-resident CSR problem."""
+
+    csr: CSRMatrix
+    row_ptr: object
+    col_idx: object
+    values: object
+    x: object
+    y: object
+
+    @property
+    def n_rows(self) -> int:
+        return self.csr.n_rows
+
+    def reset(self) -> None:
+        self.y.fill_from(np.zeros(self.csr.n_rows))
+
+    def reference(self) -> np.ndarray:
+        return self.csr.matvec()
+
+    def check(self, atol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.y.to_numpy(), self.reference(), atol=atol))
+
+
+def build_data(
+    device: Device,
+    n_rows: int = 512,
+    n_cols: int = 512,
+    mean_nnz: float = 10.0,
+    skew: float = 0.6,
+    seed: int = 7,
+) -> SpmvData:
+    """Generate a CSR matrix and move it to the device."""
+    csr = make_csr(n_rows, n_cols, mean_nnz, skew, seed)
+    return SpmvData(
+        csr=csr,
+        row_ptr=device.from_array("spmv.row_ptr", csr.row_ptr),
+        col_idx=device.from_array("spmv.col_idx", csr.col_idx),
+        values=device.from_array("spmv.values", csr.values),
+        x=device.from_array("spmv.x", csr.x),
+        y=device.from_array("spmv.y", np.zeros(n_rows)),
+    )
+
+
+ARGS = ("row_ptr", "col_idx", "values", "x", "y")
+
+
+def _row_bounds_pre(tc, ivs, view):
+    """Per-row sequential code: load the CSR row bounds."""
+    (row,) = ivs
+    bounds = yield from tc.load_vec(view["row_ptr"], (row, row + 1))
+    yield from tc.compute("alu", 1)
+    return {"row_start": int(bounds[0]), "row_len": int(bounds[1] - bounds[0])}
+
+
+def _inner_trip(view, row):
+    """Trip-count callback of the inner loop (bounds already in captures)."""
+    return view["row_len"]
+
+
+def _element_body(tc, ivs, view):
+    """One nonzero: ``y[row] += values[e] * x[col_idx[e]]`` (atomic)."""
+    row, j = ivs
+    e = int(view["row_start"]) + j
+    col = yield from tc.load(view["col_idx"], e)
+    val = yield from tc.load(view["values"], e)
+    xv = yield from tc.load(view["x"], int(col))
+    yield from tc.compute("fma", 1)
+    yield from tc.atomic_add(view["y"], row, float(val) * float(xv))
+
+
+def program_two_level(n_rows: int):
+    """Two-level baseline: ``teams distribute`` + ``parallel for``."""
+    inner = omp.parallel_for(
+        omp.loop(
+            _inner_trip,
+            body=_element_body,
+            uses=("col_idx", "values", "x", "y"),
+            name="spmv.elements",
+        )
+    )
+    outer = omp.teams_distribute(
+        omp.loop(
+            n_rows,
+            nested=inner,
+            pre=_row_bounds_pre,
+            captures=[("row_start", "i64"), ("row_len", "i64")],
+            uses=("row_ptr",),
+            name="spmv.rows",
+        )
+    )
+    return omp.target(outer)
+
+
+def program_simd(n_rows: int):
+    """Three-level version: combined TDPF over rows + ``simd`` over nonzeros."""
+    inner = omp.simd(
+        omp.loop(
+            _inner_trip,
+            body=_element_body,
+            uses=("col_idx", "values", "x", "y"),
+            name="spmv.elements",
+        )
+    )
+    outer = omp.teams_distribute_parallel_for(
+        omp.loop(
+            n_rows,
+            nested=inner,
+            pre=_row_bounds_pre,
+            captures=[("row_start", "i64"), ("row_len", "i64")],
+            uses=("row_ptr",),
+            name="spmv.rows",
+        )
+    )
+    return omp.target(outer)
+
+
+def _element_value_body(tc, ivs, view):
+    """Reduction-variant body: returns the product instead of atomics."""
+    row, j = ivs
+    e = int(view["row_start"]) + j
+    col = yield from tc.load(view["col_idx"], e)
+    val = yield from tc.load(view["values"], e)
+    xv = yield from tc.load(view["x"], int(col))
+    yield from tc.compute("fma", 1)
+    return float(val) * float(xv)
+
+
+def _store_row_sum(tc, ivs, view, total):
+    """Reduction finalizer: the SIMD main thread stores the row sum."""
+    (row,) = ivs
+    yield from tc.store(view["y"], row, total)
+
+
+def program_simd_reduction(n_rows: int):
+    """Extension variant: simd-group reduction instead of atomic updates."""
+    inner = omp.simd(
+        omp.loop(
+            _inner_trip,
+            body=_element_value_body,
+            uses=("col_idx", "values", "x", "y"),
+            name="spmv.elements.red",
+        ),
+        reduction=("add", _store_row_sum),
+    )
+    outer = omp.teams_distribute_parallel_for(
+        omp.loop(
+            n_rows,
+            nested=inner,
+            pre=_row_bounds_pre,
+            captures=[("row_start", "i64"), ("row_len", "i64")],
+            uses=("row_ptr",),
+            name="spmv.rows",
+        )
+    )
+    return omp.target(outer)
+
+
+def program_simd_dynamic(n_rows: int, chunk: int = 2):
+    """Three-level version with ``schedule(dynamic)`` row claims.
+
+    On skewed matrices the static-cyclic schedule leaves groups that drew
+    short rows idle while long-row groups straggle; dynamic claiming from
+    the team's atomic counter load-balances at the price of one atomic per
+    chunk (an extension exercised by ablation A6).
+    """
+    inner = omp.simd(
+        omp.loop(
+            _inner_trip,
+            body=_element_body,
+            uses=("col_idx", "values", "x", "y"),
+            name="spmv.elements",
+        )
+    )
+    outer = omp.teams_distribute_parallel_for(
+        omp.loop(
+            n_rows,
+            nested=inner,
+            pre=_row_bounds_pre,
+            captures=[("row_start", "i64"), ("row_len", "i64")],
+            uses=("row_ptr",),
+            name="spmv.rows",
+        ),
+        schedule="dynamic",
+        chunk=chunk,
+    )
+    return omp.target(outer)
+
+
+def _launch(device, data, prog, num_teams, team_size, simd_len, name, sharing_bytes=2048):
+    args = {
+        "row_ptr": data.row_ptr,
+        "col_idx": data.col_idx,
+        "values": data.values,
+        "x": data.x,
+        "y": data.y,
+    }
+    kernel = omp.compile(prog, tuple(args), name=name)
+    return omp.launch(
+        device,
+        kernel,
+        num_teams=num_teams,
+        team_size=team_size,
+        simd_len=simd_len,
+        args=args,
+        sharing_bytes=sharing_bytes,
+    )
+
+
+def run_two_level(device: Device, data: SpmvData, num_teams: int = 32, team_size: int = 32):
+    """Launch the baseline (paper geometry: 32-thread teams, group size 1)."""
+    data.reset()
+    return _launch(device, data, program_two_level(data.n_rows), num_teams, team_size, 1, "spmv.2lvl")
+
+
+def run_simd(
+    device: Device,
+    data: SpmvData,
+    simd_len: int = 8,
+    num_teams: int = 32,
+    team_size: int = 128,
+    sharing_bytes: int = 2048,
+):
+    """Launch the three-level version with the given SIMD group size."""
+    data.reset()
+    return _launch(
+        device, data, program_simd(data.n_rows), num_teams, team_size, simd_len,
+        "spmv.simd", sharing_bytes,
+    )
+
+
+def run_simd_dynamic(
+    device: Device,
+    data: SpmvData,
+    simd_len: int = 8,
+    num_teams: int = 32,
+    team_size: int = 128,
+    chunk: int = 2,
+):
+    """Launch the dynamic-schedule variant (ablation A6)."""
+    data.reset()
+    return _launch(
+        device, data, program_simd_dynamic(data.n_rows, chunk), num_teams,
+        team_size, simd_len, "spmv.dyn",
+    )
+
+
+def run_simd_reduction(
+    device: Device,
+    data: SpmvData,
+    simd_len: int = 8,
+    num_teams: int = 32,
+    team_size: int = 128,
+):
+    """Launch the reduction-extension variant (ablation A5)."""
+    data.reset()
+    return _launch(
+        device, data, program_simd_reduction(data.n_rows), num_teams, team_size, simd_len, "spmv.red"
+    )

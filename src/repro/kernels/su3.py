@@ -1,0 +1,168 @@
+"""SU3_bench — lattice QCD SU(3) matrix-matrix multiply (§6.3, Fig 9).
+
+Per lattice site, four link matrices are multiplied by the site matrix:
+``C[s, l] = A[s, l] @ B[s]`` over complex 3×3 — 4 links × 9 output elements
+= the paper's **36-iteration inner loop**, "originally executed serially by
+each thread".
+
+* :func:`program_baseline` — two levels: combined TDPF over sites; each
+  thread runs the 36 iterations serially.  With the AoS site-major layout,
+  adjacent lanes work on different sites, so every load is a strided,
+  uncoalesced access.
+* :func:`program_simd` — ``simd`` over the 36 iterations, tightly nested:
+  **both** teams and parallel regions run SPMD, exactly as §6.3 states.
+  Lanes of a group cover adjacent ``(l, i, j)`` elements of one site, so
+  loads of ``A`` rows broadcast and loads of ``B`` columns coalesce.
+
+Element work for iteration ``t``: decode ``(l, i, j) = (t//9, (t%9)//3,
+t%3)``, then ``C[l,i,j] = Σ_k A[l,i,k] * B[k,j]`` — 6 complex loads, 3
+complex FMAs (12 real mul-adds), one complex store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import api as omp
+from repro.gpu.device import Device
+from repro.kernels.common import make_complex_matrices, su3_reference
+
+LINKS = 4
+INNER_TRIP = LINKS * 9  # the paper's 36
+
+
+@dataclass
+class Su3Data:
+    """Device-resident SU3_bench problem."""
+
+    sites: int
+    a_host: np.ndarray
+    b_host: np.ndarray
+    a: object
+    b: object
+    c: object
+
+    def reset(self) -> None:
+        self.c.fill_from(np.zeros(self.sites * LINKS * 9 * 2))
+
+    def reference(self) -> np.ndarray:
+        return su3_reference(self.a_host, self.b_host).reshape(-1)
+
+    def check(self, atol: float = 1e-9) -> bool:
+        return bool(np.allclose(self.c.to_numpy(), self.reference(), atol=atol))
+
+
+def build_data(device: Device, sites: int = 1024, seed: int = 13) -> Su3Data:
+    a_host, b_host = make_complex_matrices(sites, LINKS, seed)
+    return Su3Data(
+        sites=sites,
+        a_host=a_host,
+        b_host=b_host,
+        a=device.from_array("su3.a", a_host.reshape(-1)),
+        b=device.from_array("su3.b", b_host.reshape(-1)),
+        c=device.alloc("su3.c", sites * LINKS * 9 * 2, np.float64),
+    )
+
+
+def _a_base(site: int, l: int, i: int) -> int:
+    """Flat offset of A[site, l, i, 0, re] in the interleaved layout."""
+    return ((site * LINKS + l) * 3 + i) * 3 * 2
+
+
+def _b_base(site: int, k: int) -> int:
+    return (site * 3 + k) * 3 * 2
+
+
+def _element(tc, view, site: int, t: int):
+    """Compute one (l, i, j) output element of one site."""
+    l, r = divmod(t, 9)
+    i, j = divmod(r, 3)
+    yield from tc.compute("alu", 3)  # index decode
+    a_row = _a_base(site, l, i)
+    # A row (i, :) — 3 complex = 6 floats, contiguous: one unrolled run.
+    avals = yield from tc.load_vec(view["a"], range(a_row, a_row + 6))
+    # B column (:, j) — strided by row: three 2-float runs.
+    bvals = yield from tc.load_vec(
+        view["b"],
+        (
+            _b_base(site, 0) + 2 * j, _b_base(site, 0) + 2 * j + 1,
+            _b_base(site, 1) + 2 * j, _b_base(site, 1) + 2 * j + 1,
+            _b_base(site, 2) + 2 * j, _b_base(site, 2) + 2 * j + 1,
+        ),
+    )
+    cre = cim = 0.0
+    for k in range(3):
+        ar, ai = avals[2 * k], avals[2 * k + 1]
+        br, bi = bvals[2 * k], bvals[2 * k + 1]
+        cre += ar * br - ai * bi
+        cim += ar * bi + ai * br
+    yield from tc.compute("fma", 12)
+    out = ((site * LINKS + l) * 9 + i * 3 + j) * 2
+    yield from tc.store_vec(view["c"], (out, out + 1), (cre, cim))
+
+
+def _serial_body(tc, ivs, view):
+    """Baseline leaf: one thread runs the 36-iteration loop serially.
+
+    This is the paper's starting point — "a small inner-loop with 36 total
+    iterations that was originally executed serially by each thread"
+    (§6.3): the element body executes as-is, iteration after iteration, so
+    the thread's dependent load chains stack up and its warp-mates' strided
+    accesses never coalesce.
+    """
+    (site,) = ivs
+    for t in range(INNER_TRIP):
+        yield from _element(tc, view, site, t)
+        yield from tc.compute("alu", 1)
+
+
+def _simd_body(tc, ivs, view):
+    """SIMD leaf: one element of one site per loop-task invocation."""
+    site, t = ivs
+    yield from _element(tc, view, site, t)
+
+
+def program_baseline(sites: int):
+    """Two-level version: serial 36-iteration loop per thread."""
+    outer = omp.teams_distribute_parallel_for(
+        omp.loop(sites, body=_serial_body, uses=("a", "b", "c"), name="su3.sites")
+    )
+    return omp.target(outer)
+
+
+def program_simd(sites: int):
+    """Three-level version: tight ``simd`` over the 36 elements (all SPMD)."""
+    inner = omp.simd(
+        omp.loop(INNER_TRIP, body=_simd_body, uses=("a", "b", "c"), name="su3.elements")
+    )
+    outer = omp.teams_distribute_parallel_for(
+        omp.loop(sites, nested=inner, uses=(), name="su3.sites")
+    )
+    return omp.target(outer)
+
+
+def _launch(device, data, prog, num_teams, team_size, simd_len, name):
+    args = {"a": data.a, "b": data.b, "c": data.c}
+    kernel = omp.compile(prog, tuple(args), name=name)
+    return omp.launch(
+        device, kernel, num_teams=num_teams, team_size=team_size,
+        simd_len=simd_len, args=args,
+    )
+
+
+def run_baseline(device: Device, data: Su3Data, num_teams: int = 16, team_size: int = 128):
+    data.reset()
+    return _launch(device, data, program_baseline(data.sites), num_teams, team_size, 1, "su3.2lvl")
+
+
+def run_simd(
+    device: Device,
+    data: Su3Data,
+    simd_len: int = 4,
+    num_teams: int = 16,
+    team_size: int = 128,
+):
+    data.reset()
+    return _launch(device, data, program_simd(data.sites), num_teams, team_size, simd_len, "su3.simd")

@@ -1,0 +1,30 @@
+"""Experiment harness regenerating the paper's evaluation (Figs 9 and 10).
+
+* :mod:`repro.perf.experiment` — one function per figure series, returning
+  structured results with paper reference values attached;
+* :mod:`repro.perf.sweep` — generic group-size / mode / parameter sweeps;
+* :mod:`repro.perf.report` — speedup tables, ASCII bar charts, and the
+  EXPERIMENTS.md row format.
+"""
+
+from repro.perf.experiment import (
+    PAPER_FIG9,
+    PAPER_FIG10,
+    Fig9Result,
+    Fig10Result,
+    run_fig9,
+    run_fig10,
+)
+from repro.perf.report import ascii_bars, fig9_table, fig10_table
+
+__all__ = [
+    "PAPER_FIG9",
+    "PAPER_FIG10",
+    "Fig9Result",
+    "Fig10Result",
+    "ascii_bars",
+    "fig9_table",
+    "fig10_table",
+    "run_fig9",
+    "run_fig10",
+]

@@ -1,0 +1,95 @@
+"""Regenerate the paper's evaluation from the command line.
+
+Usage::
+
+    python -m repro.perf                  # print Fig 9 + Fig 10 series
+    python -m repro.perf --quick          # small problem sizes
+    python -m repro.perf --markdown PATH  # also write EXPERIMENTS.md rows
+
+Every run verifies numerical correctness against the NumPy references and
+prints each figure series next to the paper's reference points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.experiment import (
+    PAPER_FIG9,
+    PAPER_FIG10,
+    run_fig9,
+    run_fig10,
+)
+from repro.perf.report import (
+    experiments_md_fig9,
+    experiments_md_fig10,
+    fig9_table,
+    fig10_table,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Reproduce the paper's Fig 9 / Fig 10 evaluation.",
+    )
+    parser.add_argument("--quick", action="store_true", help="small problems")
+    parser.add_argument(
+        "--markdown", metavar="PATH", help="write markdown result rows to PATH"
+    )
+    parser.add_argument(
+        "--svg", metavar="DIR", help="write one SVG figure per series into DIR"
+    )
+    parser.add_argument(
+        "--only",
+        choices=sorted(PAPER_FIG9) + sorted(PAPER_FIG10),
+        help="run a single series",
+    )
+    args = parser.parse_args(argv)
+
+    fig9_results, fig10_results = [], []
+    for kernel in sorted(PAPER_FIG9):
+        if args.only and args.only != kernel:
+            continue
+        r = run_fig9(kernel, quick=args.quick)
+        fig9_results.append(r)
+        print(fig9_table(r))
+        print()
+    for kernel in sorted(PAPER_FIG10):
+        if args.only and args.only != kernel:
+            continue
+        r = run_fig10(kernel, quick=args.quick)
+        fig10_results.append(r)
+        print(fig10_table(r))
+        print()
+
+    if args.svg:
+        import os
+
+        from repro.perf.plots import fig9_svg, fig10_svg, save_svg
+
+        os.makedirs(args.svg, exist_ok=True)
+        for r in fig9_results:
+            path = os.path.join(args.svg, f"fig9_{r.kernel}.svg")
+            save_svg(fig9_svg(r), path)
+            print(f"wrote {path}")
+        for r in fig10_results:
+            path = os.path.join(args.svg, f"fig10_{r.kernel}.svg")
+            save_svg(fig10_svg(r), path)
+            print(f"wrote {path}")
+
+    if args.markdown:
+        parts = []
+        if fig9_results:
+            parts += ["### Fig 9 (measured)", "", experiments_md_fig9(fig9_results), ""]
+        if fig10_results:
+            parts += ["### Fig 10 (measured)", "", experiments_md_fig10(fig10_results), ""]
+        with open(args.markdown, "w") as fh:
+            fh.write("\n".join(parts))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

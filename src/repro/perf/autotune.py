@@ -1,0 +1,74 @@
+"""Group-size auto-tuning — §6.5's advice, mechanized.
+
+The paper's best-practices section ends with "It is likely best to
+experiment with the different options to see which fits the specific
+scenario best"; :func:`best_simd_len` does that experiment: run the caller's
+kernel at every candidate group size, verify each run, and return the
+cheapest.  Candidates default to the divisors of the warp size, optionally
+filtered to those minimizing lane waste for a known inner trip count (the
+paper's "choosing sizes that best evenly divide our loop trip count").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a group-size tuning sweep."""
+
+    best: int
+    cycles: Dict[int, float]
+
+    @property
+    def speedup_over_worst(self) -> float:
+        return max(self.cycles.values()) / self.cycles[self.best]
+
+    def describe(self) -> str:
+        lines = [f"best simd_len: {self.best}"]
+        for g in sorted(self.cycles):
+            mark = "  <-" if g == self.best else ""
+            lines.append(f"  g={g:<3} {self.cycles[g]:>12,.0f} cycles{mark}")
+        return "\n".join(lines)
+
+
+def lane_waste(trip: int, group: int) -> float:
+    """Fraction of lane-slots idle when ``group`` lanes share ``trip`` work."""
+    if trip <= 0:
+        return 0.0
+    passes = -(-trip // group)
+    return (passes * group - trip) / (passes * group)
+
+
+def candidate_groups(
+    warp_size: int = 32,
+    inner_trip: Optional[int] = None,
+    max_waste: float = 1.0,
+) -> Tuple[int, ...]:
+    """Valid group sizes (divisors of the warp), waste-filtered if possible.
+
+    With ``inner_trip`` given, candidates wasting more than ``max_waste``
+    are dropped — unless that would drop everything, in which case the
+    full divisor list is returned (never return an empty search space).
+    """
+    divisors = tuple(g for g in (1, 2, 4, 8, 16, 32, 64) if warp_size % g == 0 and g <= warp_size)
+    if inner_trip is None:
+        return divisors
+    filtered = tuple(g for g in divisors if lane_waste(inner_trip, g) <= max_waste)
+    return filtered or divisors
+
+
+def best_simd_len(
+    run: Callable[[int], float],
+    groups: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> TuneResult:
+    """Run ``run(simd_len) -> cycles`` for each candidate; return the best.
+
+    ``run`` is expected to build a fresh device, launch, verify
+    correctness, and return the cost-model cycles.
+    """
+    cycles = {int(g): float(run(int(g))) for g in groups}
+    best = min(cycles, key=cycles.get)
+    return TuneResult(best=best, cycles=cycles)

@@ -1,0 +1,214 @@
+"""Experiment definitions for the paper's two result figures.
+
+Every experiment runs on the documented benchmark device profile
+(:func:`repro.gpu.costmodel.benchmark_profile`) with geometries recorded in
+:data:`FIG9_CONFIGS` / :data:`FIG10_CONFIG`, verifies numerical correctness
+against the kernel's NumPy reference on every launch, and returns speedups
+computed from cost-model cycles.  The paper's reference numbers (what Figs
+9 and 10 show) are attached for the side-by-side in EXPERIMENTS.md.
+
+``quick=True`` shrinks the problems ~4× for use inside the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.gpu.costmodel import CostParams, benchmark_profile
+from repro.gpu.device import Device
+from repro.kernels import ideal, laplace3d, muram_interpol, muram_transpose
+from repro.kernels import sparse_matvec, su3
+
+#: SIMD group sizes swept in Fig 9.
+FIG9_GROUPS = (2, 4, 8, 16, 32)
+
+#: Fig 9 reference points from the paper's text (§6.3).
+PAPER_FIG9 = {
+    "sparse_matvec": {"best_group": 8, "max_speedup": 3.5},
+    "su3_bench": {"best_group": 4, "max_speedup": 1.3},
+    "benchmark_kernel": {"best_group": 32, "max_speedup": 2.15},
+}
+
+#: Fig 10 reference points (§6.4): relative speedup vs the "No SIMD" build.
+PAPER_FIG10 = {
+    "laplace3d": {"spmd_simd": 1.02, "generic_simd": 0.85},
+    "muram_transpose": {"spmd_simd": 1.00, "generic_simd": 0.85},
+    "muram_interpol": {"spmd_simd": 1.02, "generic_simd": 0.85},
+}
+
+#: Launch geometry per Fig 9 kernel: (baseline kwargs, simd kwargs, data kwargs).
+FIG9_CONFIGS = {
+    "sparse_matvec": {
+        "data": {"n_rows": 512, "n_cols": 512, "mean_nnz": 12.0},
+        "base": {"num_teams": 16, "team_size": 32},
+        "simd": {"num_teams": 16, "team_size": 256},
+        "quick_data": {"n_rows": 128, "n_cols": 128, "mean_nnz": 10.0},
+        "quick_base": {"num_teams": 8, "team_size": 32},
+        "quick_simd": {"num_teams": 8, "team_size": 128},
+    },
+    "su3_bench": {
+        "data": {"sites": 2048},
+        "base": {"num_teams": 16, "team_size": 128},
+        "simd": {"num_teams": 16, "team_size": 128},
+        "quick_data": {"sites": 512},
+        "quick_base": {"num_teams": 8, "team_size": 64},
+        "quick_simd": {"num_teams": 8, "team_size": 64},
+    },
+    "benchmark_kernel": {
+        "data": {"n_rows": 256},
+        "base": {"num_teams": 16, "team_size": 128},
+        "simd": {"num_teams": 16, "team_size": 128},
+        "quick_data": {"n_rows": 128},
+        "quick_base": {"num_teams": 8, "team_size": 64},
+        "quick_simd": {"num_teams": 8, "team_size": 64},
+    },
+}
+
+FIG10_CONFIG = {
+    "data": {"nx": 16, "ny": 16},
+    "launch": {"num_teams": 16, "team_size": 128, "simd_len": 32},
+    "quick_data": {"nx": 8, "ny": 8},
+    "quick_launch": {"num_teams": 8, "team_size": 64, "simd_len": 32},
+}
+
+FIG10_KERNELS = {
+    "laplace3d": laplace3d,
+    "muram_transpose": muram_transpose,
+    "muram_interpol": muram_interpol,
+}
+
+FIG10_VARIANTS = ("no_simd", "spmd_simd", "generic_simd")
+
+
+@dataclass
+class Fig9Result:
+    """One Fig 9 series: speedup over the two-level baseline per group size."""
+
+    kernel: str
+    baseline_cycles: float
+    cycles: Dict[int, float]
+    speedups: Dict[int, float]
+    paper: Dict[str, float]
+
+    @property
+    def best_group(self) -> int:
+        return max(self.speedups, key=self.speedups.get)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(self.speedups.values())
+
+
+@dataclass
+class Fig10Result:
+    """One Fig 10 series: relative speedup of each variant vs "No SIMD"."""
+
+    kernel: str
+    cycles: Dict[str, float]
+    relative: Dict[str, float]
+    paper: Dict[str, float]
+
+
+def _check(data, label: str) -> None:
+    if not data.check():
+        raise ReproError(f"{label}: device result does not match the reference")
+
+
+def _device(params: Optional[CostParams]) -> Device:
+    return Device(params if params is not None else benchmark_profile())
+
+
+def run_fig9_sparse(params=None, quick: bool = False) -> Fig9Result:
+    cfg = FIG9_CONFIGS["sparse_matvec"]
+    dev = _device(params)
+    data = sparse_matvec.build_data(dev, **cfg["quick_data" if quick else "data"])
+    base = sparse_matvec.run_two_level(
+        dev, data, **cfg["quick_base" if quick else "base"]
+    )
+    _check(data, "sparse_matvec baseline")
+    cycles, speed = {}, {}
+    for g in FIG9_GROUPS:
+        r = sparse_matvec.run_simd(
+            dev, data, simd_len=g, **cfg["quick_simd" if quick else "simd"]
+        )
+        _check(data, f"sparse_matvec simd g={g}")
+        cycles[g] = r.cycles
+        speed[g] = base.cycles / r.cycles
+    return Fig9Result(
+        "sparse_matvec", base.cycles, cycles, speed, PAPER_FIG9["sparse_matvec"]
+    )
+
+
+def run_fig9_su3(params=None, quick: bool = False) -> Fig9Result:
+    cfg = FIG9_CONFIGS["su3_bench"]
+    dev = _device(params)
+    data = su3.build_data(dev, **cfg["quick_data" if quick else "data"])
+    base = su3.run_baseline(dev, data, **cfg["quick_base" if quick else "base"])
+    _check(data, "su3 baseline")
+    cycles, speed = {}, {}
+    for g in FIG9_GROUPS:
+        r = su3.run_simd(dev, data, simd_len=g, **cfg["quick_simd" if quick else "simd"])
+        _check(data, f"su3 simd g={g}")
+        cycles[g] = r.cycles
+        speed[g] = base.cycles / r.cycles
+    return Fig9Result("su3_bench", base.cycles, cycles, speed, PAPER_FIG9["su3_bench"])
+
+
+def run_fig9_ideal(params=None, quick: bool = False) -> Fig9Result:
+    cfg = FIG9_CONFIGS["benchmark_kernel"]
+    dev = _device(params)
+    data = ideal.build_data(dev, **cfg["quick_data" if quick else "data"])
+    base = ideal.run_baseline(dev, data, **cfg["quick_base" if quick else "base"])
+    _check(data, "benchmark kernel baseline")
+    cycles, speed = {}, {}
+    for g in FIG9_GROUPS:
+        r = ideal.run_simd(
+            dev, data, simd_len=g, **cfg["quick_simd" if quick else "simd"]
+        )
+        _check(data, f"benchmark kernel simd g={g}")
+        cycles[g] = r.cycles
+        speed[g] = base.cycles / r.cycles
+    return Fig9Result(
+        "benchmark_kernel", base.cycles, cycles, speed, PAPER_FIG9["benchmark_kernel"]
+    )
+
+
+FIG9_RUNNERS: Dict[str, Callable] = {
+    "sparse_matvec": run_fig9_sparse,
+    "su3_bench": run_fig9_su3,
+    "benchmark_kernel": run_fig9_ideal,
+}
+
+
+def run_fig9(kernel: str, params=None, quick: bool = False) -> Fig9Result:
+    """Run one Fig 9 series by kernel name."""
+    try:
+        runner = FIG9_RUNNERS[kernel]
+    except KeyError:
+        raise ReproError(
+            f"unknown Fig 9 kernel {kernel!r}; expected {sorted(FIG9_RUNNERS)}"
+        ) from None
+    return runner(params=params, quick=quick)
+
+
+def run_fig10(kernel: str, params=None, quick: bool = False) -> Fig10Result:
+    """Run one Fig 10 series (three variants) by kernel name."""
+    try:
+        mod = FIG10_KERNELS[kernel]
+    except KeyError:
+        raise ReproError(
+            f"unknown Fig 10 kernel {kernel!r}; expected {sorted(FIG10_KERNELS)}"
+        ) from None
+    dev = _device(params)
+    data = mod.build_data(dev, **FIG10_CONFIG["quick_data" if quick else "data"])
+    launch = FIG10_CONFIG["quick_launch" if quick else "launch"]
+    cycles: Dict[str, float] = {}
+    for variant in FIG10_VARIANTS:
+        r = mod.run(dev, data, variant, **launch)
+        _check(data, f"{kernel} {variant}")
+        cycles[variant] = r.cycles
+    base = cycles["no_simd"]
+    relative = {v: base / cycles[v] for v in FIG10_VARIANTS}
+    return Fig10Result(kernel, cycles, relative, PAPER_FIG10[kernel])

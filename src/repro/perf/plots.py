@@ -1,0 +1,114 @@
+"""Dependency-free SVG rendering of the reproduction figures.
+
+``python -m repro.perf --svg DIR`` (and the benches, via these helpers)
+writes stand-alone SVG files for Fig 9 (grouped bars of speedup per SIMD
+group size, with the paper's reference line) and Fig 10 (relative speedup
+bars per variant).  Hand-rolled SVG keeps the repository free of plotting
+dependencies while still producing figures a reader can open.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.perf.experiment import Fig9Result, Fig10Result
+
+_FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+
+def _svg_header(width: int, height: int, title: str) -> List[str]:
+    return [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>",
+        f"<rect width='{width}' height='{height}' fill='white'/>",
+        f"<text x='{width / 2}' y='22' text-anchor='middle' {_FONT} "
+        f"font-size='15' font-weight='bold'>{title}</text>",
+    ]
+
+
+def _bars(
+    values: Dict, width: int, height: int, y0: float, unit: str, ref: float = None
+) -> List[str]:
+    """Vertical bars with value labels and an optional reference line."""
+    parts: List[str] = []
+    margin_l, margin_r, margin_b = 56, 18, 42
+    plot_w = width - margin_l - margin_r
+    plot_h = height - y0 - margin_b
+    peak = max(list(values.values()) + ([ref] if ref else [])) * 1.15 or 1.0
+    n = len(values)
+    slot = plot_w / n
+    bar_w = slot * 0.6
+
+    # y axis + gridlines
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y0 + plot_h * (1 - frac)
+        val = peak * frac
+        parts.append(
+            f"<line x1='{margin_l}' y1='{y:.1f}' x2='{width - margin_r}' "
+            f"y2='{y:.1f}' stroke='#ddd'/>"
+        )
+        parts.append(
+            f"<text x='{margin_l - 6}' y='{y + 4:.1f}' text-anchor='end' "
+            f"{_FONT} font-size='10' fill='#555'>{val:.2f}</text>"
+        )
+    for i, (label, value) in enumerate(values.items()):
+        x = margin_l + i * slot + (slot - bar_w) / 2
+        h = plot_h * value / peak
+        y = y0 + plot_h - h
+        parts.append(
+            f"<rect x='{x:.1f}' y='{y:.1f}' width='{bar_w:.1f}' "
+            f"height='{h:.1f}' fill='#4878a8'/>"
+        )
+        parts.append(
+            f"<text x='{x + bar_w / 2:.1f}' y='{y - 4:.1f}' text-anchor='middle' "
+            f"{_FONT} font-size='10'>{value:.2f}{unit}</text>"
+        )
+        parts.append(
+            f"<text x='{x + bar_w / 2:.1f}' y='{y0 + plot_h + 16:.1f}' "
+            f"text-anchor='middle' {_FONT} font-size='11'>{label}</text>"
+        )
+    if ref is not None:
+        y = y0 + plot_h * (1 - ref / peak)
+        parts.append(
+            f"<line x1='{margin_l}' y1='{y:.1f}' x2='{width - margin_r}' "
+            f"y2='{y:.1f}' stroke='#c0392b' stroke-dasharray='6,3'/>"
+        )
+        parts.append(
+            f"<text x='{width - margin_r}' y='{y - 5:.1f}' text-anchor='end' "
+            f"{_FONT} font-size='10' fill='#c0392b'>paper max {ref:.2f}</text>"
+        )
+    return parts
+
+
+def fig9_svg(result: Fig9Result, width: int = 520, height: int = 320) -> str:
+    """Render one Fig 9 series (speedup vs group size) as an SVG string."""
+    parts = _svg_header(
+        width, height,
+        f"Fig 9 — {result.kernel}: speedup vs SIMD group size",
+    )
+    values = {str(g): s for g, s in sorted(result.speedups.items())}
+    parts += _bars(values, width, height, y0=40, unit="x",
+                   ref=result.paper["max_speedup"])
+    parts.append(
+        f"<text x='{width / 2}' y='{height - 8}' text-anchor='middle' "
+        f"{_FONT} font-size='11' fill='#555'>SIMD group size "
+        f"(baseline: two-level, {result.baseline_cycles:,.0f} cycles)</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def fig10_svg(result: Fig10Result, width: int = 460, height: int = 300) -> str:
+    """Render one Fig 10 series (relative speedup per variant) as SVG."""
+    parts = _svg_header(
+        width, height,
+        f"Fig 10 — {result.kernel}: relative speedup vs No-SIMD",
+    )
+    parts += _bars(dict(result.relative), width, height, y0=40, unit="x", ref=1.0)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(svg)

@@ -1,0 +1,120 @@
+"""Result formatting: tables, ASCII figures, EXPERIMENTS.md rows.
+
+The benches print these so a run of ``pytest benchmarks/ --benchmark-only``
+reproduces the paper's figures as text next to the wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.perf.experiment import Fig9Result, Fig10Result
+
+
+def ascii_bars(
+    series: Dict, width: int = 40, fmt: str = "{:>10}", unit: str = "x"
+) -> str:
+    """Horizontal ASCII bar chart of a label → value mapping."""
+    if not series:
+        return "(empty)"
+    peak = max(series.values())
+    lines = []
+    for label, value in series.items():
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(f"{fmt.format(str(label))} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def fig9_table(result: Fig9Result) -> str:
+    """Fig 9 series as a markdown-ish table with the paper reference."""
+    lines = [
+        f"Fig 9 — {result.kernel}: speedup over the two-level baseline "
+        f"({result.baseline_cycles:.0f} cycles)",
+        "  group   speedup   cycles",
+    ]
+    for g, s in sorted(result.speedups.items()):
+        marker = "  <- best" if g == result.best_group else ""
+        lines.append(f"  {g:>5}   {s:6.2f}x   {result.cycles[g]:9.0f}{marker}")
+    lines.append(
+        f"  paper: max {result.paper['max_speedup']:.2f}x at group "
+        f"{result.paper['best_group']} | measured: max "
+        f"{result.max_speedup:.2f}x at group {result.best_group}"
+    )
+    lines.append(ascii_bars({g: s for g, s in sorted(result.speedups.items())}))
+    return "\n".join(lines)
+
+
+def fig10_table(result: Fig10Result) -> str:
+    """Fig 10 series: relative speedup of each variant vs "No SIMD"."""
+    lines = [
+        f"Fig 10 — {result.kernel}: relative speedup vs the No-SIMD build",
+        "  variant         measured   paper",
+    ]
+    paper = {"no_simd": 1.0, **result.paper}
+    for variant, rel in result.relative.items():
+        lines.append(
+            f"  {variant:<14}  {rel:6.3f}x   {paper.get(variant, float('nan')):5.2f}x"
+        )
+    lines.append(ascii_bars(result.relative))
+    return "\n".join(lines)
+
+
+def cost_breakdown(result) -> str:
+    """Attribute a launch's cost-model terms (a roofline-style report).
+
+    Takes a :class:`~repro.core.api.LaunchResult` and shows where the
+    cycles come from: critical path (rounds + dependent-miss latency),
+    issue throughput, memory throughput, and barriers — summed over blocks,
+    so shares are indicative rather than a re-derivation of the wave max.
+    """
+    kc = result.counters
+    params = result.cfg.params
+    critical = (
+        kc.rounds * params.round_latency
+        + kc.total("mem_serial_rounds") * params.mem_latency_cycles
+    )
+    terms = {
+        "critical path (rounds + mem latency)": critical,
+        "issue throughput": kc.issue_cycles / params.issue_width,
+        "memory throughput (DRAM+L1+LSU)": kc.mem_cycles,
+        "barriers": kc.sync_cycles,
+    }
+    total = sum(terms.values()) or 1.0
+    lines = [f"cost breakdown ({kc.cycles:,.0f} modelled cycles):"]
+    for label, value in terms.items():
+        lines.append(f"  {label:<38} {value:>12,.0f}  ({value / total:5.1%})")
+    lines.append(
+        f"  geometry: {kc.num_blocks} blocks x {kc.threads_per_block} threads, "
+        f"{kc.blocks_per_sm}/SM resident, {kc.waves} wave(s)"
+    )
+    return "\n".join(lines)
+
+
+def experiments_md_fig9(results: Iterable[Fig9Result]) -> str:
+    """Markdown rows for EXPERIMENTS.md (Fig 9 section)."""
+    lines = [
+        "| kernel | paper best | paper max | measured best | measured max |",
+        "|---|---|---|---|---|",
+    ]
+    for r in results:
+        lines.append(
+            f"| {r.kernel} | g={r.paper['best_group']} | "
+            f"{r.paper['max_speedup']:.2f}x | g={r.best_group} | "
+            f"{r.max_speedup:.2f}x |"
+        )
+    return "\n".join(lines)
+
+
+def experiments_md_fig10(results: Iterable[Fig10Result]) -> str:
+    """Markdown rows for EXPERIMENTS.md (Fig 10 section)."""
+    lines = [
+        "| kernel | paper SPMD | measured SPMD | paper generic | measured generic |",
+        "|---|---|---|---|---|",
+    ]
+    for r in results:
+        lines.append(
+            f"| {r.kernel} | {r.paper['spmd_simd']:.2f}x | "
+            f"{r.relative['spmd_simd']:.3f}x | {r.paper['generic_simd']:.2f}x | "
+            f"{r.relative['generic_simd']:.3f}x |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""The OpenMP GPU device runtime ("DeviceRTL") with three-level parallelism.
+
+This package is the Python port of the paper's runtime contribution:
+
+* :mod:`repro.runtime.icv` — launch configuration and execution modes;
+* :mod:`repro.runtime.mapping` — SIMD-group mapping helpers (§5.1);
+* :mod:`repro.runtime.state` / :mod:`repro.runtime.sharing` — team state and
+  the variable sharing space in shared memory (§5.3.1);
+* :mod:`repro.runtime.target` — ``__target_init`` and the team-main worker
+  state machine (§5.2, Fig 5);
+* :mod:`repro.runtime.parallel` — ``__parallel`` (Fig 3);
+* :mod:`repro.runtime.simd` — ``__simd``, the SIMD worker state machine, and
+  ``__simd_loop`` (Figs 4, 6, 8);
+* :mod:`repro.runtime.workshare` — ``distribute``/``for`` schedules;
+* :mod:`repro.runtime.dispatch` — if/cascade microtask dispatch (§5.5);
+* :mod:`repro.runtime.reduction` / :mod:`repro.runtime.collapse` —
+  extensions the paper lists as future work (§7).
+"""
+
+from repro.runtime.icv import ExecMode, LaunchConfig
+from repro.runtime.state import TeamRuntime, RuntimeCounters
+from repro.runtime.dispatch import DispatchTable, TaskInfo
+
+__all__ = [
+    "DispatchTable",
+    "ExecMode",
+    "LaunchConfig",
+    "RuntimeCounters",
+    "TaskInfo",
+    "TeamRuntime",
+]

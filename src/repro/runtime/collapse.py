@@ -1,0 +1,43 @@
+"""Loop collapsing — the second extension from the paper's future work (§7).
+
+``collapse(2)`` fuses two perfectly nested loops into a single iteration
+space so the worksharing constructs see more parallelism.  The runtime-side
+work is just index arithmetic: the fused trip count and the decode of a
+fused induction value back into the component indices (one divide + one
+modulo, charged as ALU ops when decoded on device).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import RuntimeFault
+from repro.gpu.events import Compute
+
+
+def collapsed_trip(trips: Sequence[int]) -> int:
+    """Fused trip count of perfectly nested loops with the given trips."""
+    if not trips:
+        raise RuntimeFault("collapse needs at least one loop")
+    total = 1
+    for t in trips:
+        if t < 0:
+            raise RuntimeFault("negative trip count")
+        total *= t
+    return total
+
+
+def decode_index(iv: int, trips: Sequence[int]) -> Tuple[int, ...]:
+    """Host-side decode of a fused induction value into component indices."""
+    idx = []
+    for t in reversed(trips[1:]):
+        idx.append(iv % t)
+        iv //= t
+    idx.append(iv)
+    return tuple(reversed(idx))
+
+
+def decode_index_device(tc, iv: int, trips: Sequence[int]):
+    """Device-side decode: same math, with the div/mod ops charged."""
+    yield Compute("alu", 2 * (len(trips) - 1))
+    return decode_index(iv, trips)

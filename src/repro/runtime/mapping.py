@@ -1,0 +1,64 @@
+"""SIMD-group mapping helpers (§5.1 of the paper).
+
+The paper partitions each team's worker threads into SIMD groups of
+adjacent warp lanes and defines five runtime queries, reproduced here with
+the same names (PEP-8-cased):
+
+* :func:`get_simd_group` — which group a thread belongs to;
+* :func:`get_simd_group_id` — the thread's lane index *within* its group
+  (SIMD main threads always have id 0);
+* :func:`get_simd_group_size` — the (uniform) group size;
+* :func:`is_simd_group_leader` — whether the thread is its group's main;
+* :func:`simdmask` — the warp bitmask naming the caller's group, used for
+  every warp-level barrier in the SIMD protocol.
+
+These are pure index arithmetic on the thread id and launch configuration —
+no memory traffic — exactly as on the real device where they compile to a
+few lane-id instructions.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.thread import ThreadCtx
+from repro.runtime.icv import LaunchConfig
+
+
+def get_simd_group(tc: ThreadCtx, cfg: LaunchConfig) -> int:
+    """Group index of this thread within its team."""
+    return tc.tid // cfg.simd_len
+
+
+def get_simd_group_id(tc: ThreadCtx, cfg: LaunchConfig) -> int:
+    """This thread's lane index within its SIMD group (main thread = 0)."""
+    return tc.tid % cfg.simd_len
+
+
+def get_simd_group_size(tc: ThreadCtx, cfg: LaunchConfig) -> int:
+    """Size of every SIMD group for the current parallel region."""
+    return cfg.simd_len
+
+
+def is_simd_group_leader(tc: ThreadCtx, cfg: LaunchConfig) -> bool:
+    """True for the SIMD main thread of each group."""
+    return tc.tid % cfg.simd_len == 0
+
+
+def simdmask(tc: ThreadCtx, cfg: LaunchConfig) -> int:
+    """Warp bitmask of the lanes sharing this thread's SIMD group."""
+    base = (tc.lane_id // cfg.simd_len) * cfg.simd_len
+    return ((1 << cfg.simd_len) - 1) << base
+
+
+def group_leader_tid(group: int, cfg: LaunchConfig) -> int:
+    """Thread id of the SIMD main thread of ``group``."""
+    return group * cfg.simd_len
+
+
+def is_team_main(tc: ThreadCtx, cfg: LaunchConfig) -> bool:
+    """True for the team main thread (generic teams mode only)."""
+    return cfg.main_tid is not None and tc.tid == cfg.main_tid
+
+
+def is_extra_warp_filler(tc: ThreadCtx, cfg: LaunchConfig) -> bool:
+    """True for the extra warp's non-main lanes, which retire at init."""
+    return cfg.main_tid is not None and tc.tid > cfg.main_tid

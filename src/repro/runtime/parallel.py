@@ -1,0 +1,83 @@
+"""``__parallel`` (paper Fig 3) and the parallel-region inner protocol.
+
+``parallel`` is the runtime entry for an OpenMP ``parallel`` construct:
+
+* **teams SPMD**: every thread of the team reaches the call with the
+  argument environment already local; all proceed into :func:`parallel_inner`
+  and the construct's implicit barrier.
+* **teams generic**: only the team main thread reaches the call.  It stages
+  the outlined-function id and argument payload through the team state,
+  releases the workers from their block barrier, and waits at the join
+  barrier while they execute the region via
+  :func:`repro.runtime.target.team_worker_loop`.
+
+:func:`parallel_inner` is the paper's Fig 3 proper — the second mode split:
+in SPMD parallel mode every thread invokes the microtask; in generic mode
+only SIMD main threads do, everyone else enters the SIMD worker state
+machine until the leader posts the null-function termination signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.gpu.events import Compute
+from repro.runtime.dispatch import NULL_FN, invoke_microtask
+from repro.runtime.icv import ExecMode
+from repro.runtime.mapping import get_simd_group, is_simd_group_leader, simdmask
+from repro.runtime.simd import set_simd_fn, simd_state_machine
+from repro.runtime.state import TeamRuntime
+
+
+def parallel_inner(tc, rt: TeamRuntime, fn_id: int, values: Dict):
+    """Fig 3 core: execute one parallel region on the current thread."""
+    cfg = rt.cfg
+    if cfg.parallel_mode is ExecMode.SPMD:
+        # All threads execute the region in SPMD mode.
+        yield from invoke_microtask(tc, rt.table, fn_id, rt, values)
+        return
+
+    if is_simd_group_leader(tc, cfg):
+        # Only simd mains execute the region in generic mode.
+        yield from invoke_microtask(tc, rt.table, fn_id, rt, values)
+        # Send the termination signal to the group's simd workers.
+        group = get_simd_group(tc, cfg)
+        yield from set_simd_fn(tc, rt, group, NULL_FN)
+        yield from tc.syncwarp(simdmask(tc, cfg))
+    else:
+        # Simd workers enter the state machine.
+        yield from simd_state_machine(tc, rt)
+
+
+def parallel(tc, rt: TeamRuntime, fn_id: int, values: Dict):
+    """``__parallel``: runtime entry for a parallel construct."""
+    cfg = rt.cfg
+    if cfg.teams_mode is ExecMode.SPMD:
+        # Every thread is here; arguments are local — no staging needed,
+        # just the (free at runtime) pointer bookkeeping.
+        if tc.tid == 0:
+            if cfg.parallel_mode is ExecMode.SPMD:
+                rt.counters.parallel_spmd += 1
+            else:
+                rt.counters.parallel_generic += 1
+        yield Compute("alu", 2)
+        yield from parallel_inner(tc, rt, fn_id, values)
+        # Implicit barrier at the end of the parallel construct: wait for
+        # every SIMD group in the team.
+        yield from tc.syncthreads()
+        return
+
+    # Teams generic mode: only the team main thread reaches this point.
+    if cfg.parallel_mode is ExecMode.SPMD:
+        rt.counters.parallel_spmd += 1
+    else:
+        rt.counters.parallel_generic += 1
+    layout = rt.table.lookup(fn_id).layout
+    slots = layout.pack(values, rt.gmem)
+    yield from tc.store(rt.team_fn, 0, fn_id)
+    yield from rt.sharing.stage_team_args(tc, slots)
+    yield from tc.syncthreads()  # release the worker threads
+    # The team main thread does not execute the region; it waits for the
+    # workers at the join barrier.
+    yield from tc.syncthreads()
+    yield from rt.sharing.end_team_sharing(tc)

@@ -1,0 +1,120 @@
+"""Argument payload layout, packing, and unpacking.
+
+The paper's runtime passes outlined-function arguments as an array of
+pointer-sized values ("These variables are always stored as pointers such
+that each variable is a consistent size", §5.3.1).  We reproduce that: a
+payload is a sequence of 64-bit slots, and a :class:`PayloadLayout` — static
+metadata the outlined function was compiled with — says how to interpret
+each slot:
+
+``buf``
+    a device buffer, stored as its global handle;
+``f64`` / ``i64``
+    a scalar passed by value, stored as its bit pattern (what Clang does
+    for pointer-sized firstprivate captures).
+
+Packing happens on the SIMD main thread before staging the slots into the
+variable sharing space; unpacking happens on every thread that fetched the
+slots.  The conversions themselves are register arithmetic (free); the
+memory traffic of staging/fetching is charged where it happens, in
+:mod:`repro.runtime.sharing` and :mod:`repro.runtime.simd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PayloadError
+from repro.gpu.memory import Buffer, GlobalMemory
+
+#: Slot interpretation kinds.
+KINDS = ("buf", "f64", "i64")
+
+
+def f64_to_bits(value: float) -> int:
+    """Bit-cast a float64 to a uint64 slot value."""
+    return int(np.float64(value).view(np.uint64))
+
+
+def bits_to_f64(bits: int) -> float:
+    """Bit-cast a uint64 slot value back to float64."""
+    return float(np.uint64(bits).view(np.float64))
+
+
+def i64_to_bits(value: int) -> int:
+    """Reinterpret a (possibly negative) int64 as a uint64 slot value."""
+    return int(np.int64(value).view(np.uint64))
+
+
+def bits_to_i64(bits: int) -> int:
+    return int(np.uint64(bits).view(np.int64))
+
+
+@dataclass(frozen=True)
+class PayloadLayout:
+    """Static slot layout of one outlined function's argument payload."""
+
+    entries: Tuple[Tuple[str, str], ...]  # (name, kind), in slot order
+
+    @staticmethod
+    def build(names_kinds: Sequence[Tuple[str, str]]) -> "PayloadLayout":
+        for name, kind in names_kinds:
+            if kind not in KINDS:
+                raise PayloadError(f"unknown payload kind {kind!r} for {name!r}")
+        return PayloadLayout(tuple((n, k) for n, k in names_kinds))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.entries)
+
+    # -- conversions ------------------------------------------------------
+    def pack(self, values: Dict[str, object], gmem: GlobalMemory) -> List[int]:
+        """Convert named values into 64-bit slots, in layout order.
+
+        Buffers from non-global spaces are registered in the handle table on
+        first use so their references can travel (the real runtime does the
+        analogous generic-pointer conversion).
+        """
+        slots: List[int] = []
+        for name, kind in self.entries:
+            try:
+                value = values[name]
+            except KeyError:
+                raise PayloadError(
+                    f"payload value {name!r} missing; have {sorted(values)}"
+                ) from None
+            if kind == "buf":
+                if not isinstance(value, Buffer):
+                    raise PayloadError(
+                        f"payload entry {name!r} declared 'buf' but got "
+                        f"{type(value).__name__}"
+                    )
+                slots.append(gmem.register(value))
+            elif kind == "f64":
+                slots.append(f64_to_bits(float(value)))
+            else:  # i64
+                slots.append(i64_to_bits(int(value)))
+        return slots
+
+    def unpack(self, slots: Sequence[int], gmem: GlobalMemory) -> Dict[str, object]:
+        """Convert 64-bit slots back into named values."""
+        if len(slots) != len(self.entries):
+            raise PayloadError(
+                f"payload arity mismatch: layout has {len(self.entries)} "
+                f"entries, got {len(slots)} slots"
+            )
+        out: Dict[str, object] = {}
+        for (name, kind), bits in zip(self.entries, slots):
+            if kind == "buf":
+                out[name] = gmem.lookup(int(bits))
+            elif kind == "f64":
+                out[name] = bits_to_f64(int(bits))
+            else:
+                out[name] = bits_to_i64(int(bits))
+        return out

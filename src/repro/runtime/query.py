@@ -1,0 +1,58 @@
+"""OpenMP runtime query functions (``omp_get_*``) for device code.
+
+With three-level parallelism the OpenMP identity of a hardware thread is
+layered exactly as §5.1 maps it:
+
+* the *team* is the thread block → :func:`omp_get_team_num`;
+* the OpenMP *thread* is the SIMD **group** (each group acts as one OpenMP
+  thread whose lanes co-execute simd loops) → :func:`omp_get_thread_num`
+  returns the group index and :func:`omp_get_num_threads` the group count;
+* the simd *lane* is the position within the group →
+  :func:`omp_get_simd_lane` (an extension; OpenMP has no portable query,
+  but the runtime mapping helpers expose it).
+
+All queries are pure index arithmetic, free at the cost-model level, same
+as the real runtime's register reads.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.thread import ThreadCtx
+from repro.runtime.icv import LaunchConfig
+from repro.runtime.mapping import get_simd_group, get_simd_group_id
+from repro.runtime.state import TeamRuntime
+
+
+def omp_get_num_teams(tc: ThreadCtx, rt: TeamRuntime) -> int:
+    """League size (``omp_get_num_teams``)."""
+    return tc.num_blocks
+
+
+def omp_get_team_num(tc: ThreadCtx, rt: TeamRuntime) -> int:
+    """This team's index in the league (``omp_get_team_num``)."""
+    return tc.block_id
+
+
+def omp_get_num_threads(tc: ThreadCtx, rt: TeamRuntime) -> int:
+    """OpenMP threads in the current parallel region = SIMD groups."""
+    return rt.cfg.num_groups
+
+
+def omp_get_thread_num(tc: ThreadCtx, rt: TeamRuntime) -> int:
+    """This thread's OpenMP id in the parallel region = its SIMD group."""
+    return get_simd_group(tc, rt.cfg)
+
+
+def omp_get_simd_lane(tc: ThreadCtx, rt: TeamRuntime) -> int:
+    """Lane within the SIMD group (extension; SIMD mains are lane 0)."""
+    return get_simd_group_id(tc, rt.cfg)
+
+
+def omp_get_simd_len(tc: ThreadCtx, rt: TeamRuntime) -> int:
+    """The active SIMD group size (the effective ``simdlen``)."""
+    return rt.cfg.simd_len
+
+
+def omp_in_simd_demoted_mode(tc: ThreadCtx, rt: TeamRuntime) -> bool:
+    """True when the §5.4.1 AMD fallback demoted simd to sequential."""
+    return rt.cfg.simd_demoted

@@ -1,0 +1,140 @@
+"""Reductions — the extension the paper lists as future work (§6.2, §7).
+
+The paper's loop API shipped without reduction support; sparse_matvec had to
+fall back to a "less efficient atomic update".  This module implements what
+the authors describe as the immediate next step so the ablation bench (A5)
+can quantify what reductions buy over atomics:
+
+* :func:`simd_group_reduce` — butterfly (xor-shuffle) reduction across the
+  lanes of one SIMD group; every lane ends with the total.  Needs no memory
+  traffic at all, only ``log2(simd_len)`` shuffle+op steps.
+* :func:`team_reduce` — block-level tree: warp-level butterfly, one shared
+  slot per warp, a block barrier, and a final butterfly on the first warp,
+  broadcast back through shared memory.
+
+Supported combiner ops: ``add``, ``max``, ``min``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeFault
+from repro.gpu.events import Compute
+from repro.runtime.mapping import simdmask
+from repro.runtime.state import TeamRuntime
+
+OPS = ("add", "max", "min")
+
+
+def _combine(op: str, a, b):
+    if op == "add":
+        return a + b
+    if op == "max":
+        return a if a >= b else b
+    if op == "min":
+        return a if a <= b else b
+    raise RuntimeFault(f"unknown reduction op {op!r}; expected one of {OPS}")
+
+
+def simd_group_reduce(tc, rt: TeamRuntime, value, op: str = "add"):
+    """Reduce ``value`` across the caller's SIMD group; all lanes get the total.
+
+    Every lane of the group must call this at the same point (the butterfly
+    converges the group like a barrier would).
+    """
+    cfg = rt.cfg
+    mask = simdmask(tc, cfg)
+    delta = cfg.simd_len // 2
+    while delta >= 1:
+        other = yield from tc.shfl_xor(value, delta, mask)
+        yield Compute("fma", 1)
+        value = _combine(op, value, other)
+        delta //= 2
+    return value
+
+
+def warp_reduce(tc, value, op: str = "add"):
+    """Butterfly reduction across a full warp; all lanes get the total."""
+    mask = tc.warp_mask()
+    delta = tc.warp_size // 2
+    while delta >= 1:
+        other = yield from tc.shfl_xor(value, delta, mask)
+        yield Compute("fma", 1)
+        value = _combine(op, value, other)
+        delta //= 2
+    return value
+
+
+def workshare_reduce(tc, rt: TeamRuntime, value, op: str = "add"):
+    """Combine per-executor partials across a parallel region's executors.
+
+    The participant set depends on the parallel mode: every worker thread
+    in SPMD mode, only the SIMD main threads in generic mode.  Partials are
+    staged per group in the team's reduction scratch, synchronized with the
+    named workshare barrier (so the team main thread's join barrier is
+    untouched), and combined by the first executor; every participant
+    returns the team total.
+
+    This is the ``reduction`` clause for ``for`` worksharing loops — the
+    §7 future-work item beyond the simd-level reduction.
+    """
+    from repro.runtime.icv import ExecMode
+    from repro.runtime.mapping import get_simd_group
+    from repro.runtime.sync import workshare_barrier
+
+    cfg = rt.cfg
+    scratch = rt.red_scratch
+    group = get_simd_group(tc, cfg)
+    n_groups = cfg.num_groups
+    if cfg.parallel_mode is ExecMode.SPMD:
+        # Fold each group's lanes first (butterfly), then one slot per group.
+        if cfg.simd_len > 1:
+            value = yield from simd_group_reduce(tc, rt, value, op)
+        if tc.tid % cfg.simd_len == 0:
+            yield from tc.store(scratch, group, value)
+    else:
+        # Generic mode: the leaders are the only executors.
+        yield from tc.store(scratch, group, value)
+    yield from workshare_barrier(tc, rt)
+    # First executor combines the per-group partials into the broadcast slot.
+    if tc.tid == 0:
+        total = yield from tc.load(scratch, 0)
+        total = float(total)
+        for g in range(1, n_groups):
+            partial = yield from tc.load(scratch, g)
+            yield Compute("fma", 1)
+            total = _combine(op, total, float(partial))
+        yield from tc.store(scratch, n_groups, total)
+    yield from workshare_barrier(tc, rt)
+    total = yield from tc.load(scratch, n_groups)
+    return float(total)
+
+
+def team_reduce(tc, rt: TeamRuntime, value, op: str = "add"):
+    """Reduce across all worker threads of the team; all callers get the total.
+
+    Every worker thread of the team must participate (it contains block
+    barriers).  Uses the team's shared reduction scratch: one slot per warp
+    plus a broadcast slot.
+    """
+    cfg = rt.cfg
+    scratch = rt.red_scratch
+    n_warps = max(1, cfg.team_size // cfg.params.warp_size)
+    value = yield from warp_reduce(tc, value, op)
+    if tc.lane_id == 0:
+        yield from tc.store(scratch, tc.warp_id, value)
+    yield from tc.syncthreads()
+    if tc.warp_id == 0:
+        if tc.lane_id < n_warps:
+            partial = yield from tc.load(scratch, tc.lane_id)
+        else:
+            partial = 0.0 if op == "add" else None
+        if partial is None:
+            # max/min identity: reuse lane 0's own partial so the combine
+            # is a no-op for the padding lanes.
+            partial = yield from tc.load(scratch, 0)
+        total = yield from warp_reduce(tc, partial, op)
+        if tc.lane_id == 0:
+            yield from tc.store(scratch, n_warps, total)
+    yield from tc.syncthreads()
+    total = yield from tc.load(scratch, n_warps)
+    return total

@@ -1,0 +1,130 @@
+"""Per-team runtime state: the Python port of the DeviceRTL team context.
+
+One :class:`TeamRuntime` exists per thread block (per OpenMP team).  It owns
+the shared-memory control state the paper's protocols communicate through:
+
+* ``team_fn`` — the outlined-function id of the pending parallel region (0 =
+  termination signal), written by the team main thread in generic mode;
+* ``simd_fn`` / ``simd_trip`` — per-SIMD-group work descriptors, written by
+  SIMD main threads (the paper's ``setSimdFn``/``getSimdFn``);
+* the :class:`~repro.runtime.sharing.SharingSpace` for argument staging.
+
+It also carries references the device code needs (launch config, dispatch
+table, global memory) and the :class:`RuntimeCounters` the benchmark harness
+reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gpu.memory import GlobalMemory
+from repro.runtime.dispatch import DispatchTable
+from repro.runtime.icv import LaunchConfig
+from repro.runtime.sharing import SharingSpace
+
+
+@dataclass
+class RuntimeCounters:
+    """OpenMP-runtime-level statistics for one launch (all teams)."""
+
+    #: Parallel regions executed, split by their execution mode.
+    parallel_generic: int = 0
+    parallel_spmd: int = 0
+    #: ``__simd`` calls, split by path (Fig 4's two halves + the size-1 /
+    #: AMD sequential fallback).
+    simd_generic: int = 0
+    simd_spmd: int = 0
+    simd_sequential: int = 0
+    #: Team-worker and SIMD-worker state machine wake-ups.
+    worker_wakeups: int = 0
+    simd_wakeups: int = 0
+    #: Sharing-space overflows into global memory.
+    sharing_fallbacks: int = 0
+    #: Variables globalized (local -> shared/global) by codegen.
+    globalized_vars: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "omp_parallel_generic": float(self.parallel_generic),
+            "omp_parallel_spmd": float(self.parallel_spmd),
+            "omp_simd_generic": float(self.simd_generic),
+            "omp_simd_spmd": float(self.simd_spmd),
+            "omp_simd_sequential": float(self.simd_sequential),
+            "omp_worker_wakeups": float(self.worker_wakeups),
+            "omp_simd_wakeups": float(self.simd_wakeups),
+            "omp_sharing_fallbacks": float(self.sharing_fallbacks),
+            "omp_globalized_vars": float(self.globalized_vars),
+        }
+
+
+class TeamRuntime:
+    """Shared-memory control state and services for one OpenMP team."""
+
+    def __init__(
+        self,
+        block,
+        cfg: LaunchConfig,
+        gmem: GlobalMemory,
+        table: DispatchTable,
+        counters: RuntimeCounters,
+    ) -> None:
+        self.cfg = cfg
+        self.gmem = gmem
+        self.table = table
+        self.counters = counters
+        shared = block.shared
+        #: Pending parallel-region descriptor: [fn_id]; 0 terminates workers.
+        self.team_fn = shared.alloc("omp.team_fn", 1, np.uint64)
+        #: Per-group simd-loop descriptors (paper's SIMD group state).
+        self.simd_fn = shared.alloc("omp.simd_fn", cfg.num_groups, np.uint64)
+        self.simd_trip = shared.alloc("omp.simd_trip", cfg.num_groups, np.uint64)
+        self.sharing = SharingSpace(shared, cfg, gmem, counters)
+        #: Shared scratch for the reduction extensions: one slot per SIMD
+        #: group (or per warp for block-level reduces, whichever is more),
+        #: plus one broadcast slot for the combined result.
+        n_worker_warps = max(1, cfg.team_size // cfg.params.warp_size)
+        self.red_scratch = shared.alloc(
+            "omp.reduce_scratch", max(n_worker_warps, cfg.num_groups) + 1, np.float64
+        )
+        #: Per-team claim counter for ``schedule(dynamic)`` worksharing.
+        self.dyn_counter = gmem.alloc(
+            f"omp.dyn_counter.team{block.block_id}", 1, np.int64
+        )
+        #: Shared scratch used by codegen's variable globalization.
+        self._globalized: Dict[str, object] = {}
+        self._block = block
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def get(
+        tc,
+        cfg: LaunchConfig,
+        gmem: GlobalMemory,
+        table: DispatchTable,
+        counters: RuntimeCounters,
+    ) -> "TeamRuntime":
+        """Per-block singleton accessor (first thread to run creates it)."""
+        rt = getattr(tc.block, "_omp_rt", None)
+        if rt is None:
+            rt = TeamRuntime(tc.block, cfg, gmem, table, counters)
+            tc.block._omp_rt = rt
+        return rt
+
+    # ------------------------------------------------------------------
+    def globalize_shared(self, name: str, size: int, dtype) -> object:
+        """Team-shared replacement for a globalized local allocation (§4.3).
+
+        Codegen calls this (through the team main / SIMD main thread) when a
+        local variable must become visible to worker threads.  Allocation is
+        idempotent per name so every thread resolves the same buffer.
+        """
+        buf = self._globalized.get(name)
+        if buf is None:
+            buf = self._block.shared.alloc(f"omp.globalized.{name}", size, dtype)
+            self._globalized[name] = buf
+            self.counters.globalized_vars += 1
+        return buf

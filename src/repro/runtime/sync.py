@@ -1,0 +1,53 @@
+"""Synchronization helpers over the GPU substrate primitives.
+
+Thin, named wrappers so runtime and user code reads like the paper:
+``synchronizeWarp(simdmask())`` becomes ``sync_group(tc, rt)`` and the
+team-level barrier becomes ``team_barrier(tc)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.runtime.mapping import simdmask
+from repro.runtime.state import TeamRuntime
+
+
+def sync_group(tc, rt: TeamRuntime):
+    """Warp-level barrier over the caller's SIMD group."""
+    yield from tc.syncwarp(simdmask(tc, rt.cfg))
+
+
+def sync_warp_named(tc, rt: TeamRuntime, mask: int):
+    """Named warp barrier; unavailable on profiles without warp sync.
+
+    This is the primitive whose absence on AMD wavefronts rules out the
+    generic SIMD mode (§5.4.1); calling it on such a profile is an error so
+    misconfigured code fails loudly instead of deadlocking.
+    """
+    if not rt.cfg.params.supports_warp_sync:
+        raise UnsupportedFeatureError(
+            f"profile {rt.cfg.params.name!r} has no warp-level named barrier"
+        )
+    yield from tc.syncwarp(mask)
+
+
+def team_barrier(tc):
+    """Block-wide barrier across the whole team."""
+    yield from tc.syncthreads()
+
+
+def workshare_barrier(tc, rt: TeamRuntime):
+    """Barrier across the threads executing the current parallel region.
+
+    Uses a *named, counted* block barrier (id 1) so it composes with the
+    generic teams protocol: the team main thread waits at the join barrier
+    (id 0) and must not be released by worker-internal synchronization.
+    The participant count depends on the parallel mode — every worker
+    thread in SPMD, only the SIMD main threads in generic mode (everyone
+    else sits in the SIMD state machine behind warp barriers).
+    """
+    from repro.runtime.icv import ExecMode
+
+    cfg = rt.cfg
+    count = cfg.team_size if cfg.parallel_mode is ExecMode.SPMD else cfg.num_groups
+    yield from tc.syncthreads(bar_id=1, count=count)

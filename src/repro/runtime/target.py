@@ -1,0 +1,86 @@
+"""``__target_init`` and the team-main worker state machine (§5.2, Fig 5).
+
+At the start of an offloaded region every hardware thread calls
+:func:`target_init`, the protocol's first divergence point:
+
+* **teams SPMD**: all threads return :data:`ROLE_ALL` and immediately begin
+  executing the user code.
+* **teams generic**: only the team main thread — the first lane of the
+  *extra* warp the launch added for this purpose (Fig 2) — returns
+  (:data:`ROLE_MAIN`) to run the user code.  The extra warp's remaining
+  lanes retire on the spot (:data:`ROLE_RETIRED`); all worker threads
+  (:data:`ROLE_WORKER`) enter :func:`team_worker_loop`, where they idle at a
+  block barrier until the main thread stages a parallel region, execute it
+  through :func:`repro.runtime.parallel.parallel_inner`, join, and loop —
+  until the null-function termination signal posted by
+  :func:`target_deinit`.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.events import Compute
+from repro.runtime.dispatch import NULL_FN
+from repro.runtime.icv import ExecMode
+from repro.runtime.mapping import (
+    is_extra_warp_filler,
+    is_simd_group_leader,
+    is_team_main,
+)
+from repro.runtime.parallel import parallel_inner
+from repro.runtime.state import TeamRuntime
+
+#: Roles returned by :func:`target_init`.
+ROLE_ALL = "all"  # SPMD: execute the target region
+ROLE_MAIN = "main"  # generic: team main thread, execute the target region
+ROLE_WORKER = "worker"  # generic: enter the worker state machine
+ROLE_RETIRED = "retired"  # generic: extra-warp filler lane, exit now
+
+
+def target_init(tc, rt: TeamRuntime) -> str:
+    """Initialise the team state and classify the calling thread."""
+    cfg = rt.cfg
+    if cfg.teams_mode is ExecMode.SPMD:
+        # Shared team-state setup cost, paid once per thread at entry.
+        yield Compute("alu", 4)
+        return ROLE_ALL
+    if is_extra_warp_filler(tc, cfg):
+        yield Compute("alu", 2)
+        return ROLE_RETIRED
+    if is_team_main(tc, cfg):
+        # The main thread initialises the shared team state.
+        yield from tc.store(rt.team_fn, 0, NULL_FN)
+        yield Compute("alu", 4)
+        return ROLE_MAIN
+    yield Compute("alu", 2)
+    return ROLE_WORKER
+
+
+def target_deinit(tc, rt: TeamRuntime):
+    """Team main thread terminates the workers at the end of the region."""
+    yield from tc.store(rt.team_fn, 0, NULL_FN)
+    yield from tc.syncthreads()  # wake workers; they observe null and exit
+
+
+def team_worker_loop(tc, rt: TeamRuntime):
+    """Worker-thread state machine of the generic teams mode ([5], Fig 5)."""
+    cfg = rt.cfg
+    while True:
+        # Idle until the main thread signals a parallel region (or exit).
+        yield from tc.syncthreads()
+        fn = yield from tc.load(rt.team_fn, 0)
+        fn = int(fn)
+        if fn == NULL_FN:
+            return
+        rt.counters.worker_wakeups += 1
+        # Fetch the staged argument payload.  In generic parallel mode only
+        # SIMD main threads execute the region body, so only they (and every
+        # thread when the parallel region is SPMD) fetch the arguments.
+        layout = rt.table.lookup(fn).layout
+        if cfg.parallel_mode is ExecMode.SPMD or is_simd_group_leader(tc, cfg):
+            slots = yield from rt.sharing.fetch_team_args(tc, len(layout))
+            values = layout.unpack(slots, rt.gmem)
+        else:
+            values = {}
+        yield from parallel_inner(tc, rt, fn, values)
+        # Join barrier with the team main thread.
+        yield from tc.syncthreads()

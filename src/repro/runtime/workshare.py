@@ -1,0 +1,133 @@
+"""Worksharing schedules for ``distribute`` and ``for``.
+
+``distribute`` splits a loop across the league's teams; ``for`` splits a
+loop across the OpenMP threads of a team — which, with three-level
+parallelism, are the team's **SIMD groups** (each group acts as one OpenMP
+thread whose lanes later split ``simd`` loops).  With ``simd_len == 1``
+every hardware thread is its own group and the classic two-level behaviour
+falls out, exactly as §5.4 describes.
+
+Schedules:
+
+``static``
+    contiguous blocks, LLVM's default for ``distribute`` without a chunk;
+``static_cyclic``
+    round-robin with a chunk (default 1), the GPU-friendly default for
+    ``for`` because adjacent workers touch adjacent iterations;
+``dynamic``
+    first-come first-served chunks claimed from a global atomic counter
+    (device-side; costs real atomics).
+
+The static schedules are pure index arithmetic; callers charge a small
+:class:`~repro.gpu.events.Compute` for the bounds computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import RuntimeFault
+from repro.gpu.events import Compute
+
+SCHEDULES = ("static", "static_cyclic", "dynamic", "guided")
+
+
+def static_block(trip_count: int, worker: int, num_workers: int) -> range:
+    """Contiguous block schedule: worker ``w`` gets one dense chunk.
+
+    Blocks differ in size by at most one iteration; every iteration is
+    assigned to exactly one worker.
+    """
+    if num_workers < 1:
+        raise RuntimeFault("num_workers must be >= 1")
+    base = trip_count // num_workers
+    rem = trip_count % num_workers
+    start = worker * base + min(worker, rem)
+    size = base + (1 if worker < rem else 0)
+    return range(start, start + size)
+
+
+def static_cyclic(
+    trip_count: int, worker: int, num_workers: int, chunk: int = 1
+) -> List[int]:
+    """Round-robin chunked schedule (``schedule(static, chunk)``)."""
+    if num_workers < 1:
+        raise RuntimeFault("num_workers must be >= 1")
+    if chunk < 1:
+        raise RuntimeFault("chunk must be >= 1")
+    out: List[int] = []
+    stride = num_workers * chunk
+    for chunk_start in range(worker * chunk, trip_count, stride):
+        out.extend(range(chunk_start, min(chunk_start + chunk, trip_count)))
+    return out
+
+
+def schedule_indices(
+    schedule: str, trip_count: int, worker: int, num_workers: int, chunk: int = 1
+):
+    """Dispatch to a static schedule by name."""
+    if schedule == "static":
+        return static_block(trip_count, worker, num_workers)
+    if schedule == "static_cyclic":
+        return static_cyclic(trip_count, worker, num_workers, chunk)
+    raise RuntimeFault(
+        f"unknown or non-static schedule {schedule!r}; expected one of "
+        f"{SCHEDULES[:2]} here (dynamic uses dynamic_next)"
+    )
+
+
+def distribute_indices(trip_count: int, team: int, num_teams: int, schedule: str = "static", chunk: int = 1):
+    """Iterations of a ``distribute`` loop owned by ``team``."""
+    return schedule_indices(schedule, trip_count, team, num_teams, chunk)
+
+
+def for_indices(trip_count: int, thread: int, num_threads: int, schedule: str = "static_cyclic", chunk: int = 1):
+    """Iterations of a ``for`` loop owned by OpenMP thread ``thread``."""
+    return schedule_indices(schedule, trip_count, thread, num_threads, chunk)
+
+
+def dynamic_next(tc, counter_buf, trip_count: int, chunk: int = 1):
+    """Claim the next dynamic chunk; returns ``(start, end)`` or ``None``.
+
+    ``counter_buf`` is a one-element global buffer initialised to zero
+    before the loop.  Each claim is one global atomic add, so dynamic
+    scheduling's contention cost is measured rather than assumed.
+    """
+    start = yield from tc.atomic_add(counter_buf, 0, chunk)
+    start = int(start)
+    yield Compute("alu", 2)
+    if start >= trip_count:
+        return None
+    return start, min(start + chunk, trip_count)
+
+
+def guided_next(tc, counter_buf, trip_count: int, num_workers: int, min_chunk: int = 1):
+    """Claim the next guided chunk; returns ``(start, end)`` or ``None``.
+
+    OpenMP's guided schedule: each claim takes a chunk proportional to the
+    *remaining* iterations divided by the worker count (halved here, the
+    common implementation), never below ``min_chunk``.  Early claims are
+    large (low claim overhead), the tail is fine-grained (load balance).
+    """
+    start = yield from tc.atomic_add(counter_buf, 0, 0)  # read current
+    start = int(start)
+    if start >= trip_count:
+        yield Compute("alu", 2)
+        return None
+    remaining = trip_count - start
+    chunk = max(min_chunk, remaining // (2 * num_workers))
+    # Claim with CAS so concurrent claimants compute consistent chunks.
+    old = yield from tc.atomic_cas(counter_buf, 0, start, start + chunk)
+    yield Compute("alu", 4)
+    if int(old) != start:
+        # Lost the race; retry with the observed counter.
+        retry = yield from guided_next(
+            tc, counter_buf, trip_count, num_workers, min_chunk
+        )
+        return retry
+    return start, min(start + chunk, trip_count)
+
+
+def charge_schedule_setup(tc):
+    """Issue cost of computing a static schedule's bounds."""
+    yield Compute("alu", 3)

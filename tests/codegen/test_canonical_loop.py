@@ -1,0 +1,135 @@
+"""Tests for OMPCanonicalLoop: validation, trip counts, iv mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodegenError
+from repro.codegen.canonical_loop import CanonicalLoop, evaluate_trip, from_range
+
+
+def dummy_body(tc, ivs, view):
+    yield from tc.compute("alu")
+
+
+class TestValidation:
+    def test_needs_body_or_nested(self):
+        with pytest.raises(CodegenError, match="exactly one"):
+            CanonicalLoop(trip_count=4)
+
+    def test_not_both(self):
+        from repro.codegen.directives import Simd
+
+        inner = Simd(CanonicalLoop(trip_count=2, body=dummy_body))
+        with pytest.raises(CodegenError, match="exactly one"):
+            CanonicalLoop(trip_count=4, body=dummy_body, nested=inner)
+
+    def test_pre_requires_nested(self):
+        def pre(tc, ivs, view):
+            yield from tc.compute()
+            return {}
+
+        with pytest.raises(CodegenError, match="pre/post/captures"):
+            CanonicalLoop(trip_count=4, body=dummy_body, pre=pre)
+
+    def test_captures_require_pre(self):
+        from repro.codegen.directives import Simd
+
+        inner = Simd(CanonicalLoop(trip_count=2, body=dummy_body))
+        with pytest.raises(CodegenError, match="captures"):
+            CanonicalLoop(trip_count=4, nested=inner, captures=(("x", "i64"),))
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(CodegenError, match="step 0"):
+            CanonicalLoop(trip_count=4, body=dummy_body, step=0)
+
+
+class TestProperties:
+    def test_tight(self):
+        from repro.codegen.directives import Simd
+
+        inner = Simd(CanonicalLoop(trip_count=2, body=dummy_body))
+        tight = CanonicalLoop(trip_count=4, nested=inner)
+        assert tight.tight
+
+        def pre(tc, ivs, view):
+            return {}
+            yield
+
+        loose = CanonicalLoop(trip_count=4, nested=inner, pre=pre)
+        assert not loose.tight
+
+    def test_user_iv_affine_mapping(self):
+        loop = CanonicalLoop(trip_count=5, body=dummy_body, start=10, step=3)
+        assert [loop.user_iv(k) for k in range(3)] == [10, 13, 16]
+
+    def test_static_trip(self):
+        assert CanonicalLoop(trip_count=7, body=dummy_body).static_trip() == 7
+        assert CanonicalLoop(trip_count=lambda v: 7, body=dummy_body).static_trip() is None
+
+
+class TestEvaluateTrip:
+    def _consume(self, gen):
+        """Run a trip-count generator outside the scheduler."""
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def test_constant(self):
+        loop = CanonicalLoop(trip_count=9, body=dummy_body)
+        assert self._consume(evaluate_trip(None, loop, {}, ())) == 9
+
+    def test_negative_constant_rejected(self):
+        loop = CanonicalLoop(trip_count=-1, body=dummy_body)
+        with pytest.raises(CodegenError, match="negative"):
+            self._consume(evaluate_trip(None, loop, {}, ()))
+
+    def test_host_callable(self):
+        loop = CanonicalLoop(
+            trip_count=lambda view, i: view["n"] - i, body=dummy_body
+        )
+        assert self._consume(evaluate_trip(None, loop, {"n": 10}, (3,))) == 7
+
+    def test_callable_negative_rejected(self):
+        loop = CanonicalLoop(trip_count=lambda view: -2, body=dummy_body)
+        with pytest.raises(CodegenError, match="returned"):
+            self._consume(evaluate_trip(None, loop, {}, ()))
+
+    def test_device_generator(self, device):
+        """Trip counts that load memory run as real device code."""
+        import numpy as np
+
+        bounds = device.from_array("b", np.array([3, 11], dtype=np.int64))
+
+        def trip_gen(tc, view, *outer):
+            vals = yield from tc.load_vec(view["bounds"], (0, 1))
+            return int(vals[1] - vals[0])
+
+        loop = CanonicalLoop(trip_count=trip_gen, body=dummy_body)
+        result = []
+
+        def k(tc):
+            t = yield from evaluate_trip(tc, loop, {"bounds": bounds}, ())
+            result.append(t)
+
+        kc = device.launch(k, 1, 1)
+        assert result[0] == 8
+        assert kc.total("loads") == 2
+
+
+class TestFromRange:
+    @given(
+        start=st.integers(min_value=-50, max_value=50),
+        stop=st.integers(min_value=-50, max_value=50),
+        step=st.integers(min_value=-7, max_value=7).filter(lambda s: s != 0),
+    )
+    def test_matches_python_range(self, start, stop, step):
+        loop = from_range(start, stop, step, body=dummy_body)
+        expected = list(range(start, stop, step))
+        assert loop.trip_count == len(expected)
+        assert [loop.user_iv(k) for k in range(loop.trip_count)] == expected
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(CodegenError):
+            from_range(0, 10, 0, body=dummy_body)

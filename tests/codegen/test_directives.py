@@ -1,0 +1,105 @@
+"""Tests for directive-tree construction and nesting validation."""
+
+import pytest
+
+from repro.errors import DirectiveNestingError
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import (
+    ParallelFor,
+    Simd,
+    Target,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+    iter_loops,
+)
+
+
+def body(tc, ivs, view):
+    yield from tc.compute("alu")
+
+
+def leaf(trip=4, **kw):
+    return CanonicalLoop(trip_count=trip, body=body, **kw)
+
+
+class TestSimd:
+    def test_leaf_only(self):
+        with pytest.raises(DirectiveNestingError, match="innermost"):
+            Simd(CanonicalLoop(trip_count=4, nested=Simd(leaf())))
+
+    def test_simdlen_validated(self):
+        with pytest.raises(DirectiveNestingError):
+            Simd(leaf(), simdlen=0)
+
+    def test_reduction_validated(self):
+        with pytest.raises(DirectiveNestingError, match="reduction op"):
+            Simd(leaf(), reduction=("mul", lambda *a: None))
+        with pytest.raises(DirectiveNestingError, match="callable"):
+            Simd(leaf(), reduction=("add", 42))
+
+    def test_valid_reduction(self):
+        node = Simd(leaf(), reduction=("add", body))
+        assert node.reduction[0] == "add"
+
+
+class TestParallelFor:
+    def test_leaf_ok(self):
+        assert ParallelFor(leaf()).kind == "parallel_for"
+
+    def test_nested_simd_ok(self):
+        ParallelFor(CanonicalLoop(trip_count=4, nested=Simd(leaf())))
+
+    def test_nested_parallel_rejected(self):
+        inner = ParallelFor(leaf())
+        with pytest.raises(DirectiveNestingError, match="simd"):
+            ParallelFor(CanonicalLoop(trip_count=4, nested=inner))
+
+
+class TestTeamsLevel:
+    def test_teams_distribute_accepts_parallel_for(self):
+        TeamsDistribute(CanonicalLoop(trip_count=4, nested=ParallelFor(leaf())))
+
+    def test_teams_distribute_rejects_simd_child(self):
+        with pytest.raises(DirectiveNestingError, match="parallel for"):
+            TeamsDistribute(CanonicalLoop(trip_count=4, nested=Simd(leaf())))
+
+    def test_tdpf_accepts_simd(self):
+        TeamsDistributeParallelFor(CanonicalLoop(trip_count=4, nested=Simd(leaf())))
+
+    def test_tdpf_rejects_parallel_for(self):
+        with pytest.raises(DirectiveNestingError, match="simd"):
+            TeamsDistributeParallelFor(
+                CanonicalLoop(trip_count=4, nested=ParallelFor(leaf()))
+            )
+
+
+class TestTarget:
+    def test_accepts_teams_constructs(self):
+        Target(TeamsDistribute(leaf()))
+        Target(TeamsDistributeParallelFor(leaf()))
+
+    def test_rejects_bare_loops(self):
+        with pytest.raises(DirectiveNestingError, match="teams"):
+            Target(ParallelFor(leaf()))
+
+
+class TestIterLoops:
+    def test_walks_three_levels(self):
+        simd = Simd(leaf(trip=2))
+
+        def pre(tc, ivs, view):
+            return {}
+            yield
+
+        pf = ParallelFor(
+            CanonicalLoop(trip_count=3, nested=simd, pre=pre, captures=(("x", "i64"),))
+        )
+        td = TeamsDistribute(CanonicalLoop(trip_count=4, nested=pf))
+        tree = Target(td)
+        walked = list(iter_loops(tree))
+        assert [d for (_, _, d) in walked] == [0, 1, 2]
+        assert [n.kind for (n, _, _) in walked] == [
+            "teams_distribute",
+            "parallel_for",
+            "simd",
+        ]

@@ -1,0 +1,90 @@
+"""Tests for the dist_schedule clause (team-level iteration mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DirectiveNestingError
+from repro.core import api as omp
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+
+
+@pytest.fixture
+def dev():
+    return Device(nvidia_a100())
+
+
+def owner_body(tc, ivs, view):
+    (i,) = ivs
+    yield from tc.store(view["owner"], i, tc.block_id)
+
+
+class TestTdpfDistSchedule:
+    def test_static_contiguous_blocks(self, dev):
+        owner = dev.from_array("owner", np.full(16, -1, dtype=np.int64))
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(16, body=owner_body)
+        )
+        omp.launch(dev, tree, num_teams=2, team_size=32, args={"owner": owner})
+        assert list(owner.to_numpy()) == [0] * 8 + [1] * 8
+
+    def test_cyclic_chunks(self, dev):
+        owner = dev.from_array("owner", np.full(16, -1, dtype=np.int64))
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                16, body=owner_body, dist_schedule="static_cyclic", dist_chunk=2,
+            )
+        )
+        omp.launch(dev, tree, num_teams=2, team_size=32, args={"owner": owner})
+        expect = [0, 0, 1, 1] * 4
+        assert list(owner.to_numpy()) == expect
+
+    def test_invalid_dist_schedule(self):
+        with pytest.raises(DirectiveNestingError, match="dist_schedule"):
+            omp.teams_distribute_parallel_for(
+                8, body=owner_body, dist_schedule="dynamic"
+            )
+
+
+class TestTeamsDistributeDistSchedule:
+    def test_cyclic_distribute(self, dev):
+        owner = dev.from_array("owner", np.full(12, -1, dtype=np.int64))
+
+        def main_body(tc, ivs, view):
+            (i,) = ivs
+            yield from tc.store(view["owner"], i, tc.block_id)
+
+        tree = omp.target(
+            omp.teams_distribute(
+                12, body=main_body, schedule="static_cyclic", dist_chunk=3,
+            )
+        )
+        omp.launch(dev, tree, num_teams=2, team_size=32, args={"owner": owner})
+        assert list(owner.to_numpy()) == [0, 0, 0, 1, 1, 1] * 2
+
+    def test_invalid_distribute_schedule(self):
+        with pytest.raises(DirectiveNestingError, match="dist_schedule"):
+            omp.teams_distribute(8, body=owner_body, schedule="guided")
+
+    def test_results_identical_across_dist_schedules(self, dev):
+        """dist_schedule changes the mapping, never the result."""
+        results = {}
+        for sched, chunk in (("static", 1), ("static_cyclic", 1), ("static_cyclic", 4)):
+            d = Device(nvidia_a100())
+            y = d.from_array("y", np.zeros(64))
+            x = d.from_array("x", np.arange(64, dtype=np.float64))
+
+            def body(tc, ivs, view):
+                (i,) = ivs
+                v = yield from tc.load(view["x"], i)
+                yield from tc.store(view["y"], i, v * 2.0)
+
+            tree = omp.target(
+                omp.teams_distribute_parallel_for(
+                    64, body=body, dist_schedule=sched, dist_chunk=chunk,
+                )
+            )
+            omp.launch(d, tree, num_teams=4, team_size=32, args={"x": x, "y": y})
+            results[(sched, chunk)] = y.to_numpy()
+        base = results[("static", 1)]
+        assert all(np.array_equal(base, r) for r in results.values())

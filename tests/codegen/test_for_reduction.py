@@ -1,0 +1,158 @@
+"""Tests for the for-level reduction clause (§7 extension, team scope)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DirectiveNestingError
+from repro.core import api as omp
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+from repro.runtime.icv import ExecMode
+
+
+@pytest.fixture
+def dev():
+    return Device(nvidia_a100())
+
+
+N = 128
+
+
+def value_body(tc, ivs, view):
+    i = ivs[-1]
+    v = yield from tc.load(view["x"], i)
+    yield from tc.compute("fma")
+    return float(v)
+
+
+def atomic_finalize(tc, ivs_outer, view, total):
+    yield from tc.atomic_add(view["out"], 0, total)
+
+
+def make_args(dev):
+    return {
+        "x": dev.from_array("x", np.arange(N, dtype=np.float64)),
+        "out": dev.from_array("out", np.zeros(1)),
+    }
+
+
+class TestTdpfReduction:
+    @pytest.mark.parametrize("teams", [1, 4])
+    @pytest.mark.parametrize("schedule", ["static_cyclic", "dynamic", "guided"])
+    def test_sum_across_teams(self, dev, teams, schedule):
+        args = make_args(dev)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                omp.loop(N, body=value_body, uses=("x", "out")),
+                schedule=schedule,
+                reduction=("add", atomic_finalize),
+            )
+        )
+        omp.launch(dev, tree, num_teams=teams, team_size=32, args=args)
+        assert args["out"].read(0) == float(np.arange(N).sum())
+
+    def test_max_reduction(self, dev):
+        args = make_args(dev)
+
+        def store_max(tc, ivs_outer, view, total):
+            yield from tc.atomic_max(view["out"], 0, total)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                omp.loop(N, body=value_body, uses=("x", "out")),
+                reduction=("max", store_max),
+            )
+        )
+        omp.launch(dev, tree, num_teams=2, team_size=32, args=args)
+        assert args["out"].read(0) == float(N - 1)
+
+    def test_reduction_requires_leaf(self):
+        with pytest.raises(DirectiveNestingError, match="leaf"):
+            omp.teams_distribute_parallel_for(
+                omp.loop(8, nested=omp.simd(4, body=value_body)),
+                reduction=("add", atomic_finalize),
+            )
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(DirectiveNestingError, match="reduction op"):
+            omp.teams_distribute_parallel_for(
+                omp.loop(8, body=value_body),
+                reduction=("mul", atomic_finalize),
+            )
+
+
+class TestSplitConstructReduction:
+    def test_parallel_for_reduction_per_row(self, dev):
+        """TD + PF(reduction): one finalize per distribute iteration."""
+        x = dev.from_array("x", np.arange(64, dtype=np.float64))
+        sums = dev.from_array("sums", np.zeros(4))
+
+        def row_value(tc, ivs, view):
+            i, j = ivs
+            v = yield from tc.load(view["x"], i * 16 + j)
+            return float(v)
+
+        def store_row(tc, ivs_outer, view, total):
+            (i,) = ivs_outer
+            yield from tc.store(view["sums"], i, total)
+
+        inner = omp.parallel_for(
+            omp.loop(16, body=row_value, uses=("x", "sums")),
+            reduction=("add", store_row),
+        )
+        tree = omp.target(omp.teams_distribute(4, nested=inner, uses=()))
+        r = omp.launch(dev, tree, num_teams=2, team_size=32,
+                       args={"x": x, "sums": sums})
+        assert r.cfg.teams_mode is ExecMode.GENERIC
+        expect = np.arange(64).reshape(4, 16).sum(axis=1)
+        assert np.array_equal(sums.to_numpy(), expect)
+
+    def test_reduction_with_simd_groups(self, dev):
+        """Groups fold lanes by shuffle before the cross-group combine...
+        for a leaf for-loop with simd_len forced to 1, groups are trivial —
+        use a tree WITH simd elsewhere?  For-level reductions are leaf-only,
+        so simd_len is 1 by §5.4; this checks that path explicitly."""
+        args = make_args(dev)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                omp.loop(N, body=value_body, uses=("x", "out")),
+                reduction=("add", atomic_finalize),
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=8, args=args)
+        assert r.cfg.simd_len == 1  # leaf tree: groups forced off
+        assert args["out"].read(0) == float(np.arange(N).sum())
+
+
+class TestWorkshareReducePrimitive:
+    @pytest.mark.parametrize("parallel_mode", [ExecMode.SPMD, ExecMode.GENERIC])
+    @pytest.mark.parametrize("simd_len", [1, 8])
+    def test_primitive_totals(self, dev, parallel_mode, simd_len):
+        """Direct driver: executors contribute their tid; all get the total."""
+        from repro.gpu.costmodel import nvidia_a100
+        from repro.runtime.dispatch import DispatchTable
+        from repro.runtime.icv import LaunchConfig
+        from repro.runtime.reduction import workshare_reduce
+        from repro.runtime.state import RuntimeCounters, TeamRuntime
+
+        cfg = LaunchConfig(1, 32, simd_len, ExecMode.SPMD, parallel_mode,
+                           params=nvidia_a100())
+        out = dev.alloc("o", 32, np.float64)
+        executors = (
+            range(32) if parallel_mode is ExecMode.SPMD
+            else range(0, 32, cfg.simd_len)
+        )
+        expect = float(sum(executors))
+
+        def entry(tc):
+            rt = TeamRuntime.get(tc, cfg, dev.gmem, DispatchTable(),
+                                 RuntimeCounters())
+            if parallel_mode is ExecMode.GENERIC and tc.tid % cfg.simd_len:
+                return  # only leaders execute the region in generic mode
+            total = yield from workshare_reduce(tc, rt, float(tc.tid), "add")
+            yield from tc.store(out, tc.tid, total)
+
+        dev.launch(entry, 1, 32)
+        res = out.to_numpy()
+        for t in executors:
+            assert res[t] == expect

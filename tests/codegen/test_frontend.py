@@ -1,0 +1,128 @@
+"""Tests for the pragma-string frontend."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import (
+    ParallelFor,
+    Simd,
+    Target,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+)
+from repro.codegen.frontend import pragma
+from repro.runtime.icv import ExecMode
+
+
+def body(tc, ivs, view):
+    yield from tc.compute("alu")
+
+
+def leaf(**kw):
+    return CanonicalLoop(trip_count=4, body=body, **kw)
+
+
+class TestDirectiveParsing:
+    def test_simd(self):
+        node = pragma("simd", leaf())
+        assert isinstance(node, Simd)
+
+    def test_simd_with_simdlen(self):
+        node = pragma("simd simdlen(8)", leaf())
+        assert node.simdlen == 8
+
+    def test_parallel_for(self):
+        node = pragma("parallel for", leaf())
+        assert isinstance(node, ParallelFor)
+
+    def test_parallel_for_schedule(self):
+        node = pragma("parallel for schedule(static_cyclic,4)", leaf())
+        assert node.schedule == "static_cyclic" and node.chunk == 4
+
+    def test_teams_distribute(self):
+        node = pragma("teams distribute", leaf())
+        assert isinstance(node, TeamsDistribute)
+
+    def test_combined_tdpf(self):
+        node = pragma("teams distribute parallel for", leaf())
+        assert isinstance(node, TeamsDistributeParallelFor)
+
+    def test_combined_with_simd_spelling(self):
+        inner = Simd(leaf())
+        node = pragma(
+            "teams distribute parallel for simd",
+            CanonicalLoop(trip_count=4, nested=inner),
+        )
+        assert isinstance(node, TeamsDistributeParallelFor)
+
+    def test_target_wraps_child(self):
+        child = pragma("teams distribute parallel for", leaf())
+        node = pragma("target", child)
+        assert isinstance(node, Target)
+
+    def test_full_target_spelling(self):
+        node = pragma("target teams distribute parallel for", leaf())
+        assert isinstance(node, Target)
+        assert isinstance(node.child, TeamsDistributeParallelFor)
+
+    def test_full_spelling_keeps_clauses(self):
+        node = pragma(
+            "target teams distribute parallel for schedule(static_cyclic,2)", leaf()
+        )
+        assert node.child.chunk == 2
+
+    def test_pragma_omp_prefix_stripped(self):
+        node = pragma("#pragma omp simd", leaf())
+        assert isinstance(node, Simd)
+
+    def test_mode_clause(self):
+        node = pragma("parallel for mode(generic)", leaf())
+        assert node.mode is ExecMode.GENERIC
+
+
+class TestErrors:
+    def test_unknown_directive(self):
+        with pytest.raises(CodegenError, match="unsupported directive"):
+            pragma("sections", leaf())
+
+    def test_unknown_clause(self):
+        with pytest.raises(CodegenError, match="unknown clause"):
+            pragma("simd collapse(2)", leaf())
+
+    def test_loop_directive_needs_loop(self):
+        with pytest.raises(CodegenError, match="CanonicalLoop"):
+            pragma("simd", "not a loop")
+
+    def test_target_needs_directive(self):
+        with pytest.raises(CodegenError, match="directive operand"):
+            pragma("target", leaf())
+
+    def test_bad_mode_value(self):
+        with pytest.raises(CodegenError, match="execution mode"):
+            pragma("parallel for mode(warp)", leaf())
+
+    def test_bad_schedule_kind(self):
+        with pytest.raises(CodegenError, match="schedule"):
+            pragma("parallel for schedule(wavefront)", leaf())
+
+
+class TestEndToEnd:
+    def test_pragma_program_launches(self, device):
+        import numpy as np
+        from repro.core import api as omp
+
+        x = device.from_array("x", np.arange(64, dtype=np.float64))
+        y = device.from_array("y", np.zeros(64))
+
+        def b(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["y"], i, v + 1)
+
+        tree = pragma(
+            "target teams distribute parallel for",
+            CanonicalLoop(trip_count=64, body=b),
+        )
+        omp.launch(device, tree, num_teams=2, team_size=32, args={"x": x, "y": y})
+        assert np.array_equal(y.to_numpy(), np.arange(64) + 1.0)

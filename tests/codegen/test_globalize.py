@@ -1,0 +1,100 @@
+"""Tests for the variable globalization pass (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import Simd, Target, TeamsDistributeParallelFor
+from repro.codegen.globalize import globalized_alloc, plan
+from repro.codegen.spmdization import analyze_modes
+
+
+def body(tc, ivs, view):
+    yield from tc.compute("alu")
+
+
+def pre(tc, ivs, view):
+    yield from tc.compute("alu")
+    return {"base": 0}
+
+
+def make_tree(tight: bool) -> Target:
+    inner = Simd(CanonicalLoop(trip_count=8, body=body, uses=("x",)))
+    kwargs = {} if tight else {"pre": pre, "captures": (("base", "i64"),)}
+    return Target(
+        TeamsDistributeParallelFor(
+            CanonicalLoop(trip_count=4, nested=inner, uses=("y",), **kwargs)
+        )
+    )
+
+
+class TestPlan:
+    def test_spmd_keeps_everything_in_registers(self):
+        tree = make_tree(tight=True)
+        p = plan(tree, analyze_modes(tree))
+        assert p.promoted == []
+
+    def test_generic_promotes_simd_payload(self):
+        tree = make_tree(tight=False)
+        p = plan(tree, analyze_modes(tree))
+        promoted_vars = {(d.task.split(":")[0], d.var) for d in p.promoted}
+        assert ("simd", "x") in promoted_vars
+        assert ("simd", "base") in promoted_vars
+        # The TDPF microtask payload stays local (teams SPMD).
+        assert not any(t.startswith("tdpf") for t, _ in promoted_vars)
+
+    def test_describe_readable(self):
+        tree = make_tree(tight=False)
+        text = plan(tree, analyze_modes(tree)).describe()
+        assert "sharing-space" in text
+
+
+class TestGlobalizedAlloc:
+    def test_shared_promotion_is_team_visible(self, rt_device=None):
+        from repro.gpu.costmodel import nvidia_a100
+        from repro.gpu.device import Device
+        from repro.runtime.dispatch import DispatchTable
+        from repro.runtime.icv import ExecMode, LaunchConfig
+        from repro.runtime.state import RuntimeCounters, TeamRuntime
+
+        dev = Device(nvidia_a100())
+        cfg = LaunchConfig(1, 32, 8, ExecMode.SPMD, ExecMode.GENERIC,
+                           params=nvidia_a100())
+        counters = RuntimeCounters()
+        out = dev.alloc("out", 32, np.float64)
+
+        def entry(tc):
+            rt = TeamRuntime.get(tc, cfg, dev.gmem, DispatchTable(), counters)
+            buf = globalized_alloc(tc, rt, "scratch", 4, np.float64, shared=True)
+            if tc.tid == 0:
+                yield from tc.store(buf, 0, 9.0)
+            yield from tc.syncthreads()
+            v = yield from tc.load(buf, 0)
+            yield from tc.store(out, tc.tid, v)
+
+        dev.launch(entry, 1, 32)
+        assert np.all(out.to_numpy() == 9.0)
+        assert counters.globalized_vars == 1
+
+    def test_local_allocation_is_private(self):
+        from repro.gpu.costmodel import nvidia_a100
+        from repro.gpu.device import Device
+        from repro.runtime.dispatch import DispatchTable
+        from repro.runtime.icv import ExecMode, LaunchConfig
+        from repro.runtime.state import RuntimeCounters, TeamRuntime
+
+        dev = Device(nvidia_a100())
+        cfg = LaunchConfig(1, 32, 8, ExecMode.SPMD, ExecMode.SPMD,
+                           params=nvidia_a100())
+        out = dev.alloc("out", 32, np.float64)
+
+        def entry(tc):
+            rt = TeamRuntime.get(tc, cfg, dev.gmem, DispatchTable(), RuntimeCounters())
+            buf = globalized_alloc(tc, rt, "scratch", 1, np.float64, shared=False)
+            yield from tc.store(buf, 0, float(tc.tid))
+            yield from tc.syncthreads()
+            v = yield from tc.load(buf, 0)
+            yield from tc.store(out, tc.tid, v)
+
+        dev.launch(entry, 1, 32)
+        assert np.array_equal(out.to_numpy(), np.arange(32, dtype=float))

@@ -1,0 +1,124 @@
+"""Tests for the guided schedule (device-side and end-to-end)."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as omp
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+from repro.runtime.workshare import guided_next
+
+
+@pytest.fixture
+def dev():
+    return Device(nvidia_a100())
+
+
+class TestGuidedNext:
+    def test_single_claimant_covers_everything_decreasing(self, dev):
+        counter = dev.alloc("ctr", 1, np.int64)
+        chunks = []
+
+        def k(tc, counter):
+            while True:
+                claim = yield from guided_next(tc, counter, 100, num_workers=4)
+                if claim is None:
+                    return
+                chunks.append(claim)
+
+        dev.launch(k, 1, 1, args=(counter,))
+        # Full coverage, in order, no overlap.
+        flat = [i for lo, hi in chunks for i in range(lo, hi)]
+        assert flat == list(range(100))
+        sizes = [hi - lo for lo, hi in chunks]
+        # Guided chunks shrink (non-strictly) towards min_chunk.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[0] > sizes[-1]
+
+    def test_concurrent_claimants_partition(self, dev):
+        counter = dev.alloc("ctr", 1, np.int64)
+        hits = dev.alloc("hits", 200, np.int64)
+
+        def k(tc, counter, hits):
+            while True:
+                claim = yield from guided_next(tc, counter, 200, num_workers=8)
+                if claim is None:
+                    return
+                lo, hi = claim
+                for i in range(lo, hi):
+                    yield from tc.atomic_add(hits, i, 1)
+
+        dev.launch(k, 1, 8, args=(counter, hits))
+        assert np.all(hits.to_numpy() == 1)
+
+    def test_min_chunk_respected(self, dev):
+        counter = dev.alloc("ctr", 1, np.int64)
+        sizes = []
+
+        def k(tc, counter):
+            while True:
+                claim = yield from guided_next(tc, counter, 37, num_workers=4,
+                                               min_chunk=5)
+                if claim is None:
+                    return
+                sizes.append(claim[1] - claim[0])
+
+        dev.launch(k, 1, 1, args=(counter,))
+        assert all(s >= 5 or sum(sizes) == 37 for s in sizes)
+
+
+class TestGuidedEndToEnd:
+    def test_guided_tdpf(self, dev):
+        n = 256
+        x = dev.from_array("x", np.arange(n, dtype=np.float64))
+        y = dev.from_array("y", np.zeros(n))
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["y"], i, v * 2.0)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(n, body=body, schedule="guided")
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, args={"x": x, "y": y})
+        assert np.array_equal(y.to_numpy(), 2.0 * np.arange(n))
+        assert r.counters.atomics > 0
+
+    def test_guided_with_simd_groups(self, dev):
+        n, m = 32, 8
+        x = dev.from_array("x", np.arange(n * m, dtype=np.float64))
+        y = dev.from_array("y", np.zeros(n * m))
+
+        def body(tc, ivs, view):
+            i, j = ivs
+            idx = i * m + j
+            v = yield from tc.load(view["x"], idx)
+            yield from tc.store(view["y"], idx, v + 1.0)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                n, nested=omp.simd(m, body=body), schedule="guided"
+            )
+        )
+        omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=8,
+                   args={"x": x, "y": y})
+        assert np.array_equal(y.to_numpy(), np.arange(n * m) + 1.0)
+
+    def test_guided_clause_via_pragma(self, dev):
+        from repro.codegen.canonical_loop import CanonicalLoop
+        from repro.codegen.frontend import pragma
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["y"], i, v)
+
+        x = dev.from_array("x", np.arange(64, dtype=np.float64))
+        y = dev.from_array("y", np.zeros(64))
+        tree = pragma(
+            "target teams distribute parallel for schedule(guided,2)",
+            CanonicalLoop(trip_count=64, body=body),
+        )
+        omp.launch(dev, tree, num_teams=1, team_size=32, args={"x": x, "y": y})
+        assert np.array_equal(y.to_numpy(), np.arange(64))

@@ -1,0 +1,287 @@
+"""End-to-end lowering tests: compile directive trees, launch, verify.
+
+These are the core integration tests of the reproduction: every mode
+combination must produce numerically identical results, and the runtime
+protocols (staging, state machines) must engage exactly when the modes say
+they should.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodegenError
+from repro.core import api as omp
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+from repro.runtime.icv import ExecMode
+
+N = 256
+M = 32
+
+
+@pytest.fixture
+def dev():
+    return Device(nvidia_a100())
+
+
+def make_xy(dev, n=N):
+    x = dev.from_array("x", np.arange(n, dtype=np.float64))
+    y = dev.from_array("y", np.zeros(n))
+    return {"x": x, "y": y}
+
+
+def leaf_body(tc, ivs, view):
+    (i,) = ivs
+    v = yield from tc.load(view["x"], i)
+    yield from tc.compute("fma")
+    yield from tc.store(view["y"], i, 2.0 * v)
+
+
+def simd_body(tc, ivs, view):
+    i, j = ivs
+    idx = i * M + j
+    v = yield from tc.load(view["x"], idx)
+    yield from tc.compute("fma")
+    yield from tc.store(view["y"], idx, 2.0 * v)
+
+
+def base_pre(tc, ivs, view):
+    (i,) = ivs
+    yield from tc.compute("alu")
+    return {"base": i * M}
+
+
+def simd_body_base(tc, ivs, view):
+    i, j = ivs
+    idx = int(view["base"]) + j
+    v = yield from tc.load(view["x"], idx)
+    yield from tc.compute("fma")
+    yield from tc.store(view["y"], idx, 2.0 * v)
+
+
+def expected(n=N):
+    return 2.0 * np.arange(n)
+
+
+class TestLeafPrograms:
+    def test_tdpf_leaf(self, dev):
+        args = make_xy(dev)
+        r = omp.launch(dev, omp.target(omp.teams_distribute_parallel_for(N, body=leaf_body)),
+                       num_teams=4, team_size=64, args=args)
+        assert np.array_equal(args["y"].to_numpy(), expected())
+        assert r.cfg.teams_mode is ExecMode.SPMD
+
+    def test_teams_distribute_leaf_runs_on_main(self, dev):
+        args = make_xy(dev, 16)
+        tree = omp.target(omp.teams_distribute(16, body=leaf_body))
+        r = omp.launch(dev, tree, num_teams=2, team_size=32, args=args)
+        assert np.array_equal(args["y"].to_numpy(), expected(16))
+        assert r.cfg.teams_mode is ExecMode.GENERIC
+
+    def test_td_pf_two_level(self, dev):
+        args = make_xy(dev)
+        inner = omp.parallel_for(M, body=lambda tc, ivs, view: simd_body(tc, ivs, view))
+        tree = omp.target(omp.teams_distribute(N // M, nested=inner))
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, args=args)
+        assert np.array_equal(args["y"].to_numpy(), expected())
+        assert r.runtime.worker_wakeups > 0
+
+
+class TestThreeLevelPrograms:
+    @pytest.mark.parametrize("simd_len", [1, 4, 8, 32])
+    def test_tdpf_tight_simd(self, dev, simd_len):
+        args = make_xy(dev)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(N // M, nested=omp.simd(M, body=simd_body))
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=simd_len, args=args)
+        assert np.array_equal(args["y"].to_numpy(), expected())
+        assert r.cfg.parallel_mode is ExecMode.SPMD
+
+    @pytest.mark.parametrize("simd_len", [2, 8, 32])
+    def test_tdpf_nontight_simd_generic(self, dev, simd_len):
+        args = make_xy(dev)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                N // M,
+                pre=base_pre,
+                captures=[("base", "i64")],
+                nested=omp.simd(M, body=simd_body_base),
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=simd_len, args=args)
+        assert np.array_equal(args["y"].to_numpy(), expected())
+        assert r.cfg.parallel_mode is ExecMode.GENERIC
+        assert r.runtime.simd_generic > 0
+        assert r.runtime.simd_wakeups > 0
+
+    def test_three_nested_levels_generic_everything(self, dev):
+        args = make_xy(dev)
+        simd8 = omp.simd(8, body=lambda tc, ivs, view: deep_body(tc, ivs, view))
+
+        def deep_body(tc, ivs, view):
+            i, j, k = ivs
+            idx = i * M + j * 8 + k
+            v = yield from tc.load(view["x"], idx)
+            yield from tc.store(view["y"], idx, 2.0 * v)
+
+        inner = omp.parallel_for(M // 8, nested=simd8)
+        tree = omp.target(omp.teams_distribute(N // M, nested=inner))
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=8, args=args)
+        assert np.array_equal(args["y"].to_numpy(), expected())
+        assert r.cfg.teams_mode is ExecMode.GENERIC
+
+    def test_guarded_spmdization_matches_generic(self, dev):
+        """Forcing teams SPMD on a split construct gives the same numbers."""
+        results = {}
+        for mode in (ExecMode.AUTO, ExecMode.SPMD):
+            args = make_xy(dev)
+            inner = omp.parallel_for(M, body=simd_body)
+            tree = omp.target(
+                omp.teams_distribute(N // M, nested=inner),
+                teams_mode=mode,
+            )
+            omp.launch(dev, tree, num_teams=2, team_size=64, args=args)
+            results[mode] = args["y"].to_numpy()
+        assert np.array_equal(results[ExecMode.AUTO], results[ExecMode.SPMD])
+        assert np.array_equal(results[ExecMode.SPMD], expected())
+
+
+class TestMechanics:
+    def test_device_trip_count_callback(self, dev):
+        """Inner trip counts may load device memory (the SpMV pattern)."""
+        args = make_xy(dev, 64)
+        lens = dev.from_array("lens", np.array([5, 9, 17, 33], dtype=np.int64))
+        args["lens"] = lens
+        hits = dev.from_array("hits", np.zeros(4, dtype=np.int64))
+        args["hits"] = hits
+
+        def trip(tc, view, i):
+            v = yield from tc.load(view["lens"], i)
+            return int(v)
+
+        def count_body(tc, ivs, view):
+            i, j = ivs
+            yield from tc.atomic_add(view["hits"], i, 1)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                4, nested=omp.simd(omp.loop(trip, body=count_body, uses=("lens", "hits")))
+            )
+        )
+        omp.launch(dev, tree, num_teams=1, team_size=32, simd_len=8, args=args)
+        assert np.array_equal(hits.to_numpy(), [5, 9, 17, 33])
+
+    def test_affine_iv_mapping(self, dev):
+        marks = dev.from_array("marks", np.zeros(40, dtype=np.int64))
+
+        def mark_body(tc, ivs, view):
+            (i,) = ivs
+            yield from tc.atomic_add(view["marks"], i, 1)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                omp.loop(10, body=mark_body, start=3, step=4, uses=("marks",))
+            )
+        )
+        omp.launch(dev, tree, num_teams=2, team_size=32, args={"marks": marks})
+        m = marks.to_numpy()
+        assert np.all(m[3:40:4] == 1)
+        assert m.sum() == 10
+
+    def test_reduction_clause_end_to_end(self, dev):
+        x = dev.from_array("x", np.arange(128, dtype=np.float64))
+        sums = dev.from_array("sums", np.zeros(4))
+
+        def value_body(tc, ivs, view):
+            i, j = ivs
+            v = yield from tc.load(view["x"], i * 32 + j)
+            return float(v)
+
+        def finalize(tc, ivs, view, total):
+            (i,) = ivs
+            yield from tc.store(view["sums"], i, total)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                4,
+                nested=omp.simd(
+                    omp.loop(32, body=value_body, uses=("x",)),
+                    reduction=("add", finalize),
+                ),
+                uses=("sums",),
+            )
+        )
+        omp.launch(dev, tree, num_teams=1, team_size=64, simd_len=8,
+                   args={"x": x, "sums": sums})
+        expect = np.arange(128).reshape(4, 32).sum(axis=1)
+        assert np.array_equal(sums.to_numpy(), expect)
+
+    def test_reduction_in_generic_mode(self, dev):
+        """Reduction also works when workers run the reduce loop (generic)."""
+        x = dev.from_array("x", np.arange(128, dtype=np.float64))
+        sums = dev.from_array("sums", np.zeros(4))
+
+        def rpre(tc, ivs, view):
+            yield from tc.compute("alu")
+            return {"row": int(ivs[0])}
+
+        def value_body(tc, ivs, view):
+            i, j = ivs
+            v = yield from tc.load(view["x"], int(view["row"]) * 32 + j)
+            return float(v)
+
+        def finalize(tc, ivs, view, total):
+            (i,) = ivs
+            yield from tc.store(view["sums"], i, total)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                4,
+                pre=rpre,
+                captures=[("row", "i64")],
+                nested=omp.simd(
+                    omp.loop(32, body=value_body, uses=("x",)),
+                    reduction=("add", finalize),
+                ),
+                uses=("sums",),
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, simd_len=8,
+                       args={"x": x, "sums": sums})
+        assert r.cfg.parallel_mode is ExecMode.GENERIC
+        expect = np.arange(128).reshape(4, 32).sum(axis=1)
+        assert np.array_equal(sums.to_numpy(), expect)
+
+    def test_compile_records_tasks(self, dev):
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(N // M, nested=omp.simd(M, body=simd_body))
+        )
+        kernel = omp.compile(tree, ("x", "y"), name="k")
+        assert len(kernel.tasks) == 2  # microtask + simd loop task
+        text = kernel.describe()
+        assert "k" in text and "simd" in text
+
+    def test_missing_launch_arg_rejected(self, dev):
+        tree = omp.target(omp.teams_distribute_parallel_for(N, body=leaf_body))
+        kernel = omp.compile(tree, ("x", "y"))
+        with pytest.raises(CodegenError, match="missing"):
+            kernel.make_entry(None, dev.gmem, None, {"x": None})
+
+    def test_missing_capture_diagnosed(self, dev):
+        args = make_xy(dev)
+
+        def bad_pre(tc, ivs, view):
+            yield from tc.compute("alu")
+            return {}  # forgets to produce "base"
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                N // M,
+                pre=bad_pre,
+                captures=[("base", "i64")],
+                nested=omp.simd(M, body=simd_body_base),
+            )
+        )
+        with pytest.raises(CodegenError, match="captures"):
+            omp.launch(dev, tree, num_teams=1, team_size=32, simd_len=8, args=args)

@@ -1,0 +1,67 @@
+"""Tests for outlining metadata: uses resolution and payload layouts."""
+
+import pytest
+
+from repro.errors import OutliningError
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import Simd
+from repro.codegen.outline import (
+    iv_key,
+    outline_task,
+    resolve_uses,
+    subtree_uses,
+)
+
+
+def body(tc, ivs, view):
+    yield from tc.compute("alu")
+
+
+ARGS = ("a", "b", "c")
+
+
+class TestResolveUses:
+    def test_default_is_all_args(self):
+        loop = CanonicalLoop(trip_count=2, body=body)
+        assert resolve_uses(loop, ARGS) == ARGS
+
+    def test_explicit_subset(self):
+        loop = CanonicalLoop(trip_count=2, body=body, uses=("b",))
+        assert resolve_uses(loop, ARGS) == ("b",)
+
+    def test_unknown_use_rejected(self):
+        loop = CanonicalLoop(trip_count=2, body=body, uses=("z",))
+        with pytest.raises(OutliningError, match="undeclared"):
+            resolve_uses(loop, ARGS)
+
+
+class TestSubtreeUses:
+    def test_union_preserves_order(self):
+        inner = Simd(CanonicalLoop(trip_count=2, body=body, uses=("c", "a")))
+        outer = CanonicalLoop(trip_count=4, nested=inner, uses=("b", "a"))
+        assert subtree_uses(outer, ARGS) == ("b", "a", "c")
+
+    def test_leaf(self):
+        loop = CanonicalLoop(trip_count=2, body=body, uses=("a",))
+        assert subtree_uses(loop, ARGS) == ("a",)
+
+
+class TestOutlineTask:
+    def test_layout_order_uses_captures_ivs(self):
+        task = outline_task("t", ("a", "b"), (("row", "i64"), ("w", "f64")), depth=2)
+        assert task.layout.names == ("a", "b", "row", "w", "__iv0", "__iv1")
+        kinds = [k for _, k in task.layout.entries]
+        assert kinds == ["buf", "buf", "i64", "f64", "i64", "i64"]
+        assert task.nargs == 6
+
+    def test_capture_shadowing_rejected(self):
+        with pytest.raises(OutliningError, match="shadows"):
+            outline_task("t", ("a",), (("a", "i64"),), depth=0)
+
+    def test_iv_key_format(self):
+        assert iv_key(0) == "__iv0"
+        assert iv_key(3) == "__iv3"
+
+    def test_zero_depth_no_ivs(self):
+        task = outline_task("t", ("a",), (), depth=0)
+        assert task.layout.names == ("a",)

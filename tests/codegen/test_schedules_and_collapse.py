@@ -1,0 +1,177 @@
+"""Tests for schedule(dynamic) worksharing, the collapse extension, and the
+simdlen clause resolution at launch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DirectiveNestingError
+from repro.core import api as omp
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+from repro.runtime.icv import ExecMode
+
+
+@pytest.fixture
+def dev():
+    return Device(nvidia_a100())
+
+
+def element(tc, ivs, view):
+    i, j = ivs
+    idx = i * 16 + j
+    v = yield from tc.load(view["x"], idx)
+    yield from tc.store(view["y"], idx, v + 1.0)
+
+
+def make_xy(dev, n):
+    return {
+        "x": dev.from_array("x", np.arange(n, dtype=np.float64)),
+        "y": dev.from_array("y", np.zeros(n)),
+    }
+
+
+class TestDynamicSchedule:
+    def test_dynamic_tdpf_leaf(self, dev):
+        """Dynamic chunks cover every iteration exactly once."""
+        args = make_xy(dev, 256)
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["y"], i, v + 1.0)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(256, body=body, schedule="dynamic", chunk=4)
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, args=args)
+        assert np.array_equal(args["y"].to_numpy(), np.arange(256) + 1.0)
+        assert r.counters.atomics > 0  # claims cost real atomics
+
+    def test_dynamic_with_simd_groups_spmd(self, dev):
+        """Group leaders claim; lanes receive the claim via shuffle."""
+        args = make_xy(dev, 256)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                16, nested=omp.simd(16, body=element), schedule="dynamic", chunk=1,
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=8, args=args)
+        assert np.array_equal(args["y"].to_numpy(), np.arange(256) + 1.0)
+        assert r.cfg.parallel_mode is ExecMode.SPMD
+
+    def test_dynamic_generic_parallel(self, dev):
+        """Dynamic for + non-tight simd: leaders claim inside generic mode."""
+        args = make_xy(dev, 256)
+
+        def pre(tc, ivs, view):
+            yield from tc.compute("alu")
+            return {"base": int(ivs[0]) * 16}
+
+        def body(tc, ivs, view):
+            i, j = ivs
+            idx = int(view["base"]) + j
+            v = yield from tc.load(view["x"], idx)
+            yield from tc.store(view["y"], idx, v + 1.0)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                16,
+                pre=pre,
+                captures=[("base", "i64")],
+                nested=omp.simd(16, body=body),
+                schedule="dynamic",
+                chunk=2,
+                uses=(),
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=8, args=args)
+        assert np.array_equal(args["y"].to_numpy(), np.arange(256) + 1.0)
+        assert r.cfg.parallel_mode is ExecMode.GENERIC
+
+    def test_dynamic_in_split_construct(self, dev):
+        """teams distribute + parallel for schedule(dynamic)."""
+        args = make_xy(dev, 256)
+        inner = omp.parallel_for(16, body=element, schedule="dynamic", chunk=3)
+        tree = omp.target(omp.teams_distribute(16, nested=inner))
+        r = omp.launch(dev, tree, num_teams=2, team_size=32, args=args)
+        assert np.array_equal(args["y"].to_numpy(), np.arange(256) + 1.0)
+        assert r.cfg.teams_mode is ExecMode.GENERIC
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(DirectiveNestingError, match="schedule"):
+            omp.parallel_for(8, body=element, schedule="runtime")
+
+
+class TestCollapse:
+    def test_collapsed_loop_covers_product_space(self, dev):
+        hits = dev.from_array("hits", np.zeros(6 * 7, dtype=np.int64))
+
+        def body(tc, ivs, view):
+            i, j = ivs  # decoded component indices
+            yield from tc.atomic_add(view["hits"], i * 7 + j, 1)
+
+        lp = omp.collapsed_loop((6, 7), body, uses=("hits",))
+        assert lp.trip_count == 42
+        tree = omp.target(omp.teams_distribute_parallel_for(lp))
+        omp.launch(dev, tree, num_teams=2, team_size=32, args={"hits": hits})
+        assert np.all(hits.to_numpy() == 1)
+
+    def test_collapse_inside_simd(self, dev):
+        out = dev.from_array("out", np.zeros(4 * 3 * 5, dtype=np.int64))
+
+        def body(tc, ivs, view):
+            r, i, j = ivs  # outer iv + two decoded components
+            yield from tc.atomic_add(view["out"], (r * 3 + i) * 5 + j, 1)
+
+        inner = omp.simd(omp.collapsed_loop((3, 5), body, uses=("out",)))
+        tree = omp.target(omp.teams_distribute_parallel_for(4, nested=inner, uses=()))
+        omp.launch(dev, tree, num_teams=1, team_size=32, simd_len=8,
+                   args={"out": out})
+        assert np.all(out.to_numpy() == 1)
+
+
+class TestSimdlenHint:
+    def test_hint_used_when_launch_omits_simd_len(self, dev):
+        args = make_xy(dev, 256)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                16, nested=omp.simd(16, body=element, simdlen=8)
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, args=args)
+        assert r.cfg.simd_len == 8
+        assert np.array_equal(args["y"].to_numpy(), np.arange(256) + 1.0)
+
+    def test_explicit_simd_len_overrides_hint(self, dev):
+        args = make_xy(dev, 256)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(
+                16, nested=omp.simd(16, body=element, simdlen=8)
+            )
+        )
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, simd_len=4, args=args)
+        assert r.cfg.simd_len == 4
+
+    def test_no_hint_defaults_to_one(self, dev):
+        args = make_xy(dev, 64)
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["y"], i, v + 1.0)
+
+        tree = omp.target(omp.teams_distribute_parallel_for(64, body=body))
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, args=args)
+        assert r.cfg.simd_len == 1
+
+
+def test_cost_breakdown_report(dev):
+    from repro.perf.report import cost_breakdown
+
+    args = make_xy(dev, 256)
+    tree = omp.target(
+        omp.teams_distribute_parallel_for(16, nested=omp.simd(16, body=element))
+    )
+    r = omp.launch(dev, tree, num_teams=2, team_size=64, simd_len=8, args=args)
+    text = cost_breakdown(r)
+    assert "critical path" in text and "%" in text and "wave" in text

@@ -1,0 +1,130 @@
+"""Tests for the SPMDization mode analysis (§3.2/§5.4 rules)."""
+
+import pytest
+
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.directives import (
+    ParallelFor,
+    Simd,
+    Target,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+)
+from repro.codegen.spmdization import analyze_modes
+from repro.runtime.icv import ExecMode
+
+
+def body(tc, ivs, view):
+    yield from tc.compute("alu")
+
+
+def pre(tc, ivs, view):
+    yield from tc.compute("alu")
+    return {"x": 1}
+
+
+def leaf(trip=4, **kw):
+    return CanonicalLoop(trip_count=trip, body=body, **kw)
+
+
+class TestCombinedConstruct:
+    def test_leaf_tdpf_is_all_spmd(self):
+        r = analyze_modes(Target(TeamsDistributeParallelFor(leaf())))
+        assert r.teams_mode is ExecMode.SPMD
+        assert r.parallel_mode is ExecMode.SPMD
+        assert not r.forced
+
+    def test_tight_simd_is_all_spmd(self):
+        tree = Target(
+            TeamsDistributeParallelFor(
+                CanonicalLoop(trip_count=4, nested=Simd(leaf()))
+            )
+        )
+        r = analyze_modes(tree)
+        assert (r.teams_mode, r.parallel_mode) == (ExecMode.SPMD, ExecMode.SPMD)
+
+    def test_nontight_simd_forces_generic_parallel(self):
+        tree = Target(
+            TeamsDistributeParallelFor(
+                CanonicalLoop(
+                    trip_count=4, nested=Simd(leaf()), pre=pre,
+                    captures=(("x", "i64"),),
+                )
+            )
+        )
+        r = analyze_modes(tree)
+        assert r.teams_mode is ExecMode.SPMD
+        assert r.parallel_mode is ExecMode.GENERIC
+
+
+class TestSplitConstruct:
+    def test_teams_distribute_is_generic(self):
+        """The paper's sparse baseline shape: TD + nested PF => teams generic."""
+        tree = Target(
+            TeamsDistribute(CanonicalLoop(trip_count=4, nested=ParallelFor(leaf())))
+        )
+        r = analyze_modes(tree)
+        assert r.teams_mode is ExecMode.GENERIC
+        assert r.parallel_mode is ExecMode.SPMD
+
+    def test_sequential_teams_loop(self):
+        r = analyze_modes(Target(TeamsDistribute(leaf())))
+        assert r.teams_mode is ExecMode.GENERIC
+        assert r.parallel_mode is ExecMode.SPMD
+
+    def test_three_levels_tight(self):
+        inner = ParallelFor(CanonicalLoop(trip_count=3, nested=Simd(leaf())))
+        tree = Target(TeamsDistribute(CanonicalLoop(trip_count=4, nested=inner)))
+        r = analyze_modes(tree)
+        assert r.teams_mode is ExecMode.GENERIC
+        assert r.parallel_mode is ExecMode.SPMD
+
+    def test_three_levels_nontight(self):
+        inner = ParallelFor(
+            CanonicalLoop(trip_count=3, nested=Simd(leaf()), pre=pre,
+                          captures=(("x", "i64"),))
+        )
+        tree = Target(TeamsDistribute(CanonicalLoop(trip_count=4, nested=inner)))
+        assert analyze_modes(tree).parallel_mode is ExecMode.GENERIC
+
+
+class TestForcedModes:
+    def test_guarded_spmdization_of_teams(self):
+        tree = Target(
+            TeamsDistribute(CanonicalLoop(trip_count=4, nested=ParallelFor(leaf()))),
+            teams_mode=ExecMode.SPMD,
+        )
+        r = analyze_modes(tree)
+        assert r.teams_mode is ExecMode.SPMD
+        assert r.forced
+        assert any("guarded" in reason.lower() for reason in r.reasons)
+
+    def test_force_generic_parallel(self):
+        tree = Target(
+            TeamsDistributeParallelFor(
+                CanonicalLoop(trip_count=4, nested=Simd(leaf())),
+                mode=ExecMode.GENERIC,
+            )
+        )
+        r = analyze_modes(tree)
+        assert r.parallel_mode is ExecMode.GENERIC
+        assert r.forced
+
+    def test_matching_clause_not_marked_forced(self):
+        tree = Target(
+            TeamsDistributeParallelFor(leaf(), mode=ExecMode.SPMD)
+        )
+        assert not analyze_modes(tree).forced
+
+    def test_describe_lists_reasons(self):
+        r = analyze_modes(Target(TeamsDistributeParallelFor(leaf())))
+        text = r.describe()
+        assert "teams: spmd" in text
+        assert "-" in text
+
+
+def test_analysis_rejects_non_target():
+    from repro.errors import DirectiveNestingError
+
+    with pytest.raises(DirectiveNestingError):
+        analyze_modes(TeamsDistribute(leaf()))

@@ -1,0 +1,32 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import CostParams, amd_mi100, nvidia_a100
+from repro.gpu.device import Device
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh NVIDIA-profile device per test."""
+    return Device(nvidia_a100())
+
+
+@pytest.fixture
+def amd_device() -> Device:
+    """A fresh AMD-profile device (64-wide wavefronts, no warp sync)."""
+    return Device(amd_mi100())
+
+
+@pytest.fixture
+def small_device() -> Device:
+    """A 2-SM device so occupancy/wave effects are visible in tests."""
+    return Device(nvidia_a100().with_overrides(num_sms=2))
+
+
+def run_lanes(device: Device, entry, threads: int = 32, blocks: int = 1, args=()):
+    """Launch and return kernel counters (convenience wrapper)."""
+    return device.launch(entry, num_blocks=blocks, threads_per_block=threads, args=args)

@@ -1,0 +1,122 @@
+"""Tests for the public API layer: builders, launch, results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodegenError
+from repro.core import api as omp
+from repro.gpu.costmodel import amd_mi100, nvidia_a100
+from repro.gpu.device import Device
+from repro.runtime.icv import ExecMode
+
+
+def body(tc, ivs, view):
+    (i,) = ivs
+    v = yield from tc.load(view["x"], i)
+    yield from tc.store(view["y"], i, v * 3.0)
+
+
+@pytest.fixture
+def dev():
+    return Device(nvidia_a100())
+
+
+def make_args(dev, n=128):
+    return {
+        "x": dev.from_array("x", np.arange(n, dtype=np.float64)),
+        "y": dev.from_array("y", np.zeros(n)),
+    }
+
+
+class TestBuilders:
+    def test_loop_builder(self):
+        lp = omp.loop(8, body=body, start=2, step=2, name="l")
+        assert lp.trip_count == 8 and lp.start == 2
+
+    def test_as_loop_rejects_double_options(self):
+        lp = omp.loop(8, body=body)
+        with pytest.raises(CodegenError, match="not both"):
+            omp.simd(lp, body=body)
+
+    def test_directive_sugar(self):
+        assert omp.simd(4, body=body).kind == "simd"
+        assert omp.parallel_for(4, body=body).kind == "parallel_for"
+        assert omp.teams_distribute(4, body=body).kind == "teams_distribute"
+        assert omp.teams_distribute_parallel_for(4, body=body).kind == "tdpf"
+        assert omp.target(omp.teams_distribute_parallel_for(4, body=body)).kind == "target"
+
+    def test_external_flag(self):
+        assert omp.simd(4, body=body, external=True).external
+
+
+class TestLaunch:
+    def test_launch_tree_directly(self, dev):
+        args = make_args(dev)
+        r = omp.launch(dev, omp.target(omp.teams_distribute_parallel_for(128, body=body)),
+                       num_teams=2, team_size=64, args=args)
+        assert np.array_equal(args["y"].to_numpy(), 3.0 * np.arange(128))
+        assert r.cycles > 0
+
+    def test_launch_precompiled_kernel_reusable(self, dev):
+        args = make_args(dev)
+        kernel = omp.compile(
+            omp.target(omp.teams_distribute_parallel_for(128, body=body)),
+            tuple(sorted(args)),
+        )
+        r1 = omp.launch(dev, kernel, num_teams=2, team_size=64, args=args)
+        args["y"].fill_from(np.zeros(128))
+        r2 = omp.launch(dev, kernel, num_teams=4, team_size=32, args=args)
+        assert np.array_equal(args["y"].to_numpy(), 3.0 * np.arange(128))
+        assert r1.cfg.num_teams == 2 and r2.cfg.num_teams == 4
+
+    def test_summary_fields(self, dev):
+        args = make_args(dev)
+        r = omp.launch(dev, omp.target(omp.teams_distribute_parallel_for(128, body=body)),
+                       num_teams=2, team_size=64, simd_len=1, args=args)
+        s = r.summary()
+        assert s["num_teams"] == 2.0
+        assert s["simd_len"] == 1.0
+        assert "omp_parallel_spmd" in s
+
+    def test_runtime_counters_attached_to_kernel_extra(self, dev):
+        args = make_args(dev)
+        r = omp.launch(dev, omp.target(omp.teams_distribute_parallel_for(128, body=body)),
+                       num_teams=1, team_size=64, args=args)
+        assert r.counters.extra["omp_parallel_spmd"] == 1.0
+
+    def test_regs_per_thread_lowers_occupancy(self):
+        results = {}
+        for regs in (32, 255):
+            dev = Device(nvidia_a100().with_overrides(num_sms=1))
+            args = make_args(dev, 1024)
+            r = omp.launch(
+                dev,
+                omp.target(omp.teams_distribute_parallel_for(1024, body=body)),
+                num_teams=8, team_size=128, args=args, regs_per_thread=regs,
+            )
+            results[regs] = (r.counters.blocks_per_sm, r.cycles)
+        assert results[255][0] < results[32][0]
+        assert results[255][1] >= results[32][1]
+
+    def test_amd_launch_spmd_simd_works(self):
+        dev = Device(amd_mi100())
+        args = make_args(dev)
+
+        def simd_body(tc, ivs, view):
+            i, j = ivs
+            idx = i * 32 + j
+            v = yield from tc.load(view["x"], idx)
+            yield from tc.store(view["y"], idx, v * 3.0)
+
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(4, nested=omp.simd(32, body=simd_body))
+        )
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, simd_len=8, args=args)
+        assert np.array_equal(args["y"].to_numpy(), 3.0 * np.arange(128))
+        assert not r.cfg.simd_demoted
+
+    def test_sharing_bytes_forwarded(self, dev):
+        args = make_args(dev)
+        r = omp.launch(dev, omp.target(omp.teams_distribute_parallel_for(128, body=body)),
+                       num_teams=1, team_size=32, args=args, sharing_bytes=512)
+        assert r.cfg.sharing_bytes == 512

@@ -1,0 +1,69 @@
+"""Tests for num_teams/thread_limit clause resolution at launch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodegenError
+from repro.core import api as omp
+from repro.codegen.canonical_loop import CanonicalLoop
+from repro.codegen.frontend import pragma
+
+
+def body(tc, ivs, view):
+    (i,) = ivs
+    v = yield from tc.load(view["x"], i)
+    yield from tc.store(view["y"], i, v + 1.0)
+
+
+def make_args(device, n=128):
+    return {
+        "x": device.from_array("x", np.arange(n, dtype=np.float64)),
+        "y": device.from_array("y", np.zeros(n)),
+    }
+
+
+def test_clause_hints_used_as_defaults(device):
+    args = make_args(device)
+    tree = omp.target(
+        omp.teams_distribute_parallel_for(128, body=body, num_teams=4, thread_limit=32)
+    )
+    r = omp.launch(device, tree, args=args)
+    assert (r.cfg.num_teams, r.cfg.team_size) == (4, 32)
+    assert np.array_equal(args["y"].to_numpy(), np.arange(128) + 1.0)
+
+
+def test_explicit_geometry_overrides_hints(device):
+    args = make_args(device)
+    tree = omp.target(
+        omp.teams_distribute_parallel_for(128, body=body, num_teams=4, thread_limit=32)
+    )
+    r = omp.launch(device, tree, num_teams=2, team_size=64, args=args)
+    assert (r.cfg.num_teams, r.cfg.team_size) == (2, 64)
+
+
+def test_missing_geometry_diagnosed(device):
+    args = make_args(device)
+    tree = omp.target(omp.teams_distribute_parallel_for(128, body=body))
+    with pytest.raises(CodegenError, match="num_teams"):
+        omp.launch(device, tree, args=args)
+
+
+def test_pragma_clauses_flow_to_launch(device):
+    args = make_args(device)
+    tree = pragma(
+        "target teams distribute parallel for num_teams(2) thread_limit(64)",
+        CanonicalLoop(trip_count=128, body=body),
+    )
+    r = omp.launch(device, tree, args=args)
+    assert (r.cfg.num_teams, r.cfg.team_size) == (2, 64)
+    assert np.array_equal(args["y"].to_numpy(), np.arange(128) + 1.0)
+
+
+def test_teams_distribute_hints(device):
+    args = make_args(device, 32)
+    tree = omp.target(
+        omp.teams_distribute(32, body=body, num_teams=2, thread_limit=32)
+    )
+    r = omp.launch(device, tree, args=args)
+    assert r.cfg.num_teams == 2
+    assert np.array_equal(args["y"].to_numpy(), np.arange(32) + 1.0)

@@ -1,0 +1,62 @@
+"""Unit tests for atomic semantics (scheduler-side apply function)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.atomics import apply_atomic
+from repro.gpu.memory import Buffer
+
+
+def make_buf(value=0):
+    buf = Buffer("b", "global", 4, np.int64)
+    buf.write(0, value)
+    return buf
+
+
+def test_add_returns_old():
+    buf = make_buf(10)
+    assert apply_atomic(buf, 0, "add", 5) == 10
+    assert buf.read(0) == 15
+
+
+def test_max():
+    buf = make_buf(10)
+    apply_atomic(buf, 0, "max", 3)
+    assert buf.read(0) == 10
+    apply_atomic(buf, 0, "max", 30)
+    assert buf.read(0) == 30
+
+
+def test_min():
+    buf = make_buf(10)
+    apply_atomic(buf, 0, "min", 30)
+    assert buf.read(0) == 10
+    apply_atomic(buf, 0, "min", 3)
+    assert buf.read(0) == 3
+
+
+def test_exch():
+    buf = make_buf(1)
+    assert apply_atomic(buf, 0, "exch", 99) == 1
+    assert buf.read(0) == 99
+
+
+def test_cas_success_and_failure():
+    buf = make_buf(5)
+    assert apply_atomic(buf, 0, "cas", (5, 7)) == 5
+    assert buf.read(0) == 7
+    assert apply_atomic(buf, 0, "cas", (5, 9)) == 7
+    assert buf.read(0) == 7  # compare failed, unchanged
+
+
+def test_unknown_op():
+    with pytest.raises(SimulationError, match="unknown atomic op"):
+        apply_atomic(make_buf(), 0, "xor", 1)
+
+
+def test_bounds_checked():
+    from repro.errors import MemoryFault
+
+    with pytest.raises(MemoryFault):
+        apply_atomic(make_buf(), 99, "add", 1)

@@ -1,0 +1,106 @@
+"""Unit and property tests for the coalescing / bank-conflict models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.coalescing import (
+    global_sectors,
+    shared_conflict_degree,
+    span_sectors,
+    transaction_summary,
+)
+
+
+class TestGlobalSectors:
+    def test_fully_coalesced_float32_warp(self):
+        # 32 lanes x 4 bytes contiguous = 128 bytes = 4 sectors.
+        addrs = [i * 4 for i in range(32)]
+        assert global_sectors(addrs) == 4
+
+    def test_fully_coalesced_float64_warp(self):
+        addrs = [i * 8 for i in range(32)]
+        assert global_sectors(addrs) == 8
+
+    def test_fully_scattered(self):
+        addrs = [i * 128 for i in range(32)]
+        assert global_sectors(addrs) == 32
+
+    def test_broadcast_single_sector(self):
+        assert global_sectors([64] * 32) == 1
+
+    def test_empty(self):
+        assert global_sectors([]) == 0
+
+    def test_custom_sector_size(self):
+        addrs = [0, 32, 64, 96]
+        assert global_sectors(addrs, sector_bytes=128) == 1
+
+
+class TestSpanSectors:
+    def test_aligned_span(self):
+        assert span_sectors(0, 32) == 1
+        assert span_sectors(0, 33) == 2
+
+    def test_unaligned_span(self):
+        assert span_sectors(31, 2) == 2
+
+    def test_zero_bytes(self):
+        assert span_sectors(100, 0) == 0
+
+
+class TestSharedConflicts:
+    def test_conflict_free_stride_one(self):
+        addrs = [i * 4 for i in range(32)]
+        assert shared_conflict_degree(addrs) == 1
+
+    def test_two_way_conflict_stride_two(self):
+        addrs = [i * 8 for i in range(32)]
+        assert shared_conflict_degree(addrs) == 2
+
+    def test_worst_case_same_bank(self):
+        addrs = [i * 32 * 4 for i in range(32)]
+        assert shared_conflict_degree(addrs) == 32
+
+    def test_broadcast_is_free(self):
+        # Same word from every lane: one pass.
+        assert shared_conflict_degree([128] * 32) == 1
+
+    def test_empty_access(self):
+        assert shared_conflict_degree([]) == 0
+
+
+class TestTransactionSummary:
+    def test_returns_sectors_and_ideal(self):
+        addrs = [i * 128 for i in range(8)]
+        sectors, ideal = transaction_summary(addrs)
+        assert sectors == 8
+        assert ideal == 1
+
+    def test_empty(self):
+        assert transaction_summary([]) == (0, 0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=64))
+def test_sector_count_bounds(addrs):
+    """1 <= sectors <= len(addrs); dedup never increases the count."""
+    n = global_sectors(addrs)
+    assert 1 <= n <= len(addrs)
+    assert global_sectors(set(addrs)) == n
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=64))
+def test_conflict_degree_bounds(addrs):
+    """Conflict degree is between 1 and the number of distinct words."""
+    d = shared_conflict_degree(addrs)
+    words = {a // 4 for a in addrs}
+    assert 1 <= d <= len(words)
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=1, max_value=4096),
+)
+def test_span_matches_enumeration(addr, nbytes):
+    """span_sectors agrees with enumerating every byte's sector."""
+    expected = len({(addr + k) // 32 for k in range(nbytes)})
+    assert span_sectors(addr, nbytes) == expected

@@ -1,0 +1,59 @@
+"""Unit tests for cost parameters and device profiles."""
+
+import pytest
+
+from repro.gpu.costmodel import (
+    CostParams,
+    amd_mi100,
+    benchmark_profile,
+    get_profile,
+    nvidia_a100,
+)
+
+
+class TestProfiles:
+    def test_nvidia_defaults(self):
+        p = nvidia_a100()
+        assert p.warp_size == 32
+        assert p.supports_warp_sync
+        assert p.num_sms == 108
+
+    def test_amd_differences(self):
+        p = amd_mi100()
+        assert p.warp_size == 64
+        assert not p.supports_warp_sync
+
+    def test_benchmark_profile_is_scaled(self):
+        p = benchmark_profile()
+        assert p.num_sms == 8
+        assert p.sector_cycles < nvidia_a100().sector_cycles
+        assert p.op_cost["fma"] == 6.0
+
+    def test_registry_lookup(self):
+        assert get_profile("nvidia-a100").name == "nvidia-a100"
+        assert get_profile("amd-mi100").warp_size == 64
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError, match="unknown device profile"):
+            get_profile("intel-pvc")
+
+
+class TestCostParams:
+    def test_op_cycles_known_kind(self):
+        p = CostParams()
+        assert p.op_cycles("sfu", 2) == 8.0
+
+    def test_op_cycles_unknown_kind_defaults_to_one(self):
+        p = CostParams()
+        assert p.op_cycles("mystery", 3) == 3.0
+
+    def test_with_overrides_copies(self):
+        p = CostParams()
+        q = p.with_overrides(num_sms=4)
+        assert q.num_sms == 4
+        assert p.num_sms == 108
+
+    def test_frozen(self):
+        p = CostParams()
+        with pytest.raises(Exception):
+            p.num_sms = 1

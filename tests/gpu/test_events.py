@@ -1,0 +1,76 @@
+"""Unit tests for the event vocabulary itself."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.events import (
+    ATOMIC_OPS,
+    SHUFFLE_MODES,
+    AtomicOp,
+    Compute,
+    Load,
+    Shuffle,
+    Store,
+    SyncBlock,
+    SyncWarp,
+    T_ATOMIC,
+    T_COMPUTE,
+    T_LOAD,
+    T_SHUFFLE,
+    T_STORE,
+    T_SYNCBLOCK,
+    T_SYNCWARP,
+)
+from repro.gpu.memory import Buffer
+
+
+def buf():
+    return Buffer("b", "global", 4, np.float64)
+
+
+def test_tags_are_distinct():
+    tags = {T_COMPUTE, T_LOAD, T_STORE, T_ATOMIC, T_SYNCWARP, T_SYNCBLOCK, T_SHUFFLE}
+    assert len(tags) == 7
+
+
+def test_event_classes_carry_their_tag():
+    assert Compute().tag == T_COMPUTE
+    assert Load(buf(), (0,)).tag == T_LOAD
+    assert Store(buf(), (0,), (1.0,)).tag == T_STORE
+    assert AtomicOp(buf(), 0, "add", 1).tag == T_ATOMIC
+    assert SyncWarp(0xF).tag == T_SYNCWARP
+    assert SyncBlock().tag == T_SYNCBLOCK
+    assert Shuffle("xor", 1.0, 1, 0xF).tag == T_SHUFFLE
+
+
+def test_compute_defaults():
+    c = Compute()
+    assert c.kind == "alu" and c.ops == 1
+
+
+def test_syncblock_defaults_classic():
+    s = SyncBlock()
+    assert s.bar_id == 0 and s.count is None
+
+
+def test_reprs_do_not_crash():
+    for ev in (
+        Compute("fma", 3),
+        Load(buf(), (0, 1)),
+        Store(buf(), (0,), (1.0,)),
+        AtomicOp(buf(), 0, "add", 1),
+        SyncWarp(0xFF),
+        SyncBlock(1, 32),
+        Shuffle("down", 1.0, 2, 0xFF),
+    ):
+        assert repr(ev)
+
+
+def test_op_name_constants():
+    assert "cas" in ATOMIC_OPS
+    assert set(SHUFFLE_MODES) == {"idx", "up", "down", "xor"}
+
+
+def test_slots_reject_arbitrary_attributes():
+    with pytest.raises(AttributeError):
+        Compute().foo = 1

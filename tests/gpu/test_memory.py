@@ -1,0 +1,206 @@
+"""Unit tests for device memory: buffers, global allocator, shared memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, MemoryFault
+from repro.gpu.memory import (
+    GLOBAL_ALIGN,
+    Buffer,
+    GlobalMemory,
+    SharedMemory,
+    local_buffer,
+)
+
+
+class TestBuffer:
+    def test_basic_read_write(self):
+        buf = Buffer("b", "global", 4, np.float64)
+        buf.write(2, 3.5)
+        assert buf.read(2) == 3.5
+        assert buf.read(0) == 0.0
+
+    def test_out_of_bounds_read(self):
+        buf = Buffer("b", "global", 4, np.float64)
+        with pytest.raises(MemoryFault, match="out of bounds"):
+            buf.read(4)
+
+    def test_out_of_bounds_negative(self):
+        buf = Buffer("b", "global", 4, np.float64)
+        with pytest.raises(MemoryFault):
+            buf.write(-1, 0.0)
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(ValueError, match="unknown memory space"):
+            Buffer("b", "texture", 4, np.float64)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer("b", "global", -1, np.float64)
+
+    def test_byte_address_uses_itemsize(self):
+        buf = Buffer("b", "global", 8, np.float32, base=256)
+        assert buf.byte_address(0) == 256
+        assert buf.byte_address(3) == 256 + 3 * 4
+
+    def test_backing_array_shared(self):
+        host = np.arange(6, dtype=np.int64)
+        buf = Buffer("b", "global", 6, np.int64, data=host)
+        buf.write(0, 99)
+        assert host[0] == 99
+
+    def test_backing_array_size_mismatch(self):
+        with pytest.raises(ValueError, match="elements"):
+            Buffer("b", "global", 4, np.int64, data=np.zeros(5, dtype=np.int64))
+
+    def test_backing_array_dtype_mismatch(self):
+        with pytest.raises(ValueError, match="dtype"):
+            Buffer("b", "global", 4, np.int64, data=np.zeros(4, dtype=np.float64))
+
+    def test_to_numpy_is_a_copy(self):
+        buf = Buffer("b", "global", 3, np.float64)
+        out = buf.to_numpy()
+        out[0] = 42.0
+        assert buf.read(0) == 0.0
+
+    def test_fill_from(self):
+        buf = Buffer("b", "global", 3, np.float64)
+        buf.fill_from([1.0, 2.0, 3.0])
+        assert buf.read(1) == 2.0
+
+    def test_fill_from_size_mismatch(self):
+        buf = Buffer("b", "global", 3, np.float64)
+        with pytest.raises(ValueError):
+            buf.fill_from([1.0, 2.0])
+
+    def test_nbytes(self):
+        assert Buffer("b", "global", 10, np.float64).nbytes == 80
+
+
+class TestGlobalMemory:
+    def test_alloc_assigns_disjoint_ranges(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 100, np.float64)
+        b = g.alloc("b", 100, np.float64)
+        assert a.base % GLOBAL_ALIGN == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_null_address_reserved(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 1, np.uint8)
+        assert a.base > 0
+
+    def test_handles_resolve(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 4, np.int64)
+        assert g.lookup(a.handle) is a
+
+    def test_null_handle_faults(self):
+        g = GlobalMemory()
+        with pytest.raises(MemoryFault, match="handle"):
+            g.lookup(0)
+
+    def test_free_invalidates_handle(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 4, np.int64)
+        g.free(a)
+        with pytest.raises(MemoryFault):
+            g.lookup(a.handle)
+
+    def test_double_free_faults(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 4, np.int64)
+        g.free(a)
+        with pytest.raises(MemoryFault, match="double free"):
+            g.free(a)
+
+    def test_live_bytes_accounting(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 10, np.float64)
+        b = g.alloc("b", 10, np.float64)
+        assert g.live_bytes == 160
+        g.free(a)
+        assert g.live_bytes == 80
+        assert g.peak_bytes == 160
+
+    def test_capacity_exhaustion(self):
+        g = GlobalMemory(capacity=1024)
+        with pytest.raises(AllocationError, match="exhausted"):
+            g.alloc("big", 1024, np.float64)
+
+    def test_from_array_roundtrip(self):
+        g = GlobalMemory()
+        host = np.linspace(0, 1, 17)
+        buf = g.from_array("x", host)
+        assert np.array_equal(buf.to_numpy(), host)
+
+    def test_scalar_box(self):
+        g = GlobalMemory()
+        s = g.scalar("s", 3.25)
+        assert s.size == 1
+        assert s.read(0) == 3.25
+
+    def test_scalar_with_dtype(self):
+        g = GlobalMemory()
+        s = g.scalar("s", 7, dtype=np.int32)
+        assert s.dtype == np.dtype(np.int32)
+
+    def test_register_foreign_buffer(self):
+        g = GlobalMemory()
+        shared = Buffer("sh", "shared", 4, np.uint64)
+        h = g.register(shared)
+        assert h != 0
+        assert g.lookup(h) is shared
+
+    def test_register_idempotent(self):
+        g = GlobalMemory()
+        shared = Buffer("sh", "shared", 4, np.uint64)
+        assert g.register(shared) == g.register(shared)
+
+    def test_alloc_free_counters(self):
+        g = GlobalMemory()
+        a = g.alloc("a", 1, np.uint8)
+        g.free(a)
+        assert g.alloc_count == 1
+        assert g.free_count == 1
+
+
+class TestSharedMemory:
+    def test_bump_allocation(self):
+        sh = SharedMemory(capacity=1024)
+        a = sh.alloc("a", 16, np.float64)
+        b = sh.alloc("b", 16, np.float64)
+        assert a.space == "shared"
+        assert b.base >= a.base + a.nbytes
+        assert sh.used == b.base + b.nbytes
+
+    def test_capacity_enforced(self):
+        sh = SharedMemory(capacity=64)
+        sh.alloc("a", 8, np.float64)
+        with pytest.raises(AllocationError, match="shared memory exhausted"):
+            sh.alloc("b", 1, np.float64)
+
+    def test_reset_rewinds(self):
+        sh = SharedMemory(capacity=64)
+        sh.alloc("a", 8, np.float64)
+        sh.reset()
+        assert sh.used == 0
+        sh.alloc("b", 8, np.float64)  # fits again
+
+    def test_remaining(self):
+        sh = SharedMemory(capacity=100)
+        sh.alloc("a", 10, np.uint8)
+        assert sh.remaining == 100 - sh.used
+
+    def test_alignment(self):
+        sh = SharedMemory(capacity=128)
+        sh.alloc("a", 3, np.uint8)
+        b = sh.alloc("b", 1, np.float64)
+        assert b.base % 8 == 0
+
+
+def test_local_buffer():
+    buf = local_buffer("tmp", 4, np.float64)
+    assert buf.space == "local"
+    buf.write(0, 1.5)
+    assert buf.read(0) == 1.5

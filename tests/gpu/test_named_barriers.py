@@ -1,0 +1,81 @@
+"""Tests for named, counted block barriers (PTX ``barrier.sync id, n``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError
+
+
+class TestNamedBarriers:
+    def test_counted_barrier_releases_subset(self, device):
+        """Workers barrier among themselves while warp 1 never arrives."""
+        out = device.alloc("o", 1, np.int64)
+
+        def k(tc, out):
+            if tc.warp_id == 0:
+                yield from tc.syncthreads(bar_id=1, count=32)
+                yield from tc.atomic_add(out, 0, 1)
+            else:
+                for _ in range(50):
+                    yield from tc.compute("alu")
+
+        device.launch(k, 1, 64, args=(out,))
+        assert out.read(0) == 32
+
+    def test_main_join_unaffected_by_worker_barrier(self, device):
+        """The warp-specialization pattern: main waits at id 0 while workers
+        synchronize repeatedly at id 1; main must wake only when workers
+        reach the id-0 join."""
+        order = device.alloc("order", 3, np.int64)
+        step = device.alloc("step", 1, np.int64)
+
+        def k(tc, order, step):
+            if tc.tid == 32:  # "main" thread in warp 1
+                yield from tc.syncthreads(bar_id=0, count=33)
+                s = yield from tc.load(step, 0)
+                yield from tc.store(order, 2, s)
+            elif tc.tid < 32:  # workers
+                yield from tc.syncthreads(bar_id=1, count=32)
+                if tc.tid == 0:
+                    yield from tc.atomic_add(step, 0, 1)
+                yield from tc.syncthreads(bar_id=1, count=32)
+                if tc.tid == 0:
+                    yield from tc.atomic_add(step, 0, 1)
+                yield from tc.syncthreads(bar_id=0, count=33)
+            else:
+                return  # rest of warp 1 retires
+
+        device.launch(k, 1, 64, args=(order, step))
+        # Main observed both worker phases completed before its join fired.
+        assert order.read(2) == 2
+
+    def test_default_barrier_waits_for_named_waiters_forever(self, device):
+        """A classic barrier cannot complete while lanes sit at a named one."""
+
+        def k(tc):
+            if tc.lane_id < 16:
+                yield from tc.syncthreads()  # classic: needs all live lanes
+            else:
+                yield from tc.syncthreads(bar_id=7, count=32)  # never 32
+
+        with pytest.raises(DeadlockError):
+            device.launch(k, 1, 32)
+
+    def test_two_independent_named_barriers(self, device):
+        hits = device.alloc("h", 2, np.int64)
+
+        def k(tc, hits):
+            group = tc.tid // 16
+            yield from tc.syncthreads(bar_id=group + 1, count=16)
+            if tc.tid % 16 == 0:
+                yield from tc.atomic_add(hits, group, 1)
+
+        device.launch(k, 1, 32, args=(hits,))
+        assert list(hits.to_numpy()) == [1, 1]
+
+    def test_counted_barrier_counts_syncblocks(self, device):
+        def k(tc):
+            yield from tc.syncthreads(bar_id=1, count=32)
+
+        kc = device.launch(k, 1, 32)
+        assert kc.syncblocks == 1

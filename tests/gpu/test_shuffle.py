@@ -1,0 +1,117 @@
+"""Tests for warp shuffles: resolver semantics and on-device behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SynchronizationError
+from repro.gpu.shuffle import resolve_shuffles
+
+
+class TestResolver:
+    def setup_method(self):
+        self.lanes = [0, 1, 2, 3]
+        self.values = {l: l * 10 for l in self.lanes}
+
+    def test_idx_mode(self):
+        out = resolve_shuffles("idx", self.lanes, self.values, {l: 2 for l in self.lanes})
+        assert all(out[l] == 20 for l in self.lanes)
+
+    def test_down_mode(self):
+        out = resolve_shuffles("down", self.lanes, self.values, {l: 1 for l in self.lanes})
+        assert out[0] == 10 and out[2] == 30
+        assert out[3] == 30  # out of segment: own value
+
+    def test_up_mode(self):
+        out = resolve_shuffles("up", self.lanes, self.values, {l: 2 for l in self.lanes})
+        assert out[2] == 0 and out[3] == 10
+        assert out[0] == 0  # own value
+
+    def test_xor_mode(self):
+        out = resolve_shuffles("xor", self.lanes, self.values, {l: 1 for l in self.lanes})
+        assert out[0] == 10 and out[1] == 0 and out[2] == 30 and out[3] == 20
+
+    def test_segment_relative_lanes(self):
+        """Non-contiguous masks behave as compact segments."""
+        lanes = [8, 9, 10, 11]
+        values = {l: l for l in lanes}
+        out = resolve_shuffles("down", lanes, values, {l: 1 for l in lanes})
+        assert out[8] == 9 and out[11] == 11
+
+    def test_unknown_mode(self):
+        with pytest.raises(SynchronizationError, match="shuffle mode"):
+            resolve_shuffles("rotate", [0], {0: 1}, {0: 0})
+
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=15))
+    def test_idx_reads_are_permutation_lookups(self, src, seed):
+        lanes = list(range(8))
+        values = {l: (l * 7 + seed) % 13 for l in lanes}
+        out = resolve_shuffles("idx", lanes, values, {l: src for l in lanes})
+        assert all(out[l] == values[src] for l in lanes)
+
+
+class TestOnDevice:
+    def test_butterfly_sum_full_warp(self, device):
+        out = device.alloc("o", 32, np.float64)
+
+        def k(tc, out):
+            v = float(tc.lane_id)
+            d = 16
+            while d >= 1:
+                other = yield from tc.shfl_xor(v, d)
+                v += other
+                d //= 2
+            yield from tc.store(out, tc.lane_id, v)
+
+        device.launch(k, 1, 32, args=(out,))
+        assert np.all(out.to_numpy() == sum(range(32)))
+
+    def test_shfl_idx_broadcast(self, device):
+        out = device.alloc("o", 32, np.float64)
+
+        def k(tc, out):
+            v = yield from tc.shfl(float(tc.lane_id), 5)
+            yield from tc.store(out, tc.lane_id, v)
+
+        device.launch(k, 1, 32, args=(out,))
+        assert np.all(out.to_numpy() == 5.0)
+
+    def test_subgroup_shuffles_are_independent(self, device):
+        """Two 16-lane segments shuffle without crosstalk."""
+        out = device.alloc("o", 32, np.float64)
+
+        def k(tc, out):
+            seg = tc.lane_id // 16
+            mask = 0xFFFF << (16 * seg)
+            v = yield from tc.shfl(float(tc.lane_id), 0, mask)
+            yield from tc.store(out, tc.lane_id, v)
+
+        device.launch(k, 1, 32, args=(out,))
+        expect = np.repeat([0.0, 16.0], 16)
+        assert np.array_equal(out.to_numpy(), expect)
+
+    def test_shuffle_with_retired_lane_deadlocks(self, device):
+        from repro.errors import DeadlockError
+
+        def k(tc):
+            if tc.lane_id == 7:
+                return
+                yield
+            yield from tc.shfl_xor(1.0, 1)
+
+        with pytest.raises(DeadlockError):
+            device.launch(k, 1, 32)
+
+    def test_shfl_up_down_chain(self, device):
+        out = device.alloc("o", 32, np.float64)
+
+        def k(tc, out):
+            down = yield from tc.shfl_down(float(tc.lane_id), 1)
+            up = yield from tc.shfl_up(float(tc.lane_id), 1)
+            yield from tc.store(out, tc.lane_id, down - up)
+
+        device.launch(k, 1, 32, args=(out,))
+        res = out.to_numpy()
+        assert res[1] == (2.0 - 0.0)
+        assert res[0] == 1.0  # down=1, up=own(0)
+        assert res[31] == 31.0 - 30.0

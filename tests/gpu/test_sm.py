@@ -1,0 +1,122 @@
+"""Unit tests for occupancy limits and wave/kernel cycle composition."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.counters import BlockCounters
+from repro.gpu.sm import blocks_per_sm, compose_kernel_cycles, sm_cycles, wave_cycles
+
+
+def block(rounds=0, issue=0.0, mem=0.0, sync=0.0, mem_serial=0):
+    b = BlockCounters()
+    b.rounds = rounds
+    b.issue_cycles = issue
+    b.mem_cycles = mem
+    b.sync_cycles = sync
+    b.mem_serial_rounds = mem_serial
+    return b
+
+
+class TestOccupancy:
+    def test_warp_limit(self):
+        p = nvidia_a100()
+        # 1024-thread blocks = 32 warps; 64 warps per SM -> 2 blocks.
+        assert blocks_per_sm(p, 1024, 0) == 2
+
+    def test_block_limit(self):
+        p = nvidia_a100()
+        assert blocks_per_sm(p, 32, 0) == p.max_blocks_per_sm
+
+    def test_shared_memory_limit(self):
+        p = nvidia_a100()
+        assert blocks_per_sm(p, 32, p.shared_mem_per_sm // 4) == 4
+
+    def test_shared_memory_overflow(self):
+        p = nvidia_a100()
+        with pytest.raises(LaunchError, match="shared memory"):
+            blocks_per_sm(p, 32, p.shared_mem_per_sm + 1)
+
+    def test_register_limit(self):
+        p = nvidia_a100()
+        # 128 regs x 128 threads = 16K regs -> 64K/16K = 4 blocks.
+        assert blocks_per_sm(p, 128, 0, regs_per_thread=128) == 4
+
+    def test_register_limit_never_below_one(self):
+        p = nvidia_a100()
+        assert blocks_per_sm(p, 1024, 0, regs_per_thread=255) == 1
+
+    def test_invalid_threads(self):
+        with pytest.raises(LaunchError):
+            blocks_per_sm(nvidia_a100(), 0, 0)
+
+
+class TestWaveCycles:
+    def test_empty_wave(self):
+        assert wave_cycles(nvidia_a100(), []) == 0.0
+
+    def test_critical_path_dominates(self):
+        p = nvidia_a100()
+        w = [block(rounds=1000)]
+        assert wave_cycles(p, w) == 1000 * p.round_latency
+
+    def test_mem_latency_term(self):
+        p = nvidia_a100()
+        w = [block(rounds=10, mem_serial=5)]
+        assert wave_cycles(p, w) == 10 * p.round_latency + 5 * p.mem_latency_cycles
+
+    def test_issue_throughput_sums_over_blocks(self):
+        p = nvidia_a100()
+        w = [block(issue=4000.0), block(issue=4000.0)]
+        assert wave_cycles(p, w) == 8000.0 / p.issue_width
+
+    def test_memory_throughput_sums(self):
+        p = nvidia_a100()
+        w = [block(mem=500.0), block(mem=700.0)]
+        assert wave_cycles(p, w) == 1200.0
+
+    def test_sync_added_on_top(self):
+        p = nvidia_a100()
+        w = [block(rounds=100, sync=50.0)]
+        assert wave_cycles(p, w) == 100 * p.round_latency + 50.0
+
+    def test_max_of_terms(self):
+        p = nvidia_a100()
+        w = [block(rounds=10, issue=100000.0, mem=3.0)]
+        assert wave_cycles(p, w) == 100000.0 / p.issue_width
+
+
+class TestComposition:
+    def test_single_block_single_sm(self):
+        p = nvidia_a100()
+        cycles, resident, waves = compose_kernel_cycles(p, [block(rounds=10)], 32, 0)
+        assert cycles == 10 * p.round_latency
+        assert waves == 1
+
+    def test_waves_split_by_residency(self):
+        p = nvidia_a100().with_overrides(num_sms=1, max_blocks_per_sm=2)
+        blocks = [block(rounds=10) for _ in range(4)]
+        cycles, resident, waves = compose_kernel_cycles(p, blocks, 32, 0)
+        assert resident == 2
+        assert waves == 2
+        assert cycles == 2 * (10 * p.round_latency)
+
+    def test_kernel_time_is_slowest_sm(self):
+        p = nvidia_a100().with_overrides(num_sms=2)
+        blocks = [block(rounds=10), block(rounds=100), block(rounds=10)]
+        # Round-robin: SM0 gets blocks 0 and 2, SM1 gets block 1.
+        cycles, _, _ = compose_kernel_cycles(p, blocks, 32, 0)
+        assert cycles == 100 * p.round_latency  # SM1's lone slow block wins
+        assert cycles > wave_cycles(p, [blocks[0], blocks[2]])
+
+    def test_sm_cycles_sums_waves(self):
+        p = nvidia_a100()
+        blocks = [block(rounds=5), block(rounds=7)]
+        assert sm_cycles(p, blocks, resident=1) == (5 + 7) * p.round_latency
+
+    def test_register_pressure_reduces_occupancy_increases_time(self):
+        p = nvidia_a100().with_overrides(num_sms=1)
+        blocks = [block(rounds=10) for _ in range(8)]
+        lo, _, _ = compose_kernel_cycles(p, blocks, 128, 0, regs_per_thread=32)
+        hi, _, _ = compose_kernel_cycles(p, blocks, 128, 0, regs_per_thread=255)
+        assert hi > lo

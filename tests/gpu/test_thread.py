@@ -1,0 +1,61 @@
+"""Unit tests for ThreadCtx identity and helper coverage."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.thread import DONE, RUN, Lane, ThreadCtx, full_mask
+
+
+class TestIdentity:
+    def test_lane_and_warp_decomposition(self):
+        tc = ThreadCtx(tid=70, warp_size=32, block_id=3, num_blocks=8,
+                       block_dim=128, block=None)
+        assert tc.warp_id == 2
+        assert tc.lane_id == 6
+        assert tc.global_tid == 3 * 128 + 70
+
+    def test_warp_mask(self):
+        tc = ThreadCtx(0, 32, 0, 1, 32, None)
+        assert tc.warp_mask() == (1 << 32) - 1
+
+    def test_full_mask_amd_width(self):
+        assert full_mask(64) == (1 << 64) - 1
+
+    def test_rt_slot_defaults_none(self):
+        tc = ThreadCtx(0, 32, 0, 1, 32, None)
+        assert tc.rt is None
+
+
+class TestAlloca:
+    def test_alloca_is_lane_private_name(self):
+        tc = ThreadCtx(5, 32, 0, 1, 32, None)
+        buf = tc.alloca("tmp", 4, np.float64)
+        assert buf.space == "local"
+        assert "t5" in buf.name
+
+
+class TestLaneBookkeeping:
+    def test_describe(self):
+        lane = Lane(3, 0, 3, iter([]))
+        assert "t3" in lane.describe()
+        lane.state = DONE
+        assert "retired" in lane.describe()
+
+
+class TestTracer:
+    def test_tracer_sees_every_event(self, device):
+        x = device.from_array("x", np.zeros(32))
+        seen = []
+
+        def k(tc, x):
+            yield from tc.compute("alu")
+            yield from tc.store(x, tc.tid, 1.0)
+
+        device.launch(k, 1, 32, args=(x,), tracer=lambda b, r, t, ev: seen.append((r, t, ev.tag)))
+        from repro.gpu.events import T_COMPUTE, T_STORE
+
+        assert len(seen) == 64
+        assert {tag for _, _, tag in seen} == {T_COMPUTE, T_STORE}
+        # Rounds are ordered: all computes in round 0, stores in round 1.
+        assert all(r == 0 for r, _, tag in seen if tag == T_COMPUTE)
+        assert all(r == 1 for r, _, tag in seen if tag == T_STORE)

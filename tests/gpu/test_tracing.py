@@ -1,0 +1,62 @@
+"""Tests for the trace recorder and Chrome-trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu.tracing import TraceRecorder
+
+
+def run_traced(device, recorder, blocks=2, threads=32):
+    x = device.from_array("x", np.zeros(64))
+
+    def k(tc, x):
+        yield from tc.compute("alu")
+        yield from tc.store(x, tc.tid, 1.0)
+        yield from tc.syncthreads()
+
+    device.launch(k, blocks, threads, args=(x,), tracer=recorder)
+
+
+class TestRecorder:
+    def test_records_all_events(self, device):
+        rec = TraceRecorder()
+        run_traced(device, rec)
+        assert len(rec) == 2 * 32 * 3
+        assert rec.summary() == {"compute": 64, "store": 64, "syncblock": 64}
+
+    def test_for_thread_timeline_in_order(self, device):
+        rec = TraceRecorder()
+        run_traced(device, rec)
+        timeline = rec.for_thread(1, 5)
+        assert [rnd for rnd, _, _ in timeline] == [0, 1, 2]
+        assert [label.split()[0] for _, _, label in timeline] == [
+            "compute", "store", "syncblock",
+        ]
+
+    def test_event_cap_drops_and_counts(self, device):
+        rec = TraceRecorder(max_events=10)
+        run_traced(device, rec)
+        assert len(rec) == 10
+        assert rec.summary()["dropped"] == 2 * 32 * 3 - 10
+
+
+class TestChromeExport:
+    def test_export_structure(self, device):
+        rec = TraceRecorder()
+        run_traced(device, rec)
+        events = rec.to_chrome_trace()
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["pid"] for m in meta} == {0, 1}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all({"name", "ts", "dur", "pid", "tid"} <= set(e) for e in complete)
+
+    def test_save_valid_json(self, device, tmp_path):
+        rec = TraceRecorder()
+        run_traced(device, rec)
+        path = tmp_path / "trace.json"
+        rec.save(str(path))
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+        assert len(data["traceEvents"]) > 0

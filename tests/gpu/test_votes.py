@@ -1,0 +1,92 @@
+"""Tests for warp vote primitives (any/all/ballot)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeadlockError
+
+
+class TestVotes:
+    def test_ballot_full_warp(self, device):
+        out = device.alloc("o", 32, np.uint64)
+
+        def k(tc, out):
+            b = yield from tc.ballot(tc.lane_id % 2 == 0)
+            yield from tc.store(out, tc.lane_id, b)
+
+        device.launch(k, 1, 32, args=(out,))
+        expect = sum(1 << i for i in range(0, 32, 2))
+        assert np.all(out.to_numpy() == expect)
+
+    def test_any_and_all(self, device):
+        res = device.alloc("r", 4, np.int64)
+
+        def k(tc, res):
+            a1 = yield from tc.vote_any(tc.lane_id == 7)
+            a2 = yield from tc.vote_any(False)
+            a3 = yield from tc.vote_all(tc.lane_id < 32)
+            a4 = yield from tc.vote_all(tc.lane_id < 31)
+            if tc.lane_id == 0:
+                yield from tc.store_vec(res, range(4), (int(a1), int(a2), int(a3), int(a4)))
+
+        device.launch(k, 1, 32, args=(res,))
+        assert list(res.to_numpy()) == [1, 0, 1, 0]
+
+    def test_subgroup_votes_independent(self, device):
+        out = device.alloc("o", 32, np.uint64)
+
+        def k(tc, out):
+            seg = tc.lane_id // 8
+            mask = 0xFF << (8 * seg)
+            b = yield from tc.ballot(seg == 1, mask)
+            yield from tc.store(out, tc.lane_id, b)
+
+        device.launch(k, 1, 32, args=(out,))
+        res = out.to_numpy()
+        assert np.all(res[0:8] == 0)
+        assert np.all(res[8:16] == 0xFF00)
+        assert np.all(res[16:] == 0)
+
+    def test_vote_with_retired_lane_deadlocks(self, device):
+        def k(tc):
+            if tc.lane_id == 0:
+                return
+                yield
+            yield from tc.vote_any(True)
+
+        with pytest.raises(DeadlockError):
+            device.launch(k, 1, 32)
+
+    @settings(deadline=None, max_examples=20)
+    @given(preds=st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_ballot_matches_python(self, preds):
+        from repro.gpu.costmodel import nvidia_a100
+        from repro.gpu.device import Device
+
+        dev = Device(nvidia_a100())
+        out = dev.alloc("o", 1, np.uint64)
+
+        def k(tc, out):
+            b = yield from tc.ballot(preds[tc.lane_id])
+            if tc.lane_id == 0:
+                yield from tc.store(out, 0, b)
+
+        dev.launch(k, 1, 32, args=(out,))
+        expect = sum(1 << i for i, p in enumerate(preds) if p)
+        assert int(out.read(0)) == expect
+
+    def test_activemask_idiom(self, device):
+        """The DeviceRTL activemask idiom: ballot(True) inside divergence."""
+        out = device.alloc("o", 1, np.uint64)
+
+        def k(tc, out):
+            if tc.lane_id < 10:
+                m = yield from tc.ballot(True, mask=(1 << 10) - 1)
+                if tc.lane_id == 0:
+                    yield from tc.store(out, 0, m)
+            else:
+                yield from tc.compute("alu")
+
+        device.launch(k, 1, 32, args=(out,))
+        assert int(out.read(0)) == (1 << 10) - 1

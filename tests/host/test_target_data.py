@@ -1,0 +1,136 @@
+"""Tests for target-data regions: map semantics, updates, transfer costs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.core import api as omp
+from repro.host import MapKind, TargetDataRegion, target_data
+from repro.host.target_data import InterconnectModel
+
+
+class TestMapSemantics:
+    def test_to_copies_in_not_out(self, device):
+        host = np.arange(8.0)
+        with target_data(device, x=(host, "to")) as region:
+            buf = region.buffer("x")
+            assert np.array_equal(buf.to_numpy(), host)
+            buf.write(0, 99.0)
+        assert host[0] == 0.0  # device change not copied back
+
+    def test_from_copies_out_not_in(self, device):
+        host = np.arange(8.0)
+        with target_data(device, y=(host, "from")) as region:
+            buf = region.buffer("y")
+            assert np.all(buf.to_numpy() == 0.0)  # entry contents fresh
+            buf.fill_from(np.full(8, 7.0))
+        assert np.all(host == 7.0)
+
+    def test_tofrom_round_trips(self, device):
+        host = np.arange(8.0)
+        with target_data(device, z=(host, MapKind.TOFROM)) as region:
+            buf = region.buffer("z")
+            buf.fill_from(buf.to_numpy() * 2)
+        assert np.array_equal(host, 2.0 * np.arange(8))
+
+    def test_alloc_never_transfers(self, device):
+        host = np.arange(8.0)
+        with target_data(device, s=(host, "alloc")) as region:
+            region.buffer("s").write(0, 5.0)
+        assert host[0] == 0.0
+        assert region.counters.h2d_transfers == 0
+        assert region.counters.d2h_transfers == 0
+
+    def test_multidim_arrays_flatten(self, device):
+        host = np.arange(12.0).reshape(3, 4)
+        with target_data(device, m=(host, "tofrom")) as region:
+            buf = region.buffer("m")
+            buf.fill_from(np.zeros(12))
+        assert np.all(host == 0.0)
+
+    def test_buffers_freed_on_exit(self, device):
+        live = device.gmem.live_bytes
+        with target_data(device, x=(np.zeros(64), "to")):
+            assert device.gmem.live_bytes > live
+        assert device.gmem.live_bytes == live
+
+    def test_exit_transfers_survive_exceptions(self, device):
+        host = np.zeros(4)
+        with pytest.raises(RuntimeError):
+            with target_data(device, y=(host, "from")) as region:
+                region.buffer("y").fill_from(np.ones(4))
+                raise RuntimeError("kernel failed")
+        assert np.all(host == 1.0)
+
+
+class TestErrors:
+    def test_unknown_mapping(self, device):
+        with target_data(device, x=(np.zeros(4), "to")) as region:
+            with pytest.raises(ReproError, match="no mapping"):
+                region.buffer("ghost")
+
+    def test_access_outside_region(self, device):
+        region = target_data(device, x=(np.zeros(4), "to"))
+        with pytest.raises(ReproError, match="not open"):
+            region.buffers
+
+    def test_double_open(self, device):
+        region = target_data(device, x=(np.zeros(4), "to")).open()
+        with pytest.raises(ReproError, match="already open"):
+            region.open()
+        region.close()
+
+    def test_bad_kind(self, device):
+        with pytest.raises(ValueError):
+            target_data(device, x=(np.zeros(4), "sideways"))
+
+    def test_object_arrays_rejected(self, device):
+        with pytest.raises(ReproError, match="object arrays"):
+            target_data(device, x=(np.array([object()]), "to"))
+
+
+class TestUpdates:
+    def test_update_to_and_from(self, device):
+        host = np.arange(4.0)
+        with target_data(device, x=(host, "to")) as region:
+            host[:] = 100.0
+            region.update_to("x")
+            assert np.all(region.buffer("x").to_numpy() == 100.0)
+            region.buffer("x").fill_from(np.full(4, 7.0))
+            region.update_from("x")
+            assert np.all(host == 7.0)
+
+
+class TestTransferAccounting:
+    def test_bytes_and_counts(self, device):
+        host = np.zeros(128)  # 1 KiB
+        with target_data(device, x=(host, "tofrom")) as region:
+            pass
+        c = region.counters
+        assert c.h2d_bytes == 1024 and c.d2h_bytes == 1024
+        assert c.h2d_transfers == 1 and c.d2h_transfers == 1
+        assert c.transfer_us > 0
+
+    def test_interconnect_model_math(self):
+        model = InterconnectModel(bandwidth_gbps=10.0, latency_us=5.0)
+        # 10 GB/s = 10 KB/us; 100 KB -> 10 us + 5 us latency.
+        assert model.transfer_us(100_000) == pytest.approx(15.0)
+
+    def test_resident_data_amortizes_transfers(self, device):
+        """Two kernels inside one region: one h2d + one d2h, not two each."""
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["x"], i, v + 1.0)
+
+        host = np.zeros(64)
+        tree = omp.target(omp.teams_distribute_parallel_for(64, body=body))
+        kernel = omp.compile(tree, ("x",))
+        with target_data(device, x=(host, "tofrom")) as region:
+            for _ in range(5):
+                omp.launch(device, kernel, num_teams=1, team_size=64,
+                           args=region.buffers)
+        assert np.all(host == 5.0)
+        assert region.counters.h2d_transfers == 1
+        assert region.counters.d2h_transfers == 1

@@ -1,0 +1,130 @@
+"""Tests for deferred target tasks (nowait + depend scheduling)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.core import api as omp
+from repro.host.tasks import TaskQueue
+
+
+def scale_kernel(factor):
+    def body(tc, ivs, view):
+        (i,) = ivs
+        v = yield from tc.load(view["buf"], i)
+        yield from tc.compute("fma")
+        yield from tc.store(view["buf"], i, v * factor)
+
+    return omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(64, body=body)),
+        ("buf",),
+        name=f"scale{factor}",
+    )
+
+
+def add_kernel(dst, src):
+    def body(tc, ivs, view):
+        (i,) = ivs
+        a = yield from tc.load(view[dst], i)
+        b = yield from tc.load(view[src], i)
+        yield from tc.store(view[dst], i, a + b)
+
+    return omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(64, body=body)),
+        (dst, src),
+        name=f"add.{dst}+{src}",
+    )
+
+
+@pytest.fixture
+def queue(device):
+    return TaskQueue(device, num_streams=4)
+
+
+def geometry():
+    return dict(num_teams=2, team_size=32)
+
+
+class TestFunctionalOrdering:
+    def test_dependent_chain_computes_in_order(self, device, queue):
+        buf = device.from_array("a", np.ones(64))
+        k2, k3 = scale_kernel(2.0), scale_kernel(3.0)
+        queue.submit(k2, {"buf": buf}, depend_in=("a",), depend_out=("a",), **geometry())
+        queue.submit(k3, {"buf": buf}, depend_in=("a",), depend_out=("a",), **geometry())
+        queue.taskwait()
+        assert np.all(buf.to_numpy() == 6.0)
+
+    def test_flow_dependency_edges(self, device, queue):
+        a = device.from_array("a", np.ones(64))
+        b = device.from_array("b", np.full(64, 2.0))
+        c = device.from_array("c", np.zeros(64))
+        t0 = queue.submit(scale_kernel(5.0), {"buf": a},
+                          depend_in=("a",), depend_out=("a",), **geometry())
+        t1 = queue.submit(scale_kernel(7.0), {"buf": b},
+                          depend_in=("b",), depend_out=("b",), **geometry())
+        t2 = queue.submit(add_kernel("c", "a"), {"c": c, "a": a},
+                          depend_in=("a", "c"), depend_out=("c",), **geometry())
+        assert t0.predecessors == ()
+        assert t1.predecessors == ()  # independent: no edge
+        assert t0.task_id in t2.predecessors
+        assert t1.task_id not in t2.predecessors
+        assert np.all(c.to_numpy() == 5.0)
+
+    def test_anti_dependency(self, device, queue):
+        """A writer must wait for earlier readers of the same token."""
+        a = device.from_array("a", np.ones(64))
+        c = device.from_array("c", np.zeros(64))
+        reader = queue.submit(add_kernel("c", "a"), {"c": c, "a": a},
+                              depend_in=("a",), depend_out=("c",), **geometry())
+        writer = queue.submit(scale_kernel(2.0), {"buf": a},
+                              depend_in=(), depend_out=("a",), **geometry())
+        assert reader.task_id in writer.predecessors
+
+
+class TestTimelineModel:
+    def test_independent_tasks_overlap(self, device, queue):
+        bufs = [device.from_array(f"b{i}", np.ones(64)) for i in range(4)]
+        k = scale_kernel(2.0)
+        for i, b in enumerate(bufs):
+            queue.submit(k, {"buf": b}, depend_in=(f"b{i}",),
+                         depend_out=(f"b{i}",), **geometry())
+        assert queue.makespan_us < queue.serial_us
+        assert {t.stream for t in queue.tasks} == {0, 1, 2, 3}
+
+    def test_dependent_tasks_serialize_on_timeline(self, device, queue):
+        buf = device.from_array("a", np.ones(64))
+        k = scale_kernel(2.0)
+        t0 = queue.submit(k, {"buf": buf}, depend_in=("a",), depend_out=("a",), **geometry())
+        t1 = queue.submit(k, {"buf": buf}, depend_in=("a",), depend_out=("a",), **geometry())
+        assert t1.start_us >= t0.finish_us
+        assert queue.makespan_us == pytest.approx(queue.serial_us)
+
+    def test_stream_limit_caps_overlap(self, device):
+        q = TaskQueue(device, num_streams=2)
+        k = scale_kernel(2.0)
+        for i in range(4):
+            b = device.from_array(f"b{i}", np.ones(64))
+            q.submit(k, {"buf": b}, depend_in=(), depend_out=(f"b{i}",),
+                     **geometry())
+        # 4 equal tasks on 2 streams: makespan ~ half the serial time.
+        assert q.makespan_us == pytest.approx(q.serial_us / 2, rel=0.01)
+
+    def test_taskwait_fences_timeline(self, device, queue):
+        k = scale_kernel(2.0)
+        b0 = device.from_array("b0", np.ones(64))
+        t0 = queue.submit(k, {"buf": b0}, depend_out=("b0",), **geometry())
+        wall = queue.taskwait()
+        b1 = device.from_array("b1", np.ones(64))
+        t1 = queue.submit(k, {"buf": b1}, depend_out=("b1",), **geometry())
+        assert t1.start_us >= wall >= t0.finish_us
+
+    def test_describe(self, device, queue):
+        b = device.from_array("b", np.ones(64))
+        queue.submit(scale_kernel(2.0), {"buf": b}, depend_out=("b",), **geometry())
+        text = queue.describe()
+        assert "target tasks" in text and "stream" in text
+
+
+def test_invalid_stream_count(device):
+    with pytest.raises(ReproError):
+        TaskQueue(device, num_streams=0)

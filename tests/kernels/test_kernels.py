@@ -1,0 +1,179 @@
+"""Correctness tests for every evaluation kernel, across variants and
+group sizes (small problem sizes; the benches run the full geometries)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import benchmark_profile
+from repro.gpu.device import Device
+from repro.kernels import (
+    ideal,
+    laplace3d,
+    muram_interpol,
+    muram_transpose,
+    sparse_matvec,
+    su3,
+)
+from repro.runtime.icv import ExecMode
+
+
+@pytest.fixture
+def dev():
+    return Device(benchmark_profile())
+
+
+class TestSparseMatvec:
+    def test_two_level_matches_reference(self, dev):
+        data = sparse_matvec.build_data(dev, n_rows=64, n_cols=64, mean_nnz=6)
+        r = sparse_matvec.run_two_level(dev, data, num_teams=4, team_size=32)
+        assert data.check()
+        assert r.cfg.teams_mode is ExecMode.GENERIC
+
+    @pytest.mark.parametrize("g", [1, 2, 8, 32])
+    def test_simd_matches_reference(self, dev, g):
+        data = sparse_matvec.build_data(dev, n_rows=64, n_cols=64, mean_nnz=6)
+        r = sparse_matvec.run_simd(dev, data, simd_len=g, num_teams=4, team_size=64)
+        assert data.check()
+        assert r.cfg.teams_mode is ExecMode.SPMD
+        assert r.cfg.parallel_mode is ExecMode.GENERIC
+
+    def test_reduction_variant_matches(self, dev):
+        data = sparse_matvec.build_data(dev, n_rows=64, n_cols=64, mean_nnz=6)
+        r = sparse_matvec.run_simd_reduction(dev, data, simd_len=8,
+                                             num_teams=4, team_size=64)
+        assert data.check()
+        assert r.counters.atomics == 0  # reductions remove the atomics
+
+    def test_atomic_variant_uses_atomics(self, dev):
+        data = sparse_matvec.build_data(dev, n_rows=64, n_cols=64, mean_nnz=6)
+        r = sparse_matvec.run_simd(dev, data, simd_len=8, num_teams=4, team_size=64)
+        assert r.counters.atomics == data.csr.nnz
+
+    def test_empty_rows_handled(self, dev):
+        """Rows with a zero trip count execute no iterations but still
+        participate in the group protocol (hand-built CSR)."""
+        from repro.kernels.common import CSRMatrix
+
+        n = 8
+        lengths = np.array([3, 0, 2, 0, 0, 4, 1, 0], dtype=np.int64)
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=row_ptr[1:])
+        rng = np.random.default_rng(0)
+        nnz = int(row_ptr[-1])
+        csr = CSRMatrix(
+            n_rows=n,
+            n_cols=n,
+            row_ptr=row_ptr,
+            col_idx=rng.integers(0, n, nnz).astype(np.int64),
+            values=rng.standard_normal(nnz),
+            x=rng.standard_normal(n),
+        )
+        data = sparse_matvec.SpmvData(
+            csr=csr,
+            row_ptr=dev.from_array("rp", csr.row_ptr),
+            col_idx=dev.from_array("ci", csr.col_idx),
+            values=dev.from_array("v", csr.values),
+            x=dev.from_array("x", csr.x),
+            y=dev.from_array("y", np.zeros(n)),
+        )
+        sparse_matvec.run_simd(dev, data, simd_len=8, num_teams=1, team_size=32)
+        assert data.check()
+
+
+class TestSu3:
+    def test_baseline_matches_reference(self, dev):
+        data = su3.build_data(dev, sites=64)
+        su3.run_baseline(dev, data, num_teams=2, team_size=32)
+        assert data.check()
+
+    @pytest.mark.parametrize("g", [2, 4, 32])
+    def test_simd_matches_reference(self, dev, g):
+        data = su3.build_data(dev, sites=64)
+        r = su3.run_simd(dev, data, simd_len=g, num_teams=2, team_size=32)
+        assert data.check()
+        # Tight nesting: both levels SPMD, no state machine activity.
+        assert r.cfg.parallel_mode is ExecMode.SPMD
+        assert r.runtime.simd_wakeups == 0
+
+    def test_inner_trip_is_36(self):
+        assert su3.INNER_TRIP == 36
+
+
+class TestIdeal:
+    def test_baseline_matches_reference(self, dev):
+        data = ideal.build_data(dev, n_rows=64)
+        ideal.run_baseline(dev, data, num_teams=2, team_size=64)
+        assert data.check()
+
+    @pytest.mark.parametrize("g", [2, 16, 32])
+    def test_simd_matches_reference(self, dev, g):
+        data = ideal.build_data(dev, n_rows=64)
+        r = ideal.run_simd(dev, data, simd_len=g, num_teams=2, team_size=64)
+        assert data.check()
+        # The indirection pre makes the parallel region generic (§6.3).
+        assert r.cfg.parallel_mode is ExecMode.GENERIC
+
+
+@pytest.mark.parametrize(
+    "mod", [laplace3d, muram_transpose, muram_interpol],
+    ids=["laplace3d", "transpose", "interpol"],
+)
+class TestFig10Kernels:
+    def test_all_variants_match_reference(self, dev, mod):
+        data = mod.build_data(dev, nx=6, ny=6)
+        for variant in ("no_simd", "spmd_simd", "generic_simd"):
+            r = mod.run(dev, data, variant, simd_len=8, num_teams=2, team_size=32)
+            assert data.check(), f"{mod.__name__} {variant} mismatch"
+
+    def test_modes_resolve_as_labelled(self, dev, mod):
+        data = mod.build_data(dev, nx=6, ny=6)
+        r_no = mod.run(dev, data, "no_simd", num_teams=2, team_size=32)
+        assert r_no.cfg.simd_len == 1
+        r_spmd = mod.run(dev, data, "spmd_simd", simd_len=8, num_teams=2, team_size=32)
+        assert r_spmd.cfg.parallel_mode is ExecMode.SPMD
+        r_gen = mod.run(dev, data, "generic_simd", simd_len=8, num_teams=2, team_size=32)
+        assert r_gen.cfg.parallel_mode is ExecMode.GENERIC
+        assert r_gen.runtime.simd_wakeups > 0
+
+
+class TestCommonGenerators:
+    def test_csr_structure_valid(self):
+        from repro.kernels.common import make_csr
+
+        csr = make_csr(n_rows=50, n_cols=40, mean_nnz=5, seed=1)
+        assert csr.row_ptr[0] == 0
+        assert np.all(np.diff(csr.row_ptr) >= 1)
+        assert csr.nnz == len(csr.col_idx) == len(csr.values)
+        assert csr.col_idx.min() >= 0 and csr.col_idx.max() < 40
+        # Columns unique within each row.
+        for r in range(50):
+            cols = csr.col_idx[csr.row_ptr[r] : csr.row_ptr[r + 1]]
+            assert len(set(cols)) == len(cols)
+
+    def test_csr_matvec_matches_dense(self):
+        from repro.kernels.common import make_csr
+
+        csr = make_csr(n_rows=20, n_cols=20, mean_nnz=4, seed=3)
+        assert np.allclose(csr.matvec(), csr.to_dense() @ csr.x)
+
+    def test_csr_deterministic(self):
+        from repro.kernels.common import make_csr
+
+        a, b = make_csr(seed=9), make_csr(seed=9)
+        assert np.array_equal(a.values, b.values)
+
+    def test_su3_reference_matches_manual(self):
+        from repro.kernels.common import make_complex_matrices, su3_reference
+
+        a, b = make_complex_matrices(3, links=4, seed=2)
+        ref = su3_reference(a, b)
+        ac = a[..., 0] + 1j * a[..., 1]
+        bc = b[..., 0] + 1j * b[..., 1]
+        manual = ac[1, 2] @ bc[1]
+        assert np.allclose(ref[1, 2, ..., 0], manual.real)
+        assert np.allclose(ref[1, 2, ..., 1], manual.imag)
+
+    def test_flat3(self):
+        from repro.kernels.common import flat3
+
+        assert flat3(1, 2, 3, ny=4, nz=5) == (1 * 4 + 2) * 5 + 3

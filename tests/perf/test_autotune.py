@@ -1,0 +1,70 @@
+"""Tests for the group-size auto-tuner (§6.5 mechanized)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perf.autotune import TuneResult, best_simd_len, candidate_groups, lane_waste
+
+
+class TestLaneWaste:
+    def test_exact_division_no_waste(self):
+        assert lane_waste(36, 4) == 0.0
+        assert lane_waste(32, 32) == 0.0
+
+    def test_partial_pass_waste(self):
+        # 36 over 32 lanes: 2 passes, 64 slots, 28 idle.
+        assert lane_waste(36, 32) == pytest.approx(28 / 64)
+
+    def test_zero_trip(self):
+        assert lane_waste(0, 8) == 0.0
+
+    @given(
+        trip=st.integers(min_value=1, max_value=500),
+        group=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    )
+    def test_waste_bounds(self, trip, group):
+        w = lane_waste(trip, group)
+        assert 0.0 <= w < 1.0
+        if trip % group == 0:
+            assert w == 0.0
+
+
+class TestCandidates:
+    def test_divisors_of_warp(self):
+        assert candidate_groups(32) == (1, 2, 4, 8, 16, 32)
+        assert candidate_groups(64) == (1, 2, 4, 8, 16, 32, 64)
+
+    def test_waste_filter(self):
+        cands = candidate_groups(32, inner_trip=36, max_waste=0.05)
+        assert 4 in cands and 32 not in cands
+
+    def test_filter_never_empties(self):
+        cands = candidate_groups(32, inner_trip=1, max_waste=0.0)
+        assert 1 in cands  # trip 1: only group 1 has zero waste
+        cands_all = candidate_groups(32, inner_trip=31, max_waste=0.0)
+        assert cands_all == (1, 2, 4, 8, 16, 32) or 1 in cands_all
+
+
+class TestBestSimdLen:
+    def test_picks_minimum(self):
+        costs = {1: 100.0, 2: 60.0, 4: 40.0, 8: 55.0}
+        result = best_simd_len(lambda g: costs[g], groups=(1, 2, 4, 8))
+        assert result.best == 4
+        assert result.speedup_over_worst == pytest.approx(100 / 40)
+        assert "g=4" in result.describe()
+
+    def test_with_real_kernel(self):
+        from repro.gpu.costmodel import benchmark_profile
+        from repro.gpu.device import Device
+        from repro.kernels import sparse_matvec as spmv
+
+        def run(g):
+            dev = Device(benchmark_profile())
+            data = spmv.build_data(dev, n_rows=96, n_cols=96, mean_nnz=8)
+            r = spmv.run_simd(dev, data, simd_len=g, num_teams=4, team_size=64)
+            assert data.check()
+            return r.cycles
+
+        result = best_simd_len(run, groups=(2, 8, 32))
+        assert result.best in (2, 8, 32)
+        assert len(result.cycles) == 3

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro.perf`` command-line entry."""
+
+import pytest
+
+from repro.perf.__main__ import main
+
+
+def test_single_series_quick(capsys):
+    assert main(["--quick", "--only", "benchmark_kernel"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 9 — benchmark_kernel" in out
+    assert "paper: max" in out
+
+
+def test_fig10_series_quick(capsys):
+    assert main(["--quick", "--only", "muram_transpose"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 10 — muram_transpose" in out
+
+
+def test_markdown_output(tmp_path, capsys):
+    path = tmp_path / "results.md"
+    assert main(["--quick", "--only", "laplace3d", "--markdown", str(path)]) == 0
+    text = path.read_text()
+    assert "Fig 10 (measured)" in text
+    assert "laplace3d" in text
+
+
+def test_unknown_series_rejected():
+    with pytest.raises(SystemExit):
+        main(["--only", "nbody"])

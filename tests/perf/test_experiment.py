@@ -1,0 +1,97 @@
+"""Tests for the experiment harness and report formatting (quick mode)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.experiment import (
+    FIG9_GROUPS,
+    PAPER_FIG9,
+    PAPER_FIG10,
+    run_fig9,
+    run_fig10,
+)
+from repro.perf.report import (
+    ascii_bars,
+    experiments_md_fig9,
+    experiments_md_fig10,
+    fig9_table,
+    fig10_table,
+)
+from repro.perf.sweep import group_size_sweep, sweep
+
+
+class TestFig9Harness:
+    @pytest.mark.parametrize("kernel", sorted(PAPER_FIG9))
+    def test_quick_run_structure(self, kernel):
+        r = run_fig9(kernel, quick=True)
+        assert set(r.speedups) == set(FIG9_GROUPS)
+        assert r.baseline_cycles > 0
+        assert all(c > 0 for c in r.cycles.values())
+        assert r.best_group in FIG9_GROUPS
+        assert r.paper["max_speedup"] > 1.0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ReproError, match="unknown Fig 9"):
+            run_fig9("nbody")
+
+    def test_sparse_quick_still_wins_at_eight(self):
+        r = run_fig9("sparse_matvec", quick=True)
+        assert r.speedups[8] > 1.0
+
+
+class TestFig10Harness:
+    @pytest.mark.parametrize("kernel", sorted(PAPER_FIG10))
+    def test_quick_run_structure(self, kernel):
+        r = run_fig10(kernel, quick=True)
+        assert set(r.relative) == {"no_simd", "spmd_simd", "generic_simd"}
+        assert r.relative["no_simd"] == 1.0
+        assert r.relative["generic_simd"] < 1.05
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ReproError, match="unknown Fig 10"):
+            run_fig10("stream")
+
+
+class TestReportFormatting:
+    def test_fig9_table_mentions_paper(self):
+        r = run_fig9("benchmark_kernel", quick=True)
+        text = fig9_table(r)
+        assert "paper: max" in text and "benchmark_kernel" in text
+
+    def test_fig10_table(self):
+        r = run_fig10("muram_transpose", quick=True)
+        text = fig10_table(r)
+        assert "no_simd" in text and "paper" in text
+
+    def test_ascii_bars(self):
+        text = ascii_bars({"a": 1.0, "b": 2.0})
+        assert "#" in text and "2.00x" in text
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars({}) == "(empty)"
+
+    def test_experiments_md_rows(self):
+        r9 = run_fig9("benchmark_kernel", quick=True)
+        md = experiments_md_fig9([r9])
+        assert md.count("|") > 8 and "benchmark_kernel" in md
+        r10 = run_fig10("laplace3d", quick=True)
+        md10 = experiments_md_fig10([r10])
+        assert "laplace3d" in md10
+
+
+class TestSweeps:
+    def test_generic_sweep_fresh_devices(self):
+        seen = []
+
+        def run_one(device, value):
+            seen.append(device)
+            return value * 2
+
+        out = sweep([1, 2, 3], run_one)
+        assert [v for v, _ in out] == [1, 2, 3]
+        assert [r for _, r in out] == [2, 4, 6]
+        assert len({id(d) for d in seen}) == 3
+
+    def test_group_size_sweep_defaults(self):
+        out = group_size_sweep(lambda dev, g: g)
+        assert [v for v, _ in out] == [1, 2, 4, 8, 16, 32]

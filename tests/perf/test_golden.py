@@ -1,0 +1,46 @@
+"""Golden regression tests: exact cost-model outputs for pinned configs.
+
+The simulator is fully deterministic, so these values are exact.  They
+exist to catch *unintentional* cost-model drift — if you deliberately
+retune the model (see DESIGN.md §2), rerun the configs below and update
+the numbers together with EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.perf.experiment import run_fig9, run_fig10
+
+# Pinned on cost-model contract v1.0 (see DESIGN.md).
+GOLDEN_SPMV_QUICK = {
+    "baseline": 21110.0,
+    2: 13100.0,
+    4: 8150.0,
+    8: 4762.0,
+    16: 5364.0,
+    32: 6334.0,
+}
+
+GOLDEN_LAPLACE_QUICK = {
+    "no_simd": 2500.0,
+    "spmd_simd": 3162.0,
+    "generic_simd": 3236.0,
+}
+
+
+def test_sparse_matvec_quick_cycles_exact():
+    r = run_fig9("sparse_matvec", quick=True)
+    assert r.baseline_cycles == GOLDEN_SPMV_QUICK["baseline"]
+    for g in (2, 4, 8, 16, 32):
+        assert r.cycles[g] == GOLDEN_SPMV_QUICK[g], f"group {g} drifted"
+
+
+def test_laplace_quick_cycles_exact():
+    r = run_fig10("laplace3d", quick=True)
+    for variant, expect in GOLDEN_LAPLACE_QUICK.items():
+        assert r.cycles[variant] == expect, f"{variant} drifted"
+
+
+def test_goldens_are_self_consistent():
+    """The pinned numbers encode the expected orderings too."""
+    assert GOLDEN_SPMV_QUICK[8] < GOLDEN_SPMV_QUICK[2]
+    assert GOLDEN_LAPLACE_QUICK["no_simd"] < GOLDEN_LAPLACE_QUICK["generic_simd"]

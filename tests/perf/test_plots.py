@@ -1,0 +1,57 @@
+"""Tests for the SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.perf.experiment import run_fig9, run_fig10
+from repro.perf.plots import fig9_svg, fig10_svg, save_svg
+
+
+@pytest.fixture(scope="module")
+def fig9_result():
+    return run_fig9("benchmark_kernel", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig10_result():
+    return run_fig10("muram_transpose", quick=True)
+
+
+def test_fig9_svg_is_valid_xml(fig9_result):
+    svg = fig9_svg(fig9_result)
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    rects = [e for e in root.iter() if e.tag.endswith("rect")]
+    # background + one bar per group size
+    assert len(rects) == 1 + len(fig9_result.speedups)
+
+
+def test_fig9_svg_includes_paper_reference(fig9_result):
+    svg = fig9_svg(fig9_result)
+    assert "paper max" in svg
+    assert "benchmark_kernel" in svg
+
+
+def test_fig10_svg_bars_and_reference(fig10_result):
+    svg = fig10_svg(fig10_result)
+    root = ET.fromstring(svg)
+    rects = [e for e in root.iter() if e.tag.endswith("rect")]
+    assert len(rects) == 1 + 3  # background + three variants
+    assert "muram_transpose" in svg
+
+
+def test_save_svg(tmp_path, fig10_result):
+    path = tmp_path / "fig.svg"
+    save_svg(fig10_svg(fig10_result), str(path))
+    assert path.read_text().startswith("<svg")
+
+
+def test_cli_svg_output(tmp_path, capsys):
+    from repro.perf.__main__ import main
+
+    out_dir = tmp_path / "figs"
+    assert main(["--quick", "--only", "laplace3d", "--svg", str(out_dir)]) == 0
+    files = list(out_dir.glob("*.svg"))
+    assert len(files) == 1
+    ET.fromstring(files[0].read_text())  # valid XML

@@ -1,0 +1,52 @@
+"""Helpers for driving the OpenMP runtime directly (below codegen)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.device import Device
+from repro.runtime.dispatch import DispatchTable
+from repro.runtime.icv import ExecMode, LaunchConfig
+from repro.runtime.state import RuntimeCounters, TeamRuntime
+
+
+def make_cfg(
+    num_teams=1,
+    team_size=64,
+    simd_len=8,
+    teams_mode=ExecMode.SPMD,
+    parallel_mode=ExecMode.GENERIC,
+    params=None,
+    sharing_bytes=2048,
+):
+    return LaunchConfig(
+        num_teams=num_teams,
+        team_size=team_size,
+        simd_len=simd_len,
+        teams_mode=teams_mode,
+        parallel_mode=parallel_mode,
+        params=params or nvidia_a100(),
+        sharing_bytes=sharing_bytes,
+    )
+
+
+def launch_rt(device, cfg, body, table=None, counters=None, args=()):
+    """Launch ``body(tc, rt, *args)`` on every hardware thread of the league.
+
+    Returns ``(kernel_counters, runtime_counters)``.
+    """
+    table = table if table is not None else DispatchTable()
+    counters = counters if counters is not None else RuntimeCounters()
+
+    def entry(tc):
+        rt = TeamRuntime.get(tc, cfg, device.gmem, table, counters)
+        yield from body(tc, rt, *args)
+
+    kc = device.launch(entry, cfg.num_teams, cfg.block_dim)
+    return kc, counters
+
+
+@pytest.fixture
+def rt_device():
+    return Device(nvidia_a100())

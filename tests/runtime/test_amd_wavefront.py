@@ -1,0 +1,97 @@
+"""AMD-profile behaviour: 64-wide wavefronts, SPMD simd, generic demotion."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as omp
+from repro.gpu.costmodel import amd_mi100
+from repro.gpu.device import Device
+from repro.runtime.icv import ExecMode, LaunchConfig
+
+
+@pytest.fixture
+def dev():
+    return Device(amd_mi100())
+
+
+def element(tc, ivs, view):
+    i, j = ivs
+    idx = i * 64 + j
+    v = yield from tc.load(view["x"], idx)
+    yield from tc.store(view["y"], idx, v + 1.0)
+
+
+def make_args(dev, n):
+    return {
+        "x": dev.from_array("x", np.arange(n, dtype=np.float64)),
+        "y": dev.from_array("y", np.zeros(n)),
+    }
+
+
+class TestWavefrontGroups:
+    @pytest.mark.parametrize("simd_len", [2, 8, 64])
+    def test_spmd_simd_group_sizes_up_to_64(self, dev, simd_len):
+        """Wavefront-wide SIMD groups work in SPMD mode (divisors of 64)."""
+        args = make_args(dev, 8 * 64)
+        tree = omp.target(
+            omp.teams_distribute_parallel_for(8, nested=omp.simd(64, body=element))
+        )
+        r = omp.launch(dev, tree, num_teams=2, team_size=128,
+                       simd_len=simd_len, args=args)
+        assert np.array_equal(args["y"].to_numpy(), np.arange(8 * 64) + 1.0)
+        assert r.cfg.simd_len == simd_len
+        assert r.cfg.groups_per_warp == 64 // simd_len
+
+    def test_simd_len_32_valid_on_amd(self):
+        """32 divides the 64-wide wavefront, so it is a legal group size."""
+        cfg = LaunchConfig(1, 64, 32, ExecMode.SPMD, ExecMode.SPMD,
+                           params=amd_mi100())
+        assert cfg.num_groups == 2
+
+    def test_generic_teams_extra_wavefront(self, dev):
+        """Generic teams mode adds a full 64-lane wavefront for the main."""
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["y"], i, v + 1.0)
+
+        args = make_args(dev, 64)
+        tree = omp.target(omp.teams_distribute(64, body=body))
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, args=args)
+        assert r.cfg.block_dim == 64 + 64
+        assert np.array_equal(args["y"].to_numpy(), np.arange(64) + 1.0)
+
+    def test_generic_parallel_demotes_but_generic_teams_works(self, dev):
+        """§5.4.1: only the *parallel-level* generic mode needs wavefront
+        barriers; the teams-level state machine (block barriers) works."""
+        def pre(tc, ivs, view):
+            yield from tc.compute("alu")
+            return {"base": int(ivs[0]) * 64}
+
+        def body(tc, ivs, view):
+            i, j = ivs
+            idx = int(view["base"]) + j
+            v = yield from tc.load(view["x"], idx)
+            yield from tc.store(view["y"], idx, v + 1.0)
+
+        args = make_args(dev, 4 * 64)
+        inner = omp.parallel_for(
+            omp.loop(1, nested=omp.simd(64, body=body), pre=None)
+        )
+        # Split construct: teams generic; inner simd tight => parallel SPMD
+        # is fine on AMD, no demotion.
+        def strip_body(tc, ivs, view):
+            i, _m, j = ivs
+            idx = i * 64 + j
+            v = yield from tc.load(view["x"], idx)
+            yield from tc.store(view["y"], idx, v + 1.0)
+
+        inner = omp.parallel_for(
+            omp.loop(1, nested=omp.simd(64, body=strip_body))
+        )
+        tree = omp.target(omp.teams_distribute(4, nested=inner))
+        r = omp.launch(dev, tree, num_teams=1, team_size=64, simd_len=8, args=args)
+        assert np.array_equal(args["y"].to_numpy(), np.arange(4 * 64) + 1.0)
+        assert r.cfg.teams_mode is ExecMode.GENERIC
+        assert not r.cfg.simd_demoted
+        assert r.runtime.worker_wakeups > 0

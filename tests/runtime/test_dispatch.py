@@ -1,0 +1,107 @@
+"""Unit tests for the outlined-function dispatch table and if/cascade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.runtime.dispatch import (
+    INDIRECT_CALL_OPS,
+    DispatchTable,
+    cascade_cost_ops,
+    invoke_microtask,
+)
+from repro.runtime.payload import PayloadLayout
+
+
+def empty_layout():
+    return PayloadLayout.build([])
+
+
+def dummy_task(tc, *args):
+    yield from tc.compute("alu")
+    return "done"
+
+
+class TestTable:
+    def test_register_assigns_sequential_ids_from_one(self):
+        t = DispatchTable()
+        a = t.register(dummy_task, empty_layout(), "a")
+        b = t.register(dummy_task, empty_layout(), "b")
+        assert (a, b) == (1, 2)  # 0 is the null/termination id
+
+    def test_lookup(self):
+        t = DispatchTable()
+        fn_id = t.register(dummy_task, empty_layout(), "a", kind="simd")
+        info = t.lookup(fn_id)
+        assert info.name == "a" and info.kind == "simd"
+
+    def test_lookup_unknown_faults(self):
+        with pytest.raises(RuntimeFault, match="unknown outlined function"):
+            DispatchTable().lookup(7)
+
+    def test_known_ids_exclude_external(self):
+        t = DispatchTable()
+        a = t.register(dummy_task, empty_layout(), "a")
+        b = t.register(dummy_task, empty_layout(), "b", known=False)
+        assert t.known_ids() == (a,)
+
+    def test_len(self):
+        t = DispatchTable()
+        t.register(dummy_task, empty_layout(), "a")
+        assert len(t) == 1
+
+    def test_reduction_recorded(self):
+        t = DispatchTable()
+        fn = t.register(dummy_task, empty_layout(), "r", reduction="add")
+        assert t.lookup(fn).reduction == "add"
+
+
+class TestCascadeCost:
+    def test_cost_grows_with_position(self):
+        t = DispatchTable()
+        ids = [t.register(dummy_task, empty_layout(), f"t{i}") for i in range(4)]
+        costs = [cascade_cost_ops(t, i) for i in ids]
+        assert costs == [1, 2, 3, 4]
+
+    def test_external_pays_indirect(self):
+        t = DispatchTable()
+        t.register(dummy_task, empty_layout(), "a")
+        ext = t.register(dummy_task, empty_layout(), "x", known=False)
+        assert cascade_cost_ops(t, ext) == 1 + INDIRECT_CALL_OPS
+
+
+class TestInvocation:
+    def test_invoke_runs_task_and_returns(self, device):
+        t = DispatchTable()
+        out = device.alloc("o", 1, np.float64)
+
+        def task(tc, value):
+            yield from tc.store(out, 0, value)
+            return value * 2
+
+        fn = t.register(task, empty_layout(), "task")
+        results = device.alloc("r", 1, np.float64)
+
+        def k(tc):
+            r = yield from invoke_microtask(tc, t, fn, 21.0)
+            yield from tc.store(results, 0, r)
+
+        device.launch(k, 1, 1)
+        assert out.read(0) == 21.0 and results.read(0) == 42.0
+
+    def test_external_invocation_adds_rounds(self, device):
+        known_rounds = {}
+        for known in (True, False):
+            t = DispatchTable()
+
+            def task(tc):
+                yield from tc.compute("alu")
+
+            fn = t.register(task, empty_layout(), "t", known=known)
+
+            def k(tc):
+                yield from invoke_microtask(tc, t, fn)
+
+            kc = device.launch(k, 1, 32)
+            known_rounds[known] = kc.rounds
+        assert known_rounds[False] > known_rounds[True]

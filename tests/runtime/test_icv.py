@@ -1,0 +1,117 @@
+"""Unit tests for LaunchConfig validation and derived geometry."""
+
+import pytest
+
+from repro.errors import InvalidSimdGroupError, UnsupportedFeatureError
+from repro.gpu.costmodel import amd_mi100, nvidia_a100
+from repro.runtime.icv import DEFAULT_SHARING_BYTES, ExecMode, LaunchConfig
+
+
+def cfg(**kw):
+    base = dict(
+        num_teams=4,
+        team_size=128,
+        simd_len=8,
+        teams_mode=ExecMode.SPMD,
+        parallel_mode=ExecMode.GENERIC,
+        params=nvidia_a100(),
+    )
+    base.update(kw)
+    return LaunchConfig(**base)
+
+
+class TestValidation:
+    def test_valid_config(self):
+        c = cfg()
+        assert c.num_groups == 16
+        assert c.groups_per_warp == 4
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_team_counts(self, bad):
+        with pytest.raises(InvalidSimdGroupError):
+            cfg(num_teams=bad)
+
+    def test_team_size_must_be_warp_multiple(self):
+        with pytest.raises(InvalidSimdGroupError, match="multiple of the warp"):
+            cfg(team_size=100)
+
+    @pytest.mark.parametrize("bad", [0, 3, 5, 33, 64])
+    def test_simd_len_must_divide_warp(self, bad):
+        with pytest.raises(InvalidSimdGroupError, match="divide the warp"):
+            cfg(simd_len=bad)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 8, 16, 32])
+    def test_valid_simd_lens(self, good):
+        assert cfg(simd_len=good).simd_len == good
+
+    def test_auto_modes_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="SPMDization"):
+            cfg(teams_mode=ExecMode.AUTO)
+
+    def test_tiny_sharing_space_rejected(self):
+        with pytest.raises(InvalidSimdGroupError, match="slot"):
+            cfg(sharing_bytes=4)
+
+
+class TestGeometry:
+    def test_spmd_block_dim_is_team_size(self):
+        c = cfg(teams_mode=ExecMode.SPMD)
+        assert c.block_dim == 128
+        assert c.main_tid is None
+
+    def test_generic_block_adds_extra_warp(self):
+        c = cfg(teams_mode=ExecMode.GENERIC)
+        assert c.block_dim == 128 + 32
+        assert c.main_tid == 128  # first lane of the extra warp
+
+    def test_sharing_slots_division(self):
+        c = cfg(simd_len=8, sharing_bytes=DEFAULT_SHARING_BYTES)
+        assert c.sharing_slots == 256
+        assert c.slots_per_group == 256 // 16
+
+    def test_many_groups_starve_slots(self):
+        c = cfg(team_size=256, simd_len=2, sharing_bytes=1024)
+        # 128 groups, 128 slots: one slot each.
+        assert c.slots_per_group == 1
+
+    def test_describe_mentions_modes(self):
+        text = cfg().describe()
+        assert "spmd" in text and "generic" in text
+
+
+class TestAmdDemotion:
+    def test_generic_simd_demoted_on_amd(self):
+        c = LaunchConfig(
+            num_teams=2,
+            team_size=128,
+            simd_len=8,
+            teams_mode=ExecMode.SPMD,
+            parallel_mode=ExecMode.GENERIC,
+            params=amd_mi100(),
+        )
+        assert c.simd_len == 1
+        assert c.simd_demoted
+
+    def test_spmd_simd_kept_on_amd(self):
+        c = LaunchConfig(
+            num_teams=2,
+            team_size=128,
+            simd_len=8,
+            teams_mode=ExecMode.SPMD,
+            parallel_mode=ExecMode.SPMD,
+            params=amd_mi100(),
+        )
+        assert c.simd_len == 8
+        assert not c.simd_demoted
+
+    def test_wavefront_team_size_rules(self):
+        # team_size must be a multiple of the 64-wide wavefront.
+        with pytest.raises(InvalidSimdGroupError):
+            LaunchConfig(
+                num_teams=1,
+                team_size=96,
+                simd_len=1,
+                teams_mode=ExecMode.SPMD,
+                parallel_mode=ExecMode.SPMD,
+                params=amd_mi100(),
+            )

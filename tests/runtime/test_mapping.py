@@ -1,0 +1,104 @@
+"""Unit and property tests for the SIMD-group mapping helpers (§5.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.costmodel import nvidia_a100
+from repro.gpu.thread import ThreadCtx
+from repro.runtime.icv import ExecMode, LaunchConfig
+from repro.runtime.mapping import (
+    get_simd_group,
+    get_simd_group_id,
+    get_simd_group_size,
+    group_leader_tid,
+    is_extra_warp_filler,
+    is_simd_group_leader,
+    is_team_main,
+    simdmask,
+)
+
+
+def make_tc(tid, block_dim=160):
+    return ThreadCtx(tid, 32, block_id=0, num_blocks=1, block_dim=block_dim, block=None)
+
+
+def make_cfg(simd_len=8, team_size=128, teams_mode=ExecMode.GENERIC):
+    return LaunchConfig(
+        num_teams=1,
+        team_size=team_size,
+        simd_len=simd_len,
+        teams_mode=teams_mode,
+        parallel_mode=ExecMode.GENERIC,
+        params=nvidia_a100(),
+    )
+
+
+class TestMapping:
+    def test_group_assignment(self):
+        cfg = make_cfg(simd_len=8)
+        assert get_simd_group(make_tc(0), cfg) == 0
+        assert get_simd_group(make_tc(7), cfg) == 0
+        assert get_simd_group(make_tc(8), cfg) == 1
+        assert get_simd_group(make_tc(127), cfg) == 15
+
+    def test_group_id_and_leader(self):
+        cfg = make_cfg(simd_len=8)
+        assert get_simd_group_id(make_tc(8), cfg) == 0
+        assert is_simd_group_leader(make_tc(8), cfg)
+        assert get_simd_group_id(make_tc(15), cfg) == 7
+        assert not is_simd_group_leader(make_tc(15), cfg)
+
+    def test_group_size(self):
+        assert get_simd_group_size(make_tc(0), make_cfg(simd_len=4)) == 4
+
+    def test_simdmask_adjacent_lanes(self):
+        cfg = make_cfg(simd_len=8)
+        assert simdmask(make_tc(0), cfg) == 0xFF
+        assert simdmask(make_tc(9), cfg) == 0xFF00
+        assert simdmask(make_tc(40), cfg) == 0xFF00  # warp 1, lanes 8..15
+
+    def test_simdmask_full_warp_group(self):
+        cfg = make_cfg(simd_len=32)
+        assert simdmask(make_tc(5), cfg) == 0xFFFFFFFF
+
+    def test_group_leader_tid(self):
+        cfg = make_cfg(simd_len=8)
+        assert group_leader_tid(3, cfg) == 24
+
+    def test_team_main_detection(self):
+        cfg = make_cfg(teams_mode=ExecMode.GENERIC, team_size=128)
+        assert is_team_main(make_tc(128), cfg)
+        assert not is_team_main(make_tc(0), cfg)
+        assert is_extra_warp_filler(make_tc(129), cfg)
+        assert not is_extra_warp_filler(make_tc(128), cfg)
+
+    def test_no_main_in_spmd(self):
+        cfg = make_cfg(teams_mode=ExecMode.SPMD)
+        assert not is_team_main(make_tc(0), cfg)
+        assert not is_extra_warp_filler(make_tc(127), cfg)
+
+
+@given(
+    simd_len=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    tid=st.integers(min_value=0, max_value=127),
+)
+def test_mapping_invariants(simd_len, tid):
+    """Group mapping is a consistent partition of the team's threads."""
+    cfg = make_cfg(simd_len=simd_len)
+    tc = make_tc(tid)
+    group = get_simd_group(tc, cfg)
+    gid = get_simd_group_id(tc, cfg)
+    mask = simdmask(tc, cfg)
+    # Thread id decomposes exactly into (group, lane-in-group).
+    assert tid == group * simd_len + gid
+    # Leaders are exactly the gid==0 threads.
+    assert is_simd_group_leader(tc, cfg) == (gid == 0)
+    # The mask names exactly simd_len adjacent lanes including the caller.
+    assert bin(mask).count("1") == simd_len
+    assert (mask >> tc.lane_id) & 1
+    # All members of the group within the warp share the same mask.
+    leader = make_tc(group * simd_len)
+    if leader.warp_id == tc.warp_id:
+        assert simdmask(leader, cfg) == mask
+    # Masks never span a warp boundary.
+    assert mask <= (1 << 32) - 1

@@ -1,0 +1,185 @@
+"""Protocol tests for ``__target_init``, the team worker state machine, and
+``__parallel`` across both teams modes (Figs 3 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.dispatch import DispatchTable
+from repro.runtime.icv import ExecMode
+from repro.runtime.parallel import parallel
+from repro.runtime.payload import PayloadLayout
+from repro.runtime.state import TeamRuntime
+from repro.runtime.target import (
+    ROLE_ALL,
+    ROLE_MAIN,
+    ROLE_RETIRED,
+    ROLE_WORKER,
+    target_deinit,
+    target_init,
+    team_worker_loop,
+)
+
+from conftest import launch_rt, make_cfg
+
+
+def target_entry(cfg, device, table, counters, main_body):
+    """Standard target-region skeleton used by codegen's lowering."""
+
+    def entry(tc):
+        rt = TeamRuntime.get(tc, cfg, device.gmem, table, counters)
+        role = yield from target_init(tc, rt)
+        if role == ROLE_RETIRED:
+            return
+        if role == ROLE_WORKER:
+            yield from team_worker_loop(tc, rt)
+            return
+        yield from main_body(tc, rt)
+        if role == ROLE_MAIN:
+            yield from target_deinit(tc, rt)
+
+    return entry
+
+
+def register_microtask(table, out, uses_value=False):
+    entries = [("v", "i64")] if uses_value else []
+    layout = PayloadLayout.build(entries)
+
+    def microtask(tc, rt, values):
+        mark = int(values["v"]) if uses_value else 1
+        yield from tc.atomic_add(out, tc.tid, mark)
+
+    return table.register(microtask, layout, "micro", kind="parallel")
+
+
+class TestRoles:
+    def test_generic_roles(self, rt_device):
+        cfg = make_cfg(team_size=64, simd_len=1, teams_mode=ExecMode.GENERIC,
+                       parallel_mode=ExecMode.SPMD)
+        roles = {}
+
+        def body(tc, rt):
+            role = yield from target_init(tc, rt)
+            roles[tc.tid] = role
+            # Avoid the protocol: just exit (no parallel regions).
+            if role == ROLE_MAIN:
+                yield from target_deinit(tc, rt)
+            elif role == ROLE_WORKER:
+                yield from team_worker_loop(tc, rt)
+
+        launch_rt(rt_device, cfg, body)
+        assert roles[64] == ROLE_MAIN
+        assert all(roles[t] == ROLE_WORKER for t in range(64))
+        assert all(roles[t] == ROLE_RETIRED for t in range(65, 96))
+
+    def test_spmd_roles(self, rt_device):
+        cfg = make_cfg(team_size=64, simd_len=1, teams_mode=ExecMode.SPMD,
+                       parallel_mode=ExecMode.SPMD)
+        roles = {}
+
+        def body(tc, rt):
+            role = yield from target_init(tc, rt)
+            roles[tc.tid] = role
+            yield from tc.compute("alu")
+
+        launch_rt(rt_device, cfg, body)
+        assert all(r == ROLE_ALL for r in roles.values())
+
+
+class TestGenericTeamsProtocol:
+    def _run(self, device, n_regions, team_size=64):
+        cfg = make_cfg(team_size=team_size, simd_len=1,
+                       teams_mode=ExecMode.GENERIC, parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        out = device.alloc("out", team_size, np.int64)
+        fn = register_microtask(table, out, uses_value=True)
+
+        def main_body(tc, rt):
+            for region in range(n_regions):
+                yield from parallel(tc, rt, fn, {"v": region + 1})
+
+        from repro.runtime.state import RuntimeCounters
+
+        counters = RuntimeCounters()
+        entry = target_entry(cfg, device, table, counters, main_body)
+        kc = device.launch(entry, cfg.num_teams, cfg.block_dim)
+        return out, counters, kc
+
+    def test_single_parallel_region(self, rt_device):
+        out, rc, _ = self._run(rt_device, 1)
+        assert np.all(out.to_numpy() == 1)
+        assert rc.worker_wakeups == 64
+
+    def test_multiple_parallel_regions(self, rt_device):
+        out, rc, _ = self._run(rt_device, 3)
+        # Each region adds its own mark: 1 + 2 + 3.
+        assert np.all(out.to_numpy() == 6)
+        assert rc.worker_wakeups == 3 * 64
+        assert rc.parallel_spmd == 3
+
+    def test_no_parallel_region_terminates_cleanly(self, rt_device):
+        out, rc, _ = self._run(rt_device, 0)
+        assert np.all(out.to_numpy() == 0)
+        assert rc.worker_wakeups == 0
+
+    def test_main_thread_does_not_execute_region(self, rt_device):
+        """The team main waits at the join barrier; only workers run."""
+        cfg = make_cfg(team_size=32, simd_len=1, teams_mode=ExecMode.GENERIC,
+                       parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        executors = rt_device.alloc("ex", 64, np.int64)
+        layout = PayloadLayout.build([])
+
+        def microtask(tc, rt, values):
+            yield from tc.store(executors, tc.tid, 1)
+
+        fn = table.register(microtask, layout, "m", kind="parallel")
+
+        def main_body(tc, rt):
+            yield from parallel(tc, rt, fn, {})
+
+        from repro.runtime.state import RuntimeCounters
+
+        entry = target_entry(cfg, rt_device, table, RuntimeCounters(), main_body)
+        rt_device.launch(entry, 1, cfg.block_dim)
+        ex = executors.to_numpy()
+        assert np.all(ex[:32] == 1)
+        assert np.all(ex[32:] == 0)  # main + fillers never ran the microtask
+
+
+class TestSpmdTeamsProtocol:
+    def test_all_threads_execute_region(self, rt_device):
+        cfg = make_cfg(team_size=64, simd_len=1, teams_mode=ExecMode.SPMD,
+                       parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 64, np.int64)
+        fn = register_microtask(table, out)
+
+        def body(tc, rt):
+            role = yield from target_init(tc, rt)
+            assert role == ROLE_ALL
+            yield from parallel(tc, rt, fn, {})
+
+        kc, rc = launch_rt(rt_device, cfg, body, table=table)
+        assert np.all(out.to_numpy() == 1)
+        assert rc.parallel_spmd == 1
+        assert rc.worker_wakeups == 0
+
+    def test_multi_team_counts(self, rt_device):
+        cfg = make_cfg(num_teams=4, team_size=32, simd_len=1,
+                       teams_mode=ExecMode.SPMD, parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 1, np.int64)
+        layout = PayloadLayout.build([])
+
+        def microtask(tc, rt, values):
+            yield from tc.atomic_add(out, 0, 1)
+
+        fn = table.register(microtask, layout, "m", kind="parallel")
+
+        def body(tc, rt):
+            yield from target_init(tc, rt)
+            yield from parallel(tc, rt, fn, {})
+
+        kc, rc = launch_rt(rt_device, cfg, body, table=table)
+        assert out.read(0) == 4 * 32
+        assert rc.parallel_spmd == 4  # counted once per team

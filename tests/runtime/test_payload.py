@@ -1,0 +1,105 @@
+"""Unit and property tests for payload packing/unpacking."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PayloadError
+from repro.gpu.memory import GlobalMemory
+from repro.runtime.payload import (
+    PayloadLayout,
+    bits_to_f64,
+    bits_to_i64,
+    f64_to_bits,
+    i64_to_bits,
+)
+
+
+class TestBitCasts:
+    @given(st.floats(allow_nan=False, allow_infinity=True, width=64))
+    def test_f64_roundtrip(self, value):
+        assert bits_to_f64(f64_to_bits(value)) == value
+
+    def test_nan_roundtrip(self):
+        assert math.isnan(bits_to_f64(f64_to_bits(float("nan"))))
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_i64_roundtrip(self, value):
+        assert bits_to_i64(i64_to_bits(value)) == value
+
+    def test_negative_int_bits_fit_uint64(self):
+        bits = i64_to_bits(-1)
+        assert 0 <= bits < 2**64
+
+
+class TestLayout:
+    def test_build_rejects_unknown_kind(self):
+        with pytest.raises(PayloadError, match="unknown payload kind"):
+            PayloadLayout.build([("x", "f32")])
+
+    def test_names_and_len(self):
+        layout = PayloadLayout.build([("a", "buf"), ("b", "i64")])
+        assert layout.names == ("a", "b")
+        assert len(layout) == 2
+
+    def test_pack_unpack_roundtrip(self):
+        g = GlobalMemory()
+        buf = g.alloc("data", 16, np.float64)
+        layout = PayloadLayout.build(
+            [("data", "buf"), ("scale", "f64"), ("offset", "i64")]
+        )
+        slots = layout.pack({"data": buf, "scale": 2.5, "offset": -7}, g)
+        assert all(isinstance(s, int) for s in slots)
+        out = layout.unpack(slots, g)
+        assert out["data"] is buf
+        assert out["scale"] == 2.5
+        assert out["offset"] == -7
+
+    def test_pack_missing_value(self):
+        layout = PayloadLayout.build([("x", "f64")])
+        with pytest.raises(PayloadError, match="missing"):
+            layout.pack({}, GlobalMemory())
+
+    def test_pack_buf_kind_type_checked(self):
+        layout = PayloadLayout.build([("x", "buf")])
+        with pytest.raises(PayloadError, match="declared 'buf'"):
+            layout.pack({"x": 3.0}, GlobalMemory())
+
+    def test_unpack_arity_checked(self):
+        layout = PayloadLayout.build([("x", "f64")])
+        with pytest.raises(PayloadError, match="arity"):
+            layout.unpack([1, 2], GlobalMemory())
+
+    def test_shared_buffer_registered_on_pack(self):
+        from repro.gpu.memory import Buffer
+
+        g = GlobalMemory()
+        sh = Buffer("sh", "shared", 4, np.uint64)
+        layout = PayloadLayout.build([("sh", "buf")])
+        slots = layout.pack({"sh": sh}, g)
+        assert g.lookup(slots[0]) is sh
+
+    @given(
+        scale=st.floats(allow_nan=False, allow_infinity=False),
+        offset=st.integers(min_value=-(2**62), max_value=2**62),
+    )
+    def test_roundtrip_property(self, scale, offset):
+        g = GlobalMemory()
+        layout = PayloadLayout.build([("s", "f64"), ("o", "i64")])
+        out = layout.unpack(layout.pack({"s": scale, "o": offset}, g), g)
+        assert out["s"] == scale and out["o"] == offset
+
+    def test_slots_survive_uint64_buffer_storage(self):
+        """Slots written to a uint64 device buffer read back identically."""
+        g = GlobalMemory()
+        data = g.alloc("data", 4, np.float64)
+        layout = PayloadLayout.build([("data", "buf"), ("v", "f64"), ("n", "i64")])
+        slots = layout.pack({"data": data, "v": -1.5, "n": -42}, g)
+        staging = g.alloc("staging", len(slots), np.uint64)
+        for i, s in enumerate(slots):
+            staging.write(i, s)
+        back = [int(staging.read(i)) for i in range(len(slots))]
+        out = layout.unpack(back, g)
+        assert out["data"] is data and out["v"] == -1.5 and out["n"] == -42

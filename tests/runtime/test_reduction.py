@@ -1,0 +1,122 @@
+"""Tests for the reduction extension: group, warp, and team reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RuntimeFault
+from repro.runtime.icv import ExecMode
+from repro.runtime.reduction import simd_group_reduce, team_reduce, warp_reduce
+
+from conftest import launch_rt, make_cfg
+
+
+class TestGroupReduce:
+    @pytest.mark.parametrize("simd_len", [2, 4, 8, 16, 32])
+    def test_sum_per_group(self, rt_device, simd_len):
+        cfg = make_cfg(team_size=32, simd_len=simd_len)
+        out = rt_device.alloc("out", 32, np.float64)
+
+        def body(tc, rt, out):
+            total = yield from simd_group_reduce(tc, rt, float(tc.tid), "add")
+            yield from tc.store(out, tc.tid, total)
+
+        launch_rt(rt_device, cfg, body, args=(out,))
+        res = out.to_numpy()
+        for g in range(32 // simd_len):
+            expect = sum(range(g * simd_len, (g + 1) * simd_len))
+            assert np.all(res[g * simd_len : (g + 1) * simd_len] == expect)
+
+    def test_max_and_min(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=8)
+        out = rt_device.alloc("out", 64, np.float64)
+
+        def body(tc, rt, out):
+            hi = yield from simd_group_reduce(tc, rt, float(tc.tid), "max")
+            lo = yield from simd_group_reduce(tc, rt, float(tc.tid), "min")
+            yield from tc.store(out, tc.tid, hi)
+            yield from tc.store(out, 32 + tc.tid, lo)
+
+        launch_rt(rt_device, cfg, body, args=(out,))
+        res = out.to_numpy()
+        for g in range(4):
+            assert np.all(res[g * 8 : (g + 1) * 8] == g * 8 + 7)
+            assert np.all(res[32 + g * 8 : 32 + (g + 1) * 8] == g * 8)
+
+    def test_unknown_op(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=2)
+
+        def body(tc, rt):
+            yield from simd_group_reduce(tc, rt, 1.0, "xor")
+
+        with pytest.raises(RuntimeFault, match="unknown reduction op"):
+            launch_rt(rt_device, cfg, body)
+
+
+class TestWarpReduce:
+    def test_full_warp_sum(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=1, parallel_mode=ExecMode.SPMD)
+        out = rt_device.alloc("out", 32, np.float64)
+
+        def body(tc, rt, out):
+            total = yield from warp_reduce(tc, float(tc.lane_id))
+            yield from tc.store(out, tc.tid, total)
+
+        launch_rt(rt_device, cfg, body, args=(out,))
+        assert np.all(out.to_numpy() == sum(range(32)))
+
+
+class TestTeamReduce:
+    @pytest.mark.parametrize("team_size", [32, 64, 128])
+    def test_team_sum(self, rt_device, team_size):
+        cfg = make_cfg(team_size=team_size, simd_len=1,
+                       parallel_mode=ExecMode.SPMD)
+        out = rt_device.alloc("out", team_size, np.float64)
+
+        def body(tc, rt, out):
+            total = yield from team_reduce(tc, rt, float(tc.tid), "add")
+            yield from tc.store(out, tc.tid, total)
+
+        launch_rt(rt_device, cfg, body, args=(out,))
+        assert np.all(out.to_numpy() == sum(range(team_size)))
+
+    def test_team_max(self, rt_device):
+        cfg = make_cfg(team_size=64, simd_len=1, parallel_mode=ExecMode.SPMD)
+        out = rt_device.alloc("out", 64, np.float64)
+
+        def body(tc, rt, out):
+            total = yield from team_reduce(tc, rt, float((tc.tid * 13) % 64), "max")
+            yield from tc.store(out, tc.tid, total)
+
+        launch_rt(rt_device, cfg, body, args=(out,))
+        assert np.all(out.to_numpy() == 63.0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=32,
+        max_size=32,
+    ),
+    op=st.sampled_from(["add", "max", "min"]),
+)
+def test_group_reduce_matches_numpy(values, op):
+    """Property: group reduction equals the NumPy reduction of the inputs."""
+    from repro.gpu.costmodel import nvidia_a100
+    from repro.gpu.device import Device
+
+    dev = Device(nvidia_a100())
+    cfg = make_cfg(team_size=32, simd_len=32)
+    out = dev.alloc("out", 1, np.float64)
+    vals = dev.from_array("vals", np.array(values))
+
+    def body(tc, rt, out, vals):
+        v = yield from tc.load(vals, tc.tid)
+        total = yield from simd_group_reduce(tc, rt, float(v), op)
+        if tc.tid == 0:
+            yield from tc.store(out, 0, total)
+
+    launch_rt(dev, cfg, body, args=(out, vals))
+    expect = {"add": np.sum, "max": np.max, "min": np.min}[op](values)
+    assert out.read(0) == pytest.approx(expect, rel=1e-9, abs=1e-9)

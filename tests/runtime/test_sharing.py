@@ -1,0 +1,120 @@
+"""Tests for the variable sharing space (§5.3.1): staging, fetch, overflow."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.icv import ExecMode
+from repro.runtime.mapping import get_simd_group, is_simd_group_leader, simdmask
+
+from conftest import launch_rt, make_cfg
+
+
+class TestSimdStaging:
+    def test_stage_and_fetch_within_slice(self, rt_device):
+        """Leaders stage slots; every group member fetches them back."""
+        cfg = make_cfg(team_size=64, simd_len=8)
+        results = rt_device.alloc("res", 64, np.uint64)
+
+        def body(tc, rt, results):
+            group = get_simd_group(tc, cfg)
+            mask = simdmask(tc, cfg)
+            if is_simd_group_leader(tc, cfg):
+                yield from rt.sharing.stage_simd_args(
+                    tc, group, [group * 10 + 1, group * 10 + 2]
+                )
+            yield from tc.syncwarp(mask)
+            slots = yield from rt.sharing.fetch_simd_args(tc, group, 2)
+            yield from tc.store(results, tc.tid, slots[0] * 1000 + slots[1])
+
+        launch_rt(rt_device, cfg, body, args=(results,))
+        res = results.to_numpy()
+        for tid in range(64):
+            g = tid // 8
+            assert res[tid] == (g * 10 + 1) * 1000 + (g * 10 + 2)
+
+    def test_overflow_falls_back_to_global(self, rt_device):
+        """Payloads beyond the per-group slice allocate global memory."""
+        cfg = make_cfg(team_size=64, simd_len=8, sharing_bytes=64)
+        # 8 groups, 8 slots total -> 1 slot per group; 3 args overflow.
+        results = rt_device.alloc("res", 64, np.uint64)
+
+        def body(tc, rt, results):
+            group = get_simd_group(tc, cfg)
+            mask = simdmask(tc, cfg)
+            if is_simd_group_leader(tc, cfg):
+                yield from rt.sharing.stage_simd_args(tc, group, [7, 8, 9])
+            yield from tc.syncwarp(mask)
+            slots = yield from rt.sharing.fetch_simd_args(tc, group, 3)
+            yield from tc.store(results, tc.tid, sum(slots))
+            yield from tc.syncwarp(mask)
+            if is_simd_group_leader(tc, cfg):
+                yield from rt.sharing.end_simd_sharing(tc, group)
+
+        kc, rc = launch_rt(rt_device, cfg, body, args=(results,))
+        assert np.all(results.to_numpy() == 24)
+        assert rc.sharing_fallbacks == 8  # one per group
+
+    def test_overflow_allocation_freed(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=32, sharing_bytes=64)
+        live_before = rt_device.gmem.live_bytes
+
+        def body(tc, rt):
+            if is_simd_group_leader(tc, cfg):
+                yield from rt.sharing.stage_simd_args(tc, 0, list(range(20)))
+                yield from rt.sharing.end_simd_sharing(tc, 0)
+            else:
+                yield from tc.compute("alu")
+
+        launch_rt(rt_device, cfg, body)
+        # The overflow allocation is freed; only the team's persistent
+        # dynamic-schedule counter (8 bytes) remains.
+        assert rt_device.gmem.live_bytes == live_before + 8
+
+    def test_zero_arg_staging(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=8)
+
+        def body(tc, rt):
+            group = get_simd_group(tc, cfg)
+            if is_simd_group_leader(tc, cfg):
+                yield from rt.sharing.stage_simd_args(tc, group, [])
+            yield from tc.syncwarp(simdmask(tc, cfg))
+            slots = yield from rt.sharing.fetch_simd_args(tc, group, 0)
+            assert slots == []
+
+        launch_rt(rt_device, cfg, body)
+
+
+class TestTeamStaging:
+    def test_team_stage_fetch(self, rt_device):
+        cfg = make_cfg(team_size=64, simd_len=1, teams_mode=ExecMode.SPMD)
+        results = rt_device.alloc("res", 64, np.uint64)
+
+        def body(tc, rt, results):
+            if tc.tid == 0:
+                yield from rt.sharing.stage_team_args(tc, [11, 22, 33])
+            yield from tc.syncthreads()
+            slots = yield from rt.sharing.fetch_team_args(tc, 3)
+            yield from tc.store(results, tc.tid, sum(slots))
+
+        launch_rt(rt_device, cfg, body, args=(results,))
+        assert np.all(results.to_numpy() == 66)
+
+    def test_team_overflow_roundtrip(self, rt_device):
+        cfg = make_cfg(team_size=64, simd_len=1, teams_mode=ExecMode.SPMD)
+        n = 40  # beyond TEAM_STAGING_SLOTS (32)
+        results = rt_device.alloc("res", 1, np.uint64)
+
+        def body(tc, rt, results):
+            if tc.tid == 0:
+                yield from rt.sharing.stage_team_args(tc, list(range(n)))
+            yield from tc.syncthreads()
+            if tc.tid == 1:
+                slots = yield from rt.sharing.fetch_team_args(tc, n)
+                yield from tc.store(results, 0, sum(slots))
+            yield from tc.syncthreads()
+            if tc.tid == 0:
+                yield from rt.sharing.end_team_sharing(tc)
+
+        kc, rc = launch_rt(rt_device, cfg, body, args=(results,))
+        assert results.read(0) == sum(range(n))
+        assert rc.sharing_fallbacks == 1

@@ -1,0 +1,180 @@
+"""Protocol tests for ``__simd``, ``__simd_loop`` and the worker state
+machine, driven directly against the runtime (below codegen)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.dispatch import DispatchTable
+from repro.runtime.icv import ExecMode
+from repro.runtime.mapping import is_simd_group_leader, simdmask
+from repro.runtime.payload import PayloadLayout
+from repro.runtime.simd import simd, simd_loop, simd_state_machine
+from repro.runtime.state import RuntimeCounters
+
+from conftest import launch_rt, make_cfg
+
+
+def register_mark_task(table, out_buf):
+    """Loop task storing ``100*group_iv + executing_tid`` per iteration."""
+    layout = PayloadLayout.build([("mark", "i64")])
+
+    def task(tc, rt, omp_iv, values):
+        base = int(values["mark"])
+        yield from tc.atomic_add(out_buf, base + omp_iv, 1 + tc.tid)
+
+    return table.register(task, layout, "mark", kind="simd")
+
+
+class TestSimdLoop:
+    def test_iterations_strided_across_group(self, rt_device):
+        """__simd_loop covers [0, trip) with stride simd_len (Fig 8)."""
+        cfg = make_cfg(team_size=32, simd_len=8, parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        hits = rt_device.alloc("hits", 40, np.int64)
+        owners = rt_device.alloc("owners", 40, np.int64)
+        layout = PayloadLayout.build([])
+
+        def task(tc, rt, omp_iv, values):
+            yield from tc.atomic_add(hits, omp_iv, 1)
+            yield from tc.store(owners, omp_iv, tc.tid)
+
+        fn = table.register(task, layout, "t", kind="simd")
+
+        def body(tc, rt):
+            if tc.tid < 8:  # one group runs the loop
+                yield from simd_loop(tc, rt, fn, 20, {})
+
+        launch_rt(rt_device, cfg, body, table=table)
+        h = hits.to_numpy()
+        assert np.all(h[:20] == 1) and np.all(h[20:] == 0)
+        # Iteration i executed by group lane i % simd_len.
+        assert np.array_equal(owners.to_numpy()[:20], np.arange(20) % 8)
+
+
+class TestSpmdPath:
+    def test_all_lanes_execute_locally(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=8, parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 64, np.int64)
+        fn = register_mark_task(table, out)
+
+        def body(tc, rt):
+            group = tc.tid // 8
+            yield from simd(tc, rt, fn, 8, {"mark": group * 16}, spmd=True)
+
+        kc, rc = launch_rt(rt_device, cfg, body, table=table)
+        out_np = out.to_numpy()
+        for g in range(4):
+            assert np.all(out_np[g * 16 : g * 16 + 8] > 0)
+        assert rc.simd_spmd == 4
+        assert rc.simd_wakeups == 0  # no state machine involved
+        assert rc.sharing_fallbacks == 0
+
+
+class TestGenericPath:
+    def test_leader_wakes_workers_and_all_iterate(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=8, parallel_mode=ExecMode.GENERIC)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 64, np.int64)
+        fn = register_mark_task(table, out)
+
+        def body(tc, rt):
+            group = tc.tid // 8
+            if is_simd_group_leader(tc, cfg):
+                yield from simd(tc, rt, fn, 8, {"mark": group * 16}, spmd=False)
+                # Terminate the group's workers (what __parallel does).
+                from repro.runtime.simd import set_simd_fn
+
+                yield from set_simd_fn(tc, rt, group, 0)
+                yield from tc.syncwarp(simdmask(tc, cfg))
+            else:
+                yield from simd_state_machine(tc, rt)
+
+        kc, rc = launch_rt(rt_device, cfg, body, table=table)
+        out_np = out.to_numpy()
+        for g in range(4):
+            assert np.all(out_np[g * 16 : g * 16 + 8] > 0)
+        assert rc.simd_generic == 4
+        assert rc.simd_wakeups == 4 * 7  # every worker woke exactly once
+
+    def test_consecutive_simd_loops_one_region(self, rt_device):
+        """Workers loop in the state machine across multiple __simd calls."""
+        cfg = make_cfg(team_size=32, simd_len=8, parallel_mode=ExecMode.GENERIC)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 64, np.int64)
+        fn = register_mark_task(table, out)
+
+        def body(tc, rt):
+            if tc.tid >= 8:
+                return  # only group 0 participates in this test
+            if is_simd_group_leader(tc, cfg):
+                yield from simd(tc, rt, fn, 8, {"mark": 0}, spmd=False)
+                yield from simd(tc, rt, fn, 8, {"mark": 16}, spmd=False)
+                yield from simd(tc, rt, fn, 8, {"mark": 32}, spmd=False)
+                from repro.runtime.simd import set_simd_fn
+
+                yield from set_simd_fn(tc, rt, 0, 0)
+                yield from tc.syncwarp(simdmask(tc, cfg))
+            else:
+                yield from simd_state_machine(tc, rt)
+
+        kc, rc = launch_rt(rt_device, cfg, body, table=table)
+        out_np = out.to_numpy()
+        for base in (0, 16, 32):
+            assert np.all(out_np[base : base + 8] > 0)
+        assert rc.simd_wakeups == 3 * 7
+
+
+class TestSequentialFastPath:
+    def test_group_size_one_runs_sequentially(self, rt_device):
+        cfg = make_cfg(team_size=32, simd_len=1, parallel_mode=ExecMode.SPMD)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 32, np.int64)
+        layout = PayloadLayout.build([])
+
+        def task(tc, rt, omp_iv, values):
+            yield from tc.atomic_add(out, tc.tid, 1)
+
+        fn = table.register(task, layout, "t", kind="simd")
+
+        def body(tc, rt):
+            yield from simd(tc, rt, fn, 5, {}, spmd=True)
+
+        kc, rc = launch_rt(rt_device, cfg, body, table=table)
+        assert np.all(out.to_numpy() == 5)  # every thread ran all iterations
+        assert rc.simd_sequential == 32
+        assert kc.syncwarps == 0  # no group machinery at all
+
+
+class TestZeroTrip:
+    @pytest.mark.parametrize("spmd", [True, False])
+    def test_zero_trip_count_executes_nothing(self, rt_device, spmd):
+        mode = ExecMode.SPMD if spmd else ExecMode.GENERIC
+        cfg = make_cfg(team_size=32, simd_len=8, parallel_mode=mode)
+        table = DispatchTable()
+        out = rt_device.alloc("out", 8, np.int64)
+        layout = PayloadLayout.build([])
+
+        def task(tc, rt, omp_iv, values):
+            yield from tc.atomic_add(out, 0, 1)
+
+        fn = table.register(task, layout, "t", kind="simd")
+
+        def body(tc, rt):
+            if tc.tid >= 8:
+                if spmd:
+                    yield from simd(tc, rt, fn, 0, {}, spmd=True)
+                return
+            if spmd:
+                yield from simd(tc, rt, fn, 0, {}, spmd=True)
+            elif is_simd_group_leader(tc, cfg):
+                yield from simd(tc, rt, fn, 0, {}, spmd=False)
+                from repro.runtime.simd import set_simd_fn
+
+                yield from set_simd_fn(tc, rt, 0, 0)
+                yield from tc.syncwarp(simdmask(tc, cfg))
+            else:
+                yield from simd_state_machine(tc, rt)
+
+        launch_rt(rt_device, cfg, body, table=table)
+        assert out.read(0) == 0

@@ -1,0 +1,48 @@
+"""Tests for the synchronization helpers and the AMD barrier restriction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.gpu.costmodel import amd_mi100
+from repro.gpu.device import Device
+from repro.runtime.icv import ExecMode
+from repro.runtime.sync import sync_group, sync_warp_named, team_barrier
+
+from conftest import launch_rt, make_cfg
+
+
+def test_sync_group_converges_group(rt_device):
+    cfg = make_cfg(team_size=32, simd_len=8)
+    out = rt_device.alloc("o", 1, np.int64)
+
+    def body(tc, rt, out):
+        if tc.tid % 8 == 0:
+            yield from tc.store(out, 0, 1)
+        yield from sync_group(tc, rt)
+        v = yield from tc.load(out, 0)
+        assert v == 1
+
+    launch_rt(rt_device, cfg, body, args=(out,))
+
+
+def test_team_barrier(rt_device):
+    cfg = make_cfg(team_size=64, simd_len=1, parallel_mode=ExecMode.SPMD)
+
+    def body(tc, rt):
+        yield from team_barrier(tc)
+
+    kc, _ = launch_rt(rt_device, cfg, body)
+    assert kc.syncblocks == 1
+
+
+def test_named_warp_barrier_rejected_on_amd():
+    dev = Device(amd_mi100())
+    cfg = make_cfg(team_size=64, simd_len=1, parallel_mode=ExecMode.SPMD,
+                   params=amd_mi100())
+
+    def body(tc, rt):
+        yield from sync_warp_named(tc, rt, (1 << 64) - 1)
+
+    with pytest.raises(UnsupportedFeatureError, match="no warp-level"):
+        launch_rt(dev, cfg, body)

@@ -1,0 +1,119 @@
+"""Unit and property tests for the worksharing schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RuntimeFault
+from repro.runtime.workshare import (
+    distribute_indices,
+    dynamic_next,
+    for_indices,
+    schedule_indices,
+    static_block,
+    static_cyclic,
+)
+
+
+class TestStaticBlock:
+    def test_even_split(self):
+        assert list(static_block(8, 0, 2)) == [0, 1, 2, 3]
+        assert list(static_block(8, 1, 2)) == [4, 5, 6, 7]
+
+    def test_remainder_goes_to_low_workers(self):
+        sizes = [len(static_block(10, w, 3)) for w in range(3)]
+        assert sizes == [4, 3, 3]
+
+    def test_empty_for_excess_workers(self):
+        assert list(static_block(2, 3, 8)) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(RuntimeFault):
+            static_block(8, 0, 0)
+
+
+class TestStaticCyclic:
+    def test_chunk_one_round_robin(self):
+        assert static_cyclic(10, 0, 4) == [0, 4, 8]
+        assert static_cyclic(10, 3, 4) == [3, 7]
+
+    def test_chunked(self):
+        assert static_cyclic(12, 0, 2, chunk=3) == [0, 1, 2, 6, 7, 8]
+        assert static_cyclic(12, 1, 2, chunk=3) == [3, 4, 5, 9, 10, 11]
+
+    def test_partial_last_chunk(self):
+        assert static_cyclic(7, 1, 2, chunk=3) == [3, 4, 5]
+        assert static_cyclic(8, 1, 2, chunk=3) == [3, 4, 5]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(RuntimeFault):
+            static_cyclic(8, 0, 2, chunk=0)
+
+
+class TestDispatchers:
+    def test_schedule_by_name(self):
+        assert list(schedule_indices("static", 4, 0, 2)) == [0, 1]
+        assert schedule_indices("static_cyclic", 4, 0, 2) == [0, 2]
+
+    def test_unknown_schedule(self):
+        with pytest.raises(RuntimeFault, match="unknown"):
+            schedule_indices("guided", 4, 0, 2)
+
+    def test_distribute_defaults_contiguous(self):
+        assert list(distribute_indices(6, 1, 3)) == [2, 3]
+
+    def test_for_defaults_cyclic(self):
+        assert for_indices(6, 1, 3) == [1, 4]
+
+
+@given(
+    trip=st.integers(min_value=0, max_value=500),
+    workers=st.integers(min_value=1, max_value=64),
+    schedule=st.sampled_from(["static", "static_cyclic"]),
+    chunk=st.integers(min_value=1, max_value=7),
+)
+def test_schedules_partition_iteration_space(trip, workers, schedule, chunk):
+    """Every iteration is assigned to exactly one worker, in order."""
+    seen = []
+    for w in range(workers):
+        own = list(schedule_indices(schedule, trip, w, workers, chunk))
+        assert own == sorted(own)
+        seen.extend(own)
+    assert sorted(seen) == list(range(trip))
+
+
+@given(
+    trip=st.integers(min_value=1, max_value=300),
+    workers=st.integers(min_value=1, max_value=32),
+)
+def test_static_block_is_balanced(trip, workers):
+    sizes = [len(static_block(trip, w, workers)) for w in range(workers)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+class TestDynamic:
+    def test_dynamic_covers_all_iterations(self, device):
+        counter = device.alloc("ctr", 1, np.int64)
+        hits = device.alloc("hits", 100, np.int64)
+
+        def k(tc, counter, hits):
+            while True:
+                claim = yield from dynamic_next(tc, counter, 100, chunk=3)
+                if claim is None:
+                    return
+                lo, hi = claim
+                for i in range(lo, hi):
+                    yield from tc.atomic_add(hits, i, 1)
+
+        device.launch(k, 2, 32, args=(counter, hits))
+        assert np.all(hits.to_numpy() == 1)
+
+    def test_dynamic_costs_atomics(self, device):
+        counter = device.alloc("ctr", 1, np.int64)
+
+        def k(tc, counter):
+            while (yield from dynamic_next(tc, counter, 8, chunk=1)) is not None:
+                pass
+
+        kc = device.launch(k, 1, 4, args=(counter,))
+        assert kc.atomics >= 8
