@@ -6,6 +6,7 @@ A3  the extra team-main warp of generic teams mode (§5.1, Fig 2)
 A4  the AMD profile's generic-SIMD demotion (§5.4.1)
 A5  reduction extension vs atomic updates (§6.2 / §7 future work)
 A6  schedule(dynamic) claims vs static-cyclic worksharing (extension)
+A9  sanitizer off-path guard (repro.sanitizer monitor hooks)
 """
 
 from __future__ import annotations
@@ -201,6 +202,70 @@ def test_dynamic_vs_static_schedule(benchmark):
           f"{out['claims']:.0f} claim atomics)")
     assert out["claims"] > 0, "dynamic must claim through atomics"
     assert 0.8 < ratio < 1.5, "claim overhead should be moderate, not runaway"
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_sanitizer_off_is_free(benchmark):
+    """A9: the sanitizer's monitor hooks are zero-cost when disabled.
+
+    Guards the repro.sanitizer integration: an unsanitized launch must
+    produce bit-identical cycle estimates to a sanitized one (the monitor
+    observes, it never perturbs cost accounting), and the off-path must
+    not pay for the instrumentation in wall time — it does strictly less
+    Python work than report mode, so it must not come out slower."""
+
+    import time
+
+    import numpy as np
+
+    def make_workload():
+        dev = Device(benchmark_profile())
+        x = dev.from_array("x", np.arange(8192, dtype=np.float64))
+        y = dev.from_array("y", np.zeros(8192))
+
+        def kernel(tc, x, y):
+            i = tc.global_tid
+            v = yield from tc.load(x, i)
+            yield from tc.compute("fma")
+            yield from tc.syncthreads()
+            yield from tc.store(y, i, 2.0 * v)
+
+        return dev, kernel, (x, y)
+
+    def timed_launch(sanitize, repeats=5):
+        best = float("inf")
+        kc = None
+        for _ in range(repeats):
+            dev, kernel, args = make_workload()
+            t0 = time.perf_counter()
+            kc = dev.launch(kernel, num_blocks=64, threads_per_block=128,
+                            args=args, sanitize=sanitize)
+            best = min(best, time.perf_counter() - t0)
+        return kc, best
+
+    def run():
+        kc_off, wall_off = timed_launch(None)
+        kc_rep, wall_rep = timed_launch("report")
+        return {"off": (kc_off, wall_off), "report": (kc_rep, wall_rep)}
+
+    out = run_once(benchmark, run)
+    kc_off, wall_off = out["off"]
+    kc_rep, wall_rep = out["report"]
+    print(f"\nA9 — sanitizer guard: off={wall_off * 1e3:.1f} ms, "
+          f"report={wall_rep * 1e3:.1f} ms "
+          f"({wall_rep / wall_off:.2f}x); cycles identical="
+          f"{kc_off.cycles == kc_rep.cycles}")
+    assert kc_off.sanitizer is None, "off-path must not build a monitor"
+    assert kc_rep.sanitizer is not None and kc_rep.sanitizer.clean
+    assert kc_off.cycles == kc_rep.cycles, (
+        "sanitizing must not change the cycle estimate"
+    )
+    # Generous noise margin: the off-path must never regress past the
+    # fully instrumented path.
+    assert wall_off <= wall_rep * 1.10, (
+        f"sanitize=off ({wall_off:.4f}s) slower than report mode "
+        f"({wall_rep:.4f}s): the disabled hooks are not free"
+    )
 
 
 @pytest.mark.benchmark(group="ablation")

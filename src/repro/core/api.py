@@ -259,6 +259,11 @@ class LaunchResult:
         """Cost-model cycle estimate of the kernel."""
         return self.counters.cycles
 
+    @property
+    def sanitizer(self):
+        """Sanitizer report of the launch (None unless ``check=`` was set)."""
+        return self.counters.sanitizer
+
     def summary(self) -> Dict[str, float]:
         out = self.counters.summary()
         out["simd_len"] = float(self.cfg.simd_len)
@@ -278,6 +283,8 @@ def launch(
     name: str = "kernel",
     regs_per_thread: int = 32,
     detect_races: bool = False,
+    check=None,
+    schedule_policy=None,
 ) -> LaunchResult:
     """Launch a compiled kernel (or compile a tree on the fly) on ``device``.
 
@@ -287,6 +294,14 @@ def launch(
     pre-paper two-level behaviour.  ``regs_per_thread`` is the register
     estimate the occupancy calculation uses (what ``-Xptxas -v`` would
     report for the generated kernel).
+
+    ``check`` runs the launch under the correctness sanitizer
+    (:mod:`repro.sanitizer`): ``True``/``"raise"`` raises on the first
+    data race, ``"report"`` collects all findings into
+    ``result.sanitizer``; a
+    :class:`~repro.sanitizer.monitor.SanitizerConfig` gives full control.
+    ``schedule_policy`` permutes warp/commit order (see
+    :func:`repro.sanitizer.explore_schedules`).
     """
     args = dict(args or {})
     if isinstance(kernel, Target):
@@ -326,6 +341,8 @@ def launch(
         threads_per_block=cfg.block_dim,
         regs_per_thread=regs_per_thread,
         detect_races=detect_races,
+        sanitize=check,
+        schedule_policy=schedule_policy,
     )
     kc.extra.update(rc.as_dict())
     kc.extra["simd_len"] = float(cfg.simd_len)

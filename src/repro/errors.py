@@ -37,7 +37,18 @@ class DeadlockError(SimulationError):
     Raised when a scheduling round advances no lane while unfinished lanes
     remain — e.g. a warp-level barrier whose mask names a lane that already
     retired, or a block barrier not reached by every live thread.
+
+    Structured provenance rides along for programmatic consumers (the
+    sanitizer report): ``block_id`` and ``round`` locate the lockup;
+    ``lanes`` is a tuple of ``(tid, warp, lane, state, wait_key)`` rows
+    describing every stuck lane.
     """
+
+    def __init__(self, message: str, block_id=None, round=None, lanes=()):
+        super().__init__(message)
+        self.block_id = block_id
+        self.round = round
+        self.lanes = tuple(lanes)
 
 
 class SynchronizationError(SimulationError):
@@ -52,8 +63,20 @@ class DataRaceError(SimulationError):
     """Two lanes touched the same address concurrently without atomics.
 
     Raised only when race detection is enabled on the launch; reports the
-    address, the access kinds, and the lanes involved.
+    address, the access kinds, and the lanes involved.  Structured
+    provenance for the sanitizer report: ``block_id``, the ``buffer``
+    name and element ``index``, the scheduling ``round`` of the second
+    access, and the two conflicting source ``sites``.
     """
+
+    def __init__(self, message: str, block_id=None, buffer=None, index=None,
+                 round=None, sites=()):
+        super().__init__(message)
+        self.block_id = block_id
+        self.buffer = buffer
+        self.index = index
+        self.round = round
+        self.sites = tuple(sites)
 
 
 class DeviceAssertionError(SimulationError):

@@ -16,14 +16,23 @@ round structure is what makes the simulation SIMT-faithful:
   cases observe protocol bugs).
 
 Side effects within a round apply in deterministic (warp, lane) order, so
-every simulation — including atomics — is reproducible.
+every simulation — including atomics — is reproducible.  An optional
+``schedule_policy`` (see :mod:`repro.sanitizer.schedule`) re-permutes the
+warp resolution order and per-warp commit order per round — still
+deterministic given the policy's seed, which is how the sanitizer's
+schedule explorer surfaces order-dependent results.
+
+An optional ``monitor`` (see :mod:`repro.sanitizer.monitor`) observes
+events, retirements, barrier releases, and deadlocks; the happens-before
+race detector, barrier analyzer, and sharing auditor all attach through
+it.  Both hooks are strictly zero-cost when absent.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DataRaceError, DeadlockError, LaunchError, SimulationError
+from repro.errors import DeadlockError, LaunchError, SimulationError
 from repro.gpu.atomics import apply_atomic
 from repro.gpu.coalescing import shared_conflict_degree
 from repro.gpu.costmodel import CostParams
@@ -87,6 +96,8 @@ class ThreadBlock:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         tracer=None,
         detect_races: bool = False,
+        monitor=None,
+        schedule_policy=None,
     ) -> None:
         if num_threads < 1:
             raise LaunchError("block must have at least one thread")
@@ -100,9 +111,24 @@ class ThreadBlock:
         #: Optional event hook ``tracer(block_id, round, tid, event)`` —
         #: zero-cost when None; used for debugging and protocol tests.
         self.tracer = tracer
-        #: When True, concurrent same-address accesses without atomics
-        #: raise :class:`~repro.errors.DataRaceError` (debugging mode).
+        #: When True, unsynchronized same-address conflicts raise
+        #: :class:`~repro.errors.DataRaceError` (debugging mode).  This is
+        #: now a shorthand for attaching the sanitizer's happens-before
+        #: race detector in raise mode, which subsumes — and fixes a
+        #: false negative of — the old round-local check (conflicts in
+        #: *different* rounds with no intervening barrier were never
+        #: compared).
         self.detect_races = detect_races
+        if detect_races and monitor is None:
+            from repro.sanitizer.monitor import SanitizerConfig, SanitizerMonitor
+
+            monitor = SanitizerMonitor(
+                SanitizerConfig(barriers=False, sharing=False, mode="raise")
+            )
+        #: Optional sanitizer monitor (event/release/deadlock hooks).
+        self.monitor = monitor
+        #: Optional schedule policy permuting warp/commit order per round.
+        self.schedule_policy = schedule_policy
         # Per-block L1 sector cache (LRU).  Dict preserves insertion order;
         # re-inserting on hit implements LRU cheaply.
         self._l1: dict = {}
@@ -138,6 +164,9 @@ class ThreadBlock:
         """Execute the block to completion; returns its counters."""
         lanes = self.lanes
         c = self.counters
+        mon = self.monitor
+        if mon is not None:
+            mon.on_block_start(self)
         while True:
             posted_by_warp: List[List[Tuple[Lane, object]]] = [
                 [] for _ in range(self.num_warps)
@@ -156,24 +185,44 @@ class ThreadBlock:
                 except StopIteration:
                     lane.state = DONE
                     live -= 1
+                    if mon is not None:
+                        mon.on_retire(self, c.rounds, lane)
                     continue
                 lane.pending = None
                 posted_by_warp[lane.warp_id].append((lane, ev))
                 advanced += 1
                 if self.tracer is not None:
                     self.tracer(self.block_id, c.rounds, lane.tid, ev)
+                if mon is not None:
+                    mon.on_event(self, c.rounds, lane, ev)
             if live == 0:
                 break
             self._resolve_round(posted_by_warp)
             released = self._release_barriers()
             if advanced == 0 and released == 0:
-                raise DeadlockError(self._deadlock_report())
+                msg = self._deadlock_report()
+                if mon is not None:
+                    analysis = mon.on_deadlock(self, c.rounds)
+                    if analysis:
+                        msg += "\n" + analysis
+                raise DeadlockError(
+                    msg,
+                    block_id=self.block_id,
+                    round=c.rounds,
+                    lanes=[
+                        (l.tid, l.warp_id, l.lane_id, l.state, l.wait_key)
+                        for l in lanes
+                        if l.state != DONE
+                    ],
+                )
             c.rounds += 1
             if c.rounds > self.max_rounds:
                 raise SimulationError(
                     f"block {self.block_id} exceeded {self.max_rounds} rounds; "
                     "likely a runaway loop"
                 )
+        if mon is not None:
+            mon.on_block_end(self)
         return c
 
     # ------------------------------------------------------------------
@@ -182,14 +231,29 @@ class ThreadBlock:
         c = self.counters
         atomic_addrs: Dict[Tuple[int, int], int] = {}
         self._round_mem_stall = False
-        if self.detect_races:
-            self._check_races(posted_by_warp)
 
-        for warp_posts in posted_by_warp:
+        # Resolution order: ascending warp id, lane order within a warp —
+        # unless a schedule policy permutes either (every permutation is a
+        # legal interleaving of the round's concurrent accesses; the
+        # sanitizer's schedule explorer uses this to expose order
+        # dependence).  Cost accounting below is order-independent.
+        policy = self.schedule_policy
+        warp_ids = range(self.num_warps)
+        if policy is not None:
+            warp_ids = policy.warp_order(self.block_id, c.rounds, self.num_warps)
+
+        for wid in warp_ids:
+            warp_posts = posted_by_warp[wid]
             if not warp_posts:
                 continue
-            # Pass 1: side effects in lane order (deterministic).
-            for lane, ev in warp_posts:
+            commits = warp_posts
+            if policy is not None:
+                perm = policy.commit_order(
+                    self.block_id, c.rounds, wid, len(warp_posts)
+                )
+                commits = [warp_posts[i] for i in perm]
+            # Pass 1: side effects in (permuted) commit order.
+            for lane, ev in commits:
                 tag = ev.tag
                 if tag == T_LOAD:
                     lane.pending = tuple(ev.buf.read(i) for i in ev.idxs)
@@ -335,58 +399,19 @@ class ThreadBlock:
             c.mem_cycles += nelem * params.local_access_cycles
 
     # ------------------------------------------------------------------
-    def _check_races(self, posted_by_warp) -> None:
-        """Flag unsynchronized same-address conflicts within this round.
-
-        Accesses in one scheduling round are concurrent: a non-atomic write
-        racing another lane's access to the same element — write/write,
-        write/read, or write/atomic — is a data race unless both accesses
-        are atomic.  Lane-local read-modify-write is fine (one lane).
-        """
-        touches: Dict[Tuple[int, int], List[Tuple[int, str]]] = {}
-        for warp_posts in posted_by_warp:
-            for lane, ev in warp_posts:
-                tag = ev.tag
-                if tag == T_LOAD:
-                    for idx in ev.idxs:
-                        touches.setdefault((id(ev.buf), int(idx)), []).append(
-                            (lane.tid, "read")
-                        )
-                elif tag == T_STORE:
-                    for idx in ev.idxs:
-                        touches.setdefault((id(ev.buf), int(idx)), []).append(
-                            (lane.tid, "write")
-                        )
-                elif tag == T_ATOMIC:
-                    touches.setdefault((id(ev.buf), int(ev.idx)), []).append(
-                        (lane.tid, "atomic")
-                    )
-        names = {}
-        for warp_posts in posted_by_warp:
-            for _, ev in warp_posts:
-                if ev.tag in (T_LOAD, T_STORE, T_ATOMIC):
-                    names[id(ev.buf)] = ev.buf.name
-        for (buf_id, idx), accesses in touches.items():
-            if len(accesses) < 2:
-                continue
-            writers = [(t, k) for t, k in accesses if k == "write"]
-            if not writers:
-                continue
-            lanes_involved = {t for t, _ in accesses}
-            if len(lanes_involved) < 2:
-                continue  # one lane touching its own element is fine
-            # All-atomic contention is synchronized; a plain write racing
-            # anything (including an atomic) is not.
-            raise DataRaceError(
-                f"data race in block {self.block_id} on "
-                f"{names[buf_id]!r}[{idx}]: "
-                + ", ".join(f"t{t} {k}" for t, k in sorted(accesses))
-            )
+    # NOTE: the old round-local ``_check_races`` lived here.  It compared
+    # only accesses posted in the *same* scheduling round, so conflicting
+    # accesses in different rounds with no intervening barrier were never
+    # compared — a provable false negative.  It is subsumed by the
+    # happens-before detector in :mod:`repro.sanitizer.races`, attached via
+    # ``detect_races=True`` / ``sanitize=`` on the launch.
 
     # ------------------------------------------------------------------
     def _release_barriers(self) -> int:
         params = self.params
         c = self.counters
+        mon = self.monitor
+        rnd = c.rounds
         released = 0
 
         # Block-level barriers, grouped by (bar_id, count).  A classic
@@ -411,6 +436,10 @@ class ThreadBlock:
                 c.syncblocks += 1
                 c.sync_cycles += params.syncthreads_cycles
                 released += len(waiters)
+                if mon is not None:
+                    mon.on_release(
+                        self, rnd, "block", key, [l.tid for l in waiters]
+                    )
         if released:
             return released
 
@@ -433,6 +462,10 @@ class ThreadBlock:
                     c.syncwarps += 1
                     c.sync_cycles += params.syncwarp_cycles
                     released += len(waiters)
+                    if mon is not None:
+                        mon.on_release(
+                            self, rnd, "warp", mask, [l.tid for l in waiters]
+                        )
 
             for key, waiters in shfl_groups.items():
                 mask, mode = key
@@ -461,6 +494,10 @@ class ThreadBlock:
                         lane.wait_key = None
                         lane.posted = None
                     released += len(waiters)
+                    if mon is not None:
+                        mon.on_release(
+                            self, rnd, "shfl", key, [l.tid for l in waiters]
+                        )
         return released
 
     @staticmethod

@@ -83,6 +83,11 @@ class KernelCounters:
     waves: int = 0
     #: Extra diagnostics various layers may attach (e.g. runtime counters).
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Sanitizer report for the launch (a
+    #: :class:`repro.sanitizer.report.SanitizerReport`), attached by the
+    #: device when the launch ran with ``sanitize=`` or under an active
+    #: sanitizer session; None otherwise.
+    sanitizer: object = None
 
     def total(self, attr: str) -> float:
         """Sum a :class:`BlockCounters` field over all blocks."""

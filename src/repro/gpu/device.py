@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import LaunchError
+from repro.errors import DeadlockError, LaunchError
 from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
 from repro.gpu.costmodel import CostParams, nvidia_a100
 from repro.gpu.counters import KernelCounters
@@ -36,6 +36,18 @@ from repro.gpu.sm import compose_kernel_cycles
 
 #: CUDA-style upper bound on block size.
 MAX_THREADS_PER_BLOCK = 1024
+
+#: Process-wide sanitizer session (set by ``repro.sanitizer.activate``).
+#: When active, launches that pass no explicit ``sanitize=`` run under it
+#: in report mode — this is what lets ``python -m repro.sanitizer app.py``
+#: sanitize an unmodified application, compute-sanitizer style.
+_GLOBAL_SANITIZER = None
+
+
+def set_global_sanitizer(session) -> None:
+    """Install (or clear, with None) the process-wide sanitizer session."""
+    global _GLOBAL_SANITIZER
+    _GLOBAL_SANITIZER = session
 
 
 class Device:
@@ -77,6 +89,8 @@ class Device:
         regs_per_thread: int = 32,
         tracer=None,
         detect_races: bool = False,
+        sanitize=None,
+        schedule_policy=None,
     ) -> KernelCounters:
         """Run ``entry(tc, *args)`` over a grid and return kernel counters.
 
@@ -87,6 +101,21 @@ class Device:
 
         ``tracer(block_id, round, tid, event)``, when given, observes every
         posted event — a debugging hook for protocol inspection.
+
+        ``sanitize`` attaches the correctness sanitizer
+        (:mod:`repro.sanitizer`): ``True``/``"raise"`` raises on the first
+        data race (deadlocks raise regardless, now with the analyzer's
+        explanation appended); ``"report"`` collects every finding into a
+        :class:`~repro.sanitizer.report.SanitizerReport` attached to the
+        returned counters as ``kc.sanitizer``.  A
+        :class:`~repro.sanitizer.monitor.SanitizerConfig` selects
+        individual detectors.  ``detect_races=True`` is the legacy
+        shorthand for ``sanitize="raise"`` with only the race detector.
+
+        ``schedule_policy`` (e.g. a seeded
+        :class:`~repro.sanitizer.schedule.ShuffleSchedule`) permutes warp
+        resolution and commit order per round — a legal interleaving used
+        by the schedule explorer.  Both options are zero-cost when unset.
         """
         if num_blocks < 1:
             raise LaunchError("grid must have at least one block")
@@ -95,6 +124,21 @@ class Device:
                 f"threads_per_block must be in [1, {MAX_THREADS_PER_BLOCK}], "
                 f"got {threads_per_block}"
             )
+        monitor = None
+        session = None
+        report_mode = False
+        if sanitize in (None, False, "off"):
+            if sanitize is None and _GLOBAL_SANITIZER is not None and not detect_races:
+                session = _GLOBAL_SANITIZER
+                monitor = session.make_monitor(entry)
+                report_mode = True
+        else:
+            from repro.sanitizer.monitor import SanitizerConfig, SanitizerMonitor
+
+            config = SanitizerConfig.coerce(sanitize)
+            label = getattr(entry, "__qualname__", None) or repr(entry)
+            monitor = SanitizerMonitor(config, label=label)
+            report_mode = config.mode == "report"
         kc = KernelCounters(
             num_blocks=num_blocks, threads_per_block=threads_per_block
         )
@@ -110,9 +154,20 @@ class Device:
                 num_blocks=num_blocks,
                 max_rounds=max_rounds,
                 tracer=tracer,
-                detect_races=detect_races,
+                detect_races=detect_races and monitor is None,
+                monitor=monitor,
+                schedule_policy=schedule_policy,
             )
-            kc.blocks.append(block.run())
+            try:
+                kc.blocks.append(block.run())
+            except DeadlockError:
+                if not report_mode:
+                    raise
+                # Report mode: the deadlock finding is already recorded by
+                # the analyzer; remaining blocks are skipped because the
+                # launch cannot produce trustworthy results past this point.
+                kc.blocks.append(block.counters)
+                break
             shared_used = max(shared_used, block.shared.used)
         cycles, resident, waves = compose_kernel_cycles(
             self.params, kc.blocks, threads_per_block, shared_used, regs_per_thread
@@ -122,5 +177,10 @@ class Device:
         kc.waves = waves
         kc.extra["shared_bytes_per_block"] = float(shared_used)
         kc.extra["regs_per_thread"] = float(regs_per_thread)
+        if monitor is not None:
+            kc.sanitizer = monitor.finalize()
+            kc.extra["sanitizer_findings"] = float(len(kc.sanitizer.findings))
+            if session is not None:
+                session.add(kc.sanitizer)
         self.last_launch = kc
         return kc

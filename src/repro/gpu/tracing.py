@@ -28,6 +28,7 @@ from repro.gpu.events import (
     T_STORE,
     T_SYNCBLOCK,
     T_SYNCWARP,
+    T_VOTE,
 )
 
 TAG_NAMES = {
@@ -38,6 +39,7 @@ TAG_NAMES = {
     T_SYNCWARP: "syncwarp",
     T_SYNCBLOCK: "syncblock",
     T_SHUFFLE: "shuffle",
+    T_VOTE: "vote",
 }
 
 

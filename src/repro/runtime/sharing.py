@@ -52,11 +52,20 @@ class SharingSpace:
         self._team_overflow = None
         self._group_overflow: Dict[int, object] = {}
 
+    def _notify(self, tc, kind: str, group: int, nslots: int, capacity: int) -> None:
+        """Tell an attached sanitizer monitor about a sharing episode."""
+        block = getattr(tc, "block", None)
+        mon = getattr(block, "monitor", None)
+        if mon is not None:
+            mon.on_sharing(block, kind, self, group, nslots, capacity,
+                           block.counters.rounds)
+
     # -- SIMD-group staging (paper Fig 4 / __begin_sharing_simd_args) ------
     def stage_simd_args(self, tc, group: int, slots: Sequence[int]):
         """SIMD main thread publishes its group's packed argument slots."""
         n = len(slots)
         per_group = self.cfg.slots_per_group
+        self._notify(tc, "stage_simd", group, n, per_group)
         if n <= per_group:
             base = group * per_group
             if n:
@@ -75,6 +84,7 @@ class SharingSpace:
 
     def fetch_simd_args(self, tc, group: int, nargs: int) -> List[int]:
         """A group thread reads back the staged slots (broadcast access)."""
+        self._notify(tc, "fetch_simd", group, nargs, self.cfg.slots_per_group)
         ptr = yield from tc.load(self.argptr, group)
         if int(ptr) == 0:
             base = group * self.cfg.slots_per_group
@@ -88,6 +98,7 @@ class SharingSpace:
 
     def end_simd_sharing(self, tc, group: int):
         """Release the group's overflow allocation, if any (end of simd loop)."""
+        self._notify(tc, "end_simd", group, 0, self.cfg.slots_per_group)
         gbuf = self._group_overflow.pop(group, None)
         if gbuf is not None:
             self.gmem.free(gbuf)
@@ -99,6 +110,7 @@ class SharingSpace:
     def stage_team_args(self, tc, slots: Sequence[int]):
         """Team main thread publishes the parallel region's argument slots."""
         n = len(slots)
+        self._notify(tc, "stage_team", -1, n, self.team_slots.size)
         if n <= self.team_slots.size:
             if n:
                 yield from tc.store_vec(
@@ -118,6 +130,7 @@ class SharingSpace:
 
     def fetch_team_args(self, tc, nargs: int) -> List[int]:
         """A worker thread reads the parallel region's staged slots."""
+        self._notify(tc, "fetch_team", -1, nargs, self.team_slots.size)
         if nargs == 0:
             return []
         if nargs <= self.team_slots.size:
@@ -130,6 +143,7 @@ class SharingSpace:
 
     def end_team_sharing(self, tc):
         """Release the team overflow allocation at the end of the region."""
+        self._notify(tc, "end_team", -1, 0, self.team_slots.size)
         if self._team_overflow is not None:
             self.gmem.free(self._team_overflow)
             self._team_overflow = None

@@ -1,0 +1,194 @@
+"""Schedule exploration: seeded permutations of warp issue and commit order.
+
+The block scheduler is deterministic: warps resolve in ascending id and
+side effects commit in lane order, so every launch is one — legal but
+fixed — interleaving.  Order-dependent bugs (racy accumulations, missing
+barriers) can therefore produce stable, plausible-looking results.  In
+the spirit of ``simsched``'s random-scheduling exploration, a
+:class:`ShuffleSchedule` re-permutes, per scheduling round, (a) the
+order in which warps' side effects resolve and (b) the commit order of
+events within each warp — both drawn from a seeded PRNG, so **every
+schedule is replayable from its integer seed alone**.
+
+:func:`explore_schedules` is the fuzz loop: run a kernel once under the
+default schedule, then under N seeded schedules, diffing the outputs
+(and optionally the sanitizer findings) after each run.  A divergent
+seed is a minimized, deterministic repro of an order dependence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sanitizer.report import Finding, SanitizerReport
+
+
+class ShuffleSchedule:
+    """Seeded schedule policy consumed by the block scheduler.
+
+    ``warp_order(block, round, n)`` permutes the order in which the
+    round's warps resolve; ``commit_order(block, round, warp, n)``
+    permutes side-effect application within one warp's posts.  Both are
+    deterministic functions of the seed and the (fully deterministic)
+    call sequence, so a run is replayed exactly by reusing the seed.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def warp_order(self, block_id: int, rnd: int, n: int) -> Sequence[int]:
+        order = list(range(n))
+        self._rng.shuffle(order)
+        return order
+
+    def commit_order(self, block_id: int, rnd: int, warp_id: int, n: int) -> Sequence[int]:
+        order = list(range(n))
+        self._rng.shuffle(order)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShuffleSchedule(seed={self.seed})"
+
+
+@dataclass
+class OutputDiff:
+    """One output array that changed under a permuted schedule."""
+
+    seed: int
+    name: str
+    n_mismatch: int
+    max_abs_diff: float
+
+    def describe(self) -> str:
+        return (
+            f"seed {self.seed}: output {self.name!r} differs at "
+            f"{self.n_mismatch} element(s), max |Δ| = {self.max_abs_diff:g}"
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of an N-schedule fuzz loop over one kernel."""
+
+    schedules_run: int
+    baseline: Dict[str, np.ndarray]
+    diffs: List[OutputDiff] = field(default_factory=list)
+    #: Seeds whose run raised (e.g. a DeadlockError only some orders hit).
+    errored: List[tuple] = field(default_factory=list)
+    report: SanitizerReport = field(default_factory=lambda: SanitizerReport("explore"))
+
+    @property
+    def divergent_seeds(self) -> List[int]:
+        seeds: List[int] = []
+        for d in self.diffs:
+            if d.seed not in seeds:
+                seeds.append(d.seed)
+        for seed, _ in self.errored:
+            if seed not in seeds:
+                seeds.append(seed)
+        return seeds
+
+    @property
+    def reproduced(self) -> Optional[int]:
+        """First seed demonstrating order dependence (None if stable)."""
+        seeds = self.divergent_seeds
+        return seeds[0] if seeds else None
+
+    @property
+    def order_dependent(self) -> bool:
+        return bool(self.divergent_seeds)
+
+    def text(self) -> str:
+        lines = [f"==== schedule exploration: {self.schedules_run} schedule(s) ===="]
+        if not self.order_dependent:
+            lines.append("outputs stable under every explored schedule")
+        else:
+            lines.append(
+                f"ORDER DEPENDENCE: {len(self.divergent_seeds)} divergent "
+                f"seed(s); replay with seed {self.reproduced}"
+            )
+            for d in self.diffs:
+                lines.append("  " + d.describe())
+            for seed, err in self.errored:
+                lines.append(f"  seed {seed}: raised {err}")
+        return "\n".join(lines)
+
+
+def _diff_outputs(
+    seed: int, baseline: Dict[str, np.ndarray], outputs: Dict[str, np.ndarray]
+) -> List[OutputDiff]:
+    diffs = []
+    for name in sorted(baseline):
+        base = np.asarray(baseline[name])
+        got = np.asarray(outputs.get(name))
+        mism = ~np.isclose(got, base, rtol=0.0, atol=0.0, equal_nan=True)
+        n = int(np.count_nonzero(mism))
+        if n:
+            delta = float(np.max(np.abs(got[mism] - base[mism])))
+            diffs.append(OutputDiff(seed, name, n, delta))
+    return diffs
+
+
+def explore_schedules(
+    run: Callable[[Optional[ShuffleSchedule]], Dict[str, np.ndarray]],
+    schedules: int = 16,
+    base_seed: int = 1,
+    stop_on_divergence: bool = True,
+) -> ExplorationResult:
+    """Fuzz a kernel across ``schedules`` seeded warp/commit orderings.
+
+    ``run(policy)`` must build a *fresh* device + buffers, launch with
+    ``schedule_policy=policy`` (None = default order), and return a dict
+    of named output arrays.  Each divergence is reported with the seed
+    that reproduces it deterministically via :func:`replay_schedule`.
+    """
+    result = ExplorationResult(schedules_run=0, baseline=run(None))
+    report = result.report
+    for i in range(schedules):
+        seed = base_seed + i
+        result.schedules_run += 1
+        try:
+            outputs = run(ShuffleSchedule(seed))
+        except Exception as err:  # deadlocks/races only some orders reach
+            result.errored.append((seed, f"{type(err).__name__}: {err}"))
+            report.add(Finding(
+                category="schedule-divergence",
+                message=(
+                    f"schedule seed {seed} raised {type(err).__name__} while "
+                    f"the default schedule completed: {err}"
+                ),
+                extra={"seed": seed},
+            ))
+            if stop_on_divergence:
+                break
+            continue
+        diffs = _diff_outputs(seed, result.baseline, outputs)
+        if diffs:
+            result.diffs.extend(diffs)
+            for d in diffs:
+                report.add(Finding(
+                    category="schedule-divergence",
+                    message=(
+                        "kernel output depends on warp/commit order: "
+                        + d.describe()
+                        + f" — replay deterministically with seed {d.seed}"
+                    ),
+                    address=(d.name, 0),
+                    extra={"seed": d.seed, "max_abs_diff": d.max_abs_diff},
+                ))
+            if stop_on_divergence:
+                break
+    report.stats["schedules_run"] = float(result.schedules_run)
+    return result
+
+
+def replay_schedule(
+    run: Callable[[Optional[ShuffleSchedule]], Dict[str, np.ndarray]], seed: int
+) -> Dict[str, np.ndarray]:
+    """Re-run one explored schedule by seed (deterministic repro)."""
+    return run(ShuffleSchedule(seed))

@@ -1,0 +1,119 @@
+"""Sharing-space auditor: slice overflows, fallbacks, leaks, over-reads.
+
+Hooks into :class:`repro.runtime.sharing.SharingSpace` (which notifies
+the block's attached monitor on every staging episode) and reports, per
+launch:
+
+* **global fallbacks** (``note`` severity — a legitimate, measured cost
+  the A1 ablation sweeps, not a bug) with the overflow size vs the
+  per-group slice capacity;
+* **over-reads** — a fetch of more argument slots than the group staged
+  (reads of stale neighbouring slots would silently corrupt arguments);
+* **leaked overflow allocations** — a sharing episode whose global
+  buffer was never released by ``end_simd_sharing``/``end_team_sharing``
+  when the block finished (device-side memory leak, once per launch slot).
+
+Statistics land in :attr:`SanitizerReport.stats`: staged episodes, peak
+slots staged, fallback count, and slice utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.sanitizer.report import Finding, SanitizerReport
+
+
+class SharingAuditor:
+    """Audits variable-sharing-space discipline per launch."""
+
+    def __init__(self, report: SanitizerReport) -> None:
+        self.report = report
+        #: Live SharingSpace objects seen this block (audited at block end).
+        self._spaces: Dict[int, object] = {}
+        #: Slots staged per (space, group); -1 marks team-level staging.
+        self._staged: Dict[Tuple[int, int], int] = {}
+        self._peak_slots = 0
+
+    # -- staging notifications (called via the block monitor) --------------
+    def on_sharing(self, block, kind: str, space, group: int, nslots: int,
+                   capacity: int, rnd: int) -> None:
+        self._spaces[id(space)] = space
+        bid = block.block_id
+        if kind in ("stage_simd", "stage_team"):
+            self._staged[(id(space), group)] = nslots
+            self._peak_slots = max(self._peak_slots, nslots)
+            self.report.bump("sharing_staged_episodes")
+            self.report.stats["sharing_peak_slots"] = float(self._peak_slots)
+            if capacity:
+                util = nslots / capacity
+                self.report.stats["sharing_peak_utilization"] = max(
+                    self.report.stats.get("sharing_peak_utilization", 0.0), util
+                )
+            if nslots > capacity:
+                self.report.bump("sharing_fallbacks")
+                scope = "team" if group < 0 else f"group {group}"
+                self.report.add(Finding(
+                    category="sharing-fallback",
+                    severity="note",
+                    message=(
+                        f"block {bid} {scope}: {nslots} argument slot(s) "
+                        f"overflowed the {capacity}-slot sharing slice; fell "
+                        f"back to a global-memory allocation"
+                    ),
+                    block=bid,
+                    round=rnd,
+                    extra={"slots": nslots, "capacity": capacity},
+                ))
+        elif kind in ("fetch_simd", "fetch_team"):
+            staged = self._staged.get((id(space), group))
+            self.report.bump("sharing_fetches")
+            if staged is not None and nslots > staged:
+                scope = "team" if group < 0 else f"group {group}"
+                self.report.add(Finding(
+                    category="sharing-overread",
+                    message=(
+                        f"block {bid} {scope}: fetched {nslots} argument "
+                        f"slot(s) but only {staged} were staged — the extra "
+                        f"slots read stale sharing-space contents"
+                    ),
+                    block=bid,
+                    round=rnd,
+                    extra={"fetched": nslots, "staged": staged},
+                ))
+        elif kind in ("end_simd", "end_team"):
+            self._staged.pop((id(space), group), None)
+            self.report.bump("sharing_releases")
+
+    # -- end-of-block leak audit -------------------------------------------
+    def on_block_end(self, block) -> None:
+        bid = block.block_id
+        for space in self._spaces.values():
+            for group, gbuf in sorted(getattr(space, "_group_overflow", {}).items()):
+                self.report.add(Finding(
+                    category="sharing-leak",
+                    message=(
+                        f"block {bid} group {group}: sharing-space overflow "
+                        f"allocation {gbuf.name!r} ({gbuf.nbytes} bytes) was "
+                        f"never released — end_simd_sharing missing for this "
+                        f"sharing episode"
+                    ),
+                    block=bid,
+                    address=(gbuf.name, 0),
+                    extra={"group": group, "bytes": gbuf.nbytes},
+                ))
+            team_buf = getattr(space, "_team_overflow", None)
+            if team_buf is not None:
+                self.report.add(Finding(
+                    category="sharing-leak",
+                    message=(
+                        f"block {bid}: team-level overflow allocation "
+                        f"{team_buf.name!r} ({team_buf.nbytes} bytes) was "
+                        f"never released — end_team_sharing missing"
+                    ),
+                    block=bid,
+                    address=(team_buf.name, 0),
+                    extra={"bytes": team_buf.nbytes},
+                ))
+        self._spaces.clear()
+        self._staged.clear()

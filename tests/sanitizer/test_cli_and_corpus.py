@@ -1,0 +1,84 @@
+"""The seeded-bug corpus and the ``python -m repro.sanitizer`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.sanitizer import corpus
+from repro.sanitizer.__main__ import main
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+class TestCorpus:
+    def test_every_planted_bug_is_caught(self):
+        results = corpus.run_all()
+        missed = [r.describe() for r in results if not r.caught]
+        assert not missed, "\n".join(missed)
+
+    def test_corpus_covers_required_bug_classes(self):
+        cats = [cat for case in corpus.CASES for cat in case.expect]
+        assert sum(c == "data-race" for c in cats) >= 3
+        assert sum(case.expect[0] in ("barrier-divergence", "stale-mask")
+                   for case in corpus.CASES) >= 2
+        assert any("sharing" in c for c in cats)
+        assert any(c == "schedule-divergence" for c in cats)
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(KeyError, match="no corpus case"):
+            corpus.by_name("nope")
+
+
+class TestCli:
+    def test_corpus_exit_zero(self, capsys):
+        assert main(["--corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "7/7 planted bug(s) caught" in out
+
+    def test_single_corpus_case(self, capsys):
+        assert main(["--corpus", "cross-round-race"]) == 0
+        assert "CAUGHT" in capsys.readouterr().out
+
+    def test_corpus_json(self, capsys):
+        assert main(["--corpus", "stale-simdmask", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["name"] == "stale-simdmask" and data[0]["caught"]
+
+    def test_example_by_name_is_clean(self, capsys):
+        assert main(["quickstart", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "session verdict: CLEAN" in out
+
+    def test_example_json(self, capsys):
+        assert main(["quickstart", "--quiet", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clean"] is True
+        assert len(data["launches"]) >= 1
+
+    def test_buggy_script_exits_nonzero(self, tmp_path, capsys):
+        script = tmp_path / "buggy.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro.gpu.device import Device\n"
+            "dev = Device()\n"
+            "a = dev.alloc('a', 1, np.float64)\n"
+            "def k(tc, a):\n"
+            "    yield from tc.store(a, 0, float(tc.tid))\n"
+            "dev.launch(k, num_blocks=1, threads_per_block=32, args=(a,))\n"
+        )
+        assert main([str(script)]) == 1
+        assert "data-race" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out and "stale-simdmask" in out
+
+    def test_missing_target_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_target_errors(self):
+        with pytest.raises(SystemExit, match="no such script"):
+            main(["definitely-not-a-real-example"])

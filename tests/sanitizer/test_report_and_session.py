@@ -1,0 +1,132 @@
+"""SanitizerReport rendering/JSON, session aggregation, omp.launch check=."""
+
+import json
+
+import numpy as np
+
+from repro import sanitizer
+from repro.core import api as omp
+from repro.gpu.device import Device
+from repro.sanitizer.report import Finding, SanitizerReport
+
+
+def racy_kernel(tc, a):
+    yield from tc.store(a, 0, float(tc.tid))
+
+
+class TestReport:
+    def test_text_rendering_includes_provenance(self):
+        report = SanitizerReport("demo")
+        report.add(Finding(category="data-race", message="boom", block=1,
+                           warp=2, lane=3, tid=67, round=4,
+                           address=("buf", 9), sites=("k.py:10", "k.py:20")))
+        text = report.text()
+        assert "==== sanitizer report: demo ====" in text
+        assert "[error] data-race (block 1, warp 2, lane 3, t67, round 4)" in text
+        assert "'buf'[9]" in text
+        assert "site: k.py:10" in text and "site: k.py:20" in text
+
+    def test_notes_do_not_break_cleanliness(self):
+        report = SanitizerReport()
+        report.add(Finding(category="sharing-fallback", message="fyi",
+                           severity="note"))
+        assert report.clean
+        assert report.by_category("sharing-fallback")
+        assert "fyi" in report.text()
+
+    def test_json_roundtrip(self):
+        dev = Device()
+        a = dev.alloc("a", 1, np.float64)
+        kc = dev.launch(racy_kernel, num_blocks=1, threads_per_block=32,
+                        args=(a,), sanitize="report")
+        data = json.loads(kc.sanitizer.to_json())
+        assert data["clean"] is False
+        f = data["findings"][0]
+        assert f["category"] == "data-race"
+        assert f["address"]["buffer"] == "a" and f["address"]["index"] == 0
+        assert len(f["sites"]) == 2
+
+    def test_merge_accumulates(self):
+        a, b = SanitizerReport("a"), SanitizerReport("b")
+        a.bump("x", 2)
+        b.bump("x", 3)
+        b.add(Finding(category="deadlock", message="stuck"))
+        a.merge(b)
+        assert a.stats["x"] == 5
+        assert len(a.findings) == 1
+
+
+class TestSession:
+    def test_session_collects_every_launch(self):
+        dev = Device()
+        a = dev.alloc("a", 64, np.float64)
+
+        def clean_kernel(tc, a):
+            yield from tc.store(a, tc.tid, 1.0)
+
+        with sanitizer.session(label="t") as sess:
+            dev.launch(clean_kernel, num_blocks=1, threads_per_block=64, args=(a,))
+            dev.launch(racy_kernel, num_blocks=1, threads_per_block=32, args=(a,))
+        assert len(sess.reports) == 2
+        assert sess.reports[0].clean
+        assert not sess.reports[1].clean
+        assert not sess.clean
+        assert "session verdict" in sess.text()
+
+    def test_deactivation_restores_unsanitized_launches(self):
+        dev = Device()
+        a = dev.alloc("a", 1, np.float64)
+        with sanitizer.session() as sess:
+            dev.launch(racy_kernel, num_blocks=1, threads_per_block=32, args=(a,))
+        kc = dev.launch(racy_kernel, num_blocks=1, threads_per_block=32, args=(a,))
+        assert kc.sanitizer is None
+        assert len(sess.reports) == 1
+
+    def test_explicit_sanitize_overrides_session(self):
+        """A launch with its own sanitize= does not report into the session."""
+        dev = Device()
+        a = dev.alloc("a", 1, np.float64)
+        with sanitizer.session() as sess:
+            kc = dev.launch(racy_kernel, num_blocks=1, threads_per_block=32,
+                            args=(a,), sanitize="report")
+        assert kc.sanitizer is not None
+        assert len(sess.reports) == 0
+
+    def test_session_forces_report_mode(self):
+        from repro.sanitizer.monitor import SanitizerConfig
+
+        sess = sanitizer.SanitizerSession(SanitizerConfig(mode="raise"))
+        assert sess.config.mode == "report"
+
+
+class TestOmpLaunchCheck:
+    def test_check_report_attaches_report(self):
+        dev = Device()
+        x = dev.from_array("x", np.arange(128, dtype=np.float64))
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            v = yield from tc.load(view["x"], i)
+            yield from tc.store(view["x"], i, 2 * v)
+
+        prog = omp.target(omp.teams_distribute_parallel_for(128, body=body,
+                                                            uses=("x",)))
+        r = omp.launch(dev, prog, num_teams=2, team_size=64,
+                       args={"x": x}, check="report")
+        assert r.sanitizer is not None
+        assert r.sanitizer.clean, r.sanitizer.text()
+        assert r.counters.extra["sanitizer_findings"] == 0.0
+        np.testing.assert_allclose(dev.to_numpy(x), 2 * np.arange(128))
+
+    def test_check_defaults_off(self):
+        dev = Device()
+        x = dev.from_array("x", np.zeros(32))
+
+        def body(tc, ivs, view):
+            (i,) = ivs
+            yield from tc.store(view["x"], i, 1.0)
+
+        prog = omp.target(omp.teams_distribute_parallel_for(32, body=body,
+                                                            uses=("x",)))
+        r = omp.launch(dev, prog, num_teams=1, team_size=32, args={"x": x})
+        assert r.sanitizer is None

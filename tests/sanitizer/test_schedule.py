@@ -1,0 +1,154 @@
+"""Schedule exploration: seeded permutations, divergence, replay."""
+
+import numpy as np
+
+from repro.gpu.device import Device
+from repro.sanitizer.schedule import (
+    ShuffleSchedule,
+    explore_schedules,
+    replay_schedule,
+)
+
+
+def order_dependent_run(policy):
+    """Final value of a[0] is whichever warp's store commits last."""
+    dev = Device()
+    a = dev.alloc("a", 1, np.float64)
+
+    def kernel(tc, a):
+        yield from tc.store(a, 0, float(tc.tid // 32))
+
+    dev.launch(kernel, num_blocks=1, threads_per_block=64, args=(a,),
+               schedule_policy=policy)
+    return {"a": dev.to_numpy(a)}
+
+
+def stable_run(policy):
+    """Disjoint indices: immune to warp/commit order."""
+    dev = Device()
+    a = dev.alloc("a", 64, np.float64)
+
+    def kernel(tc, a):
+        yield from tc.store(a, tc.tid, float(tc.tid))
+
+    dev.launch(kernel, num_blocks=1, threads_per_block=64, args=(a,),
+               schedule_policy=policy)
+    return {"a": dev.to_numpy(a)}
+
+
+class TestExploration:
+    def test_order_dependence_reproduced_within_64_schedules(self):
+        result = explore_schedules(order_dependent_run, schedules=64)
+        assert result.order_dependent
+        assert result.reproduced is not None
+        assert result.schedules_run <= 64
+        assert result.report.by_category("schedule-divergence")
+        assert "replay" in result.text()
+
+    def test_stable_kernel_never_diverges(self):
+        result = explore_schedules(stable_run, schedules=16)
+        assert not result.order_dependent
+        assert result.reproduced is None
+        assert result.schedules_run == 16
+        assert result.report.clean
+        assert "stable" in result.text()
+
+    def test_divergence_only_some_schedules_hit_is_reported(self):
+        """A deadlock only a permuted order reaches shows up as errored."""
+
+        def racy_then_diverge(policy):
+            dev = Device()
+            flag = dev.scalar("flag", 0.0, np.float64)
+
+            def kernel(tc, flag):
+                # Same-round race on the flag: under the default commit
+                # order lane 0's store lands before every sibling's load,
+                # so all lanes take the block barrier.  A permuted commit
+                # order lets loads slip ahead of the store; those lanes
+                # branch to the warp barrier instead and the block
+                # deadlocks (lane 0 waits at syncthreads, its mask-mates
+                # at syncwarp).
+                if tc.tid == 0:
+                    yield from tc.store(flag, 0, 1.0)
+                    yield from tc.syncthreads()
+                else:
+                    v = yield from tc.load(flag, 0)
+                    if int(v) == 1:
+                        yield from tc.syncthreads()
+                    else:
+                        yield from tc.syncwarp()
+
+            dev.launch(kernel, num_blocks=1, threads_per_block=64,
+                       args=(flag,), schedule_policy=policy)
+            return {"flag": dev.to_numpy(flag)}
+
+        result = explore_schedules(racy_then_diverge, schedules=32,
+                                   stop_on_divergence=False)
+        assert result.order_dependent
+        assert result.errored, result.text()
+        assert "DeadlockError" in result.errored[0][1]
+
+
+class TestReplay:
+    def test_replay_by_seed_is_deterministic(self):
+        result = explore_schedules(order_dependent_run, schedules=64)
+        seed = result.reproduced
+        first = replay_schedule(order_dependent_run, seed)
+        second = replay_schedule(order_dependent_run, seed)
+        assert np.array_equal(first["a"], second["a"])
+
+    def test_replay_reproduces_the_divergent_output(self):
+        result = explore_schedules(order_dependent_run, schedules=64)
+        seed = result.reproduced
+        baseline = result.baseline["a"]
+        replayed = replay_schedule(order_dependent_run, seed)["a"]
+        assert not np.array_equal(replayed, baseline)
+
+    def test_same_seed_same_permutations(self):
+        a = ShuffleSchedule(7)
+        b = ShuffleSchedule(7)
+        for rnd in range(5):
+            assert list(a.warp_order(0, rnd, 8)) == list(b.warp_order(0, rnd, 8))
+            assert list(a.commit_order(0, rnd, 0, 6)) == list(b.commit_order(0, rnd, 0, 6))
+
+    def test_different_seeds_differ_somewhere(self):
+        a = [tuple(ShuffleSchedule(s).warp_order(0, 0, 16)) for s in range(8)]
+        assert len(set(a)) > 1
+
+
+class TestPolicyCorrectnessEnvelope:
+    def test_permuted_schedule_is_a_legal_interleaving(self):
+        """A well-synchronized kernel gives identical results under any
+        explored schedule (the permutation only reorders commits the
+        program declared unordered)."""
+
+        def reduction_run(policy):
+            dev = Device()
+            total = dev.scalar("t", 0.0, np.float64)
+
+            def kernel(tc, total):
+                yield from tc.atomic_add(total, 0, float(tc.tid))
+
+            dev.launch(kernel, num_blocks=2, threads_per_block=64,
+                       args=(total,), schedule_policy=policy)
+            return {"t": dev.to_numpy(total)}
+
+        result = explore_schedules(reduction_run, schedules=8)
+        assert not result.order_dependent
+        assert result.baseline["t"][0] == sum(range(64)) * 2
+
+    def test_costs_are_order_independent(self):
+        """The cycle estimate must not depend on the commit permutation."""
+        dev1, dev2 = Device(), Device()
+        a1 = dev1.alloc("a", 64, np.float64)
+        a2 = dev2.alloc("a", 64, np.float64)
+
+        def kernel(tc, a):
+            v = yield from tc.load(a, tc.tid)
+            yield from tc.store(a, tc.tid, v + 1)
+            yield from tc.syncthreads()
+
+        kc1 = dev1.launch(kernel, num_blocks=1, threads_per_block=64, args=(a1,))
+        kc2 = dev2.launch(kernel, num_blocks=1, threads_per_block=64, args=(a2,),
+                          schedule_policy=ShuffleSchedule(3))
+        assert kc1.cycles == kc2.cycles

@@ -1,0 +1,133 @@
+"""Sharing-space audit: fallbacks, over-reads, leaks — and the full
+overflow -> global-alloc -> release protocol at the A1 boundary sizes."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as omp
+from repro.gpu.device import Device
+from repro.runtime.icv import DEFAULT_SHARING_BYTES
+from repro.sanitizer.monitor import SanitizerConfig
+
+REPORT = SanitizerConfig(mode="report")
+
+
+def capture_tree(n_captures=6):
+    """A generic-SIMD program whose leader stages ``n_captures`` payload
+    slots per region instance (same shape as the validation suite)."""
+
+    def pre(tc, ivs, view):
+        yield from tc.compute("alu")
+        return {f"c{k}": ivs[0] * 10 + k for k in range(n_captures)}
+
+    def body(tc, ivs, view):
+        i, j = ivs
+        for k in range(n_captures):
+            yield from tc.device_assert(
+                int(view[f"c{k}"]) == i * 10 + k, "capture corrupted"
+            )
+
+    return omp.target(
+        omp.teams_distribute_parallel_for(
+            4,
+            pre=pre,
+            captures=[(f"c{k}", "i64") for k in range(n_captures)],
+            nested=omp.simd(8, body=body, uses=()),
+            uses=(),
+        )
+    )
+
+
+class TestFallbackProtocol:
+    def test_overflow_alloc_release_roundtrip(self):
+        """Tiny sharing space: every episode overflows to global memory,
+        results stay correct, allocations are released, and the sanitizer
+        records the fallbacks as notes — not errors."""
+        dev = Device()
+        live_before = dev.gmem.live_bytes
+        r = omp.launch(dev, capture_tree(), num_teams=1, team_size=64,
+                       simd_len=8, args={}, sharing_bytes=64,
+                       check=REPORT)
+        assert r.runtime.sharing_fallbacks > 0
+        report = r.sanitizer
+        assert report.clean, report.text()  # fallbacks are notes, not bugs
+        notes = report.by_category("sharing-fallback")
+        assert len(notes) == report.stats["sharing_fallbacks"] > 0
+        assert "fell back to a global-memory allocation" in notes[0].message
+        assert report.stats["sharing_releases"] >= len(notes)
+        # Nothing leaked: device-global usage returns to the baseline plus
+        # the team's persistent dynamic-schedule counter.
+        assert dev.gmem.live_bytes - live_before <= 8
+
+    def test_roomy_space_stages_in_shared(self):
+        dev = Device()
+        r = omp.launch(dev, capture_tree(), num_teams=1, team_size=64,
+                       simd_len=8, args={},
+                       sharing_bytes=DEFAULT_SHARING_BYTES, check=REPORT)
+        assert r.runtime.sharing_fallbacks == 0
+        report = r.sanitizer
+        assert report.clean
+        assert not report.by_category("sharing-fallback")
+        assert report.stats.get("sharing_staged_episodes", 0) > 0
+        assert 0 < report.stats["sharing_peak_utilization"] <= 1.0
+
+    @pytest.mark.parametrize("sharing_bytes", [256, 512, 1024, 2048, 4096])
+    def test_a1_boundary_sizes(self, sharing_bytes):
+        """Sweep the A1 ablation's sharing-space sizes: the audit's
+        fallback count must agree with the runtime counter at every size,
+        and the report stays clean throughout."""
+        dev = Device()
+        r = omp.launch(dev, capture_tree(), num_teams=1, team_size=64,
+                       simd_len=8, args={}, sharing_bytes=sharing_bytes,
+                       check=REPORT)
+        report = r.sanitizer
+        assert report.clean, report.text()
+        assert report.stats.get("sharing_fallbacks", 0) == r.runtime.sharing_fallbacks
+        # 8 groups share the space; 8 slots are staged per episode
+        # (6 captures + 2 loop-bound slots), so the slice boundary is
+        # exactly 8 slots/group = 512 bytes total.
+        slots_per_group = (sharing_bytes // 8) // 8
+        staged = report.stats.get("sharing_peak_slots", 0)
+        if slots_per_group >= staged:
+            assert r.runtime.sharing_fallbacks == 0
+        else:
+            assert r.runtime.sharing_fallbacks > 0
+
+
+class TestAuditFindings:
+    def test_leak_is_an_error(self):
+        from repro.sanitizer.corpus import by_name
+
+        result = by_name("sharing-leak").run()
+        assert result.caught, result.detail
+        assert "never released" in result.detail
+
+    def test_overread_is_an_error(self):
+        """Fetching more slots than were staged reads stale memory."""
+        from repro.runtime.icv import ExecMode, LaunchConfig
+        from repro.runtime.sharing import SharingSpace
+        from repro.runtime.state import RuntimeCounters
+
+        dev = Device()
+        cfg = LaunchConfig(num_teams=1, team_size=32, simd_len=8,
+                           teams_mode=ExecMode.SPMD,
+                           parallel_mode=ExecMode.SPMD,
+                           sharing_bytes=2048, params=dev.params)
+        rc = RuntimeCounters()
+
+        def kernel(tc):
+            if tc.tid == 0:
+                space = SharingSpace(tc.block.shared, cfg, dev.gmem, rc)
+                yield from space.stage_simd_args(tc, 0, [1, 2])
+                # BUG: fetch 4 slots when only 2 were staged.
+                yield from space.fetch_simd_args(tc, 0, 4)
+                yield from space.end_simd_sharing(tc, 0)
+            else:
+                yield from tc.compute("alu")
+
+        kc = dev.launch(kernel, num_blocks=1, threads_per_block=32,
+                        sanitize=REPORT)
+        over = kc.sanitizer.by_category("sharing-overread")
+        assert over, kc.sanitizer.text()
+        assert over[0].severity == "error"
+        assert "only 2 were staged" in over[0].message
