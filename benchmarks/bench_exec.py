@@ -1,0 +1,107 @@
+"""Parallel launch engine: wall-clock speedup over the serial loop.
+
+The simulator's cost model is deterministic, so the *only* thing the
+block-sharding engine may change is how long the simulation takes on the
+host.  This bench times one compute-heavy 64-block grid under the serial
+executor and under 4 forked workers, verifies the results are
+bit-identical, and records the speedup.
+
+Run standalone (prints BENCH lines, used by the CI smoke leg)::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_exec.py --benchmark-only
+
+The ≥2× acceptance assertion only applies on hosts with at least 4 CPUs
+(a single-core container can demonstrate correctness but not speedup).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.exec.pool import fork_available
+from repro.gpu.device import Device
+
+#: Grid geometry: ≥64 blocks per the acceptance criterion.
+NUM_BLOCKS = 64
+THREADS = 64
+INNER = 64
+
+#: Host parallelism needed before asserting the speedup target.
+MIN_CPUS_FOR_SPEEDUP = 4
+TARGET_SPEEDUP = 2.0
+
+
+def _kernel(tc, x, y):
+    """Compute-heavy streaming kernel; blocks touch disjoint cells."""
+    i = tc.global_tid
+    v = yield from tc.load(x, i)
+    for _ in range(INNER):
+        yield from tc.compute("fma")
+        v = v * 1.000001 + 0.5
+    yield from tc.store(y, i, v)
+
+
+def _run(executor):
+    dev = Device(executor=executor)
+    n = NUM_BLOCKS * THREADS
+    x = dev.from_array("x", np.arange(n, dtype=np.float64))
+    y = dev.alloc("y", n, np.float64)
+    t0 = time.perf_counter()
+    kc = dev.launch(_kernel, NUM_BLOCKS, THREADS, args=(x, y))
+    elapsed = time.perf_counter() - t0
+    return dev.to_numpy(y), kc, elapsed
+
+
+def compare(workers: int = 4):
+    """Run serial vs parallel once; return (speedup, serial_s, parallel_s)."""
+    y_s, kc_s, t_serial = _run(SerialExecutor())
+    y_p, kc_p, t_parallel = _run(ParallelExecutor(workers=workers, processes=True))
+    assert np.array_equal(y_s, y_p), "parallel result diverged from serial"
+    assert kc_s.identical(kc_p), "parallel counters diverged from serial"
+    return t_serial / t_parallel, t_serial, t_parallel
+
+
+@pytest.mark.benchmark(group="exec")
+def test_parallel_speedup(benchmark):
+    if not fork_available():
+        pytest.skip("fork start method unavailable")
+    speedup, t_serial, t_parallel = benchmark.pedantic(
+        lambda: compare(workers=4), rounds=1, iterations=1
+    )
+    print(f"\nBENCH exec serial={t_serial:.3f}s parallel={t_parallel:.3f}s "
+          f"speedup={speedup:.2f}x workers=4 blocks={NUM_BLOCKS} "
+          f"cpus={os.cpu_count()}")
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    if (os.cpu_count() or 1) >= MIN_CPUS_FOR_SPEEDUP:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"expected >= {TARGET_SPEEDUP}x with 4 workers on "
+            f"{os.cpu_count()} CPUs, got {speedup:.2f}x"
+        )
+
+
+def main() -> int:
+    if not fork_available():
+        print("BENCH exec SKIP (fork unavailable)")
+        return 0
+    speedup, t_serial, t_parallel = compare(workers=4)
+    cpus = os.cpu_count() or 1
+    print(f"BENCH exec serial={t_serial:.3f}s parallel={t_parallel:.3f}s "
+          f"speedup={speedup:.2f}x workers=4 blocks={NUM_BLOCKS} cpus={cpus}")
+    if cpus >= MIN_CPUS_FOR_SPEEDUP and speedup < TARGET_SPEEDUP:
+        print(f"BENCH exec FAIL: below the {TARGET_SPEEDUP}x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,42 @@ def test_scheduler_throughput_atomic_contention(benchmark):
 
 
 @pytest.mark.benchmark(group="substrate")
+def test_scheduler_throughput_parallel_engine(benchmark):
+    """The streaming triad again, sharded over the parallel launch engine.
+
+    Tracks the engine's overhead/speedup against the serial leg above;
+    the cycle outputs must be identical (the engine may only change
+    wall-clock, never results).
+    """
+    from repro.exec import ParallelExecutor
+    from repro.exec.pool import fork_available
+
+    def run():
+        dev = Device(
+            nvidia_a100(),
+            executor=ParallelExecutor(processes=fork_available()),
+        )
+        n = 4 * 128 * 8
+        x = dev.from_array("x", np.arange(n, dtype=np.float64))
+        y = dev.from_array("y", np.zeros(n))
+
+        def k(tc, x, y):
+            i = tc.global_tid
+            while i < n:
+                v = yield from tc.load(x, i)
+                yield from tc.compute("fma")
+                yield from tc.store(y, i, 2.0 * v)
+                i += tc.block_dim * tc.num_blocks
+        kc = dev.launch(k, 4, 128, args=(x, y))
+        assert np.array_equal(y.to_numpy(), 2.0 * np.arange(n))
+        return kc
+
+    kc = benchmark(run)
+    benchmark.extra_info["rounds"] = kc.rounds
+    benchmark.extra_info["cycles"] = kc.cycles
+
+
+@pytest.mark.benchmark(group="substrate")
 def test_coalescing_cost_calibration(benchmark):
     """Record the modelled cost ratio of scattered vs coalesced access."""
 

@@ -285,6 +285,7 @@ def launch(
     detect_races: bool = False,
     check=None,
     schedule_policy=None,
+    executor=None,
 ) -> LaunchResult:
     """Launch a compiled kernel (or compile a tree on the fly) on ``device``.
 
@@ -302,6 +303,12 @@ def launch(
     :class:`~repro.sanitizer.monitor.SanitizerConfig` gives full control.
     ``schedule_policy`` permutes warp/commit order (see
     :func:`repro.sanitizer.explore_schedules`).
+
+    ``executor`` selects the launch engine for this call (e.g. a
+    :class:`repro.exec.ParallelExecutor`); by default the device's
+    executor, then the ``REPRO_EXECUTOR`` environment default, applies.
+    The runtime counters are registered as launch side state so the
+    parallel engine merges their per-team deltas deterministically.
     """
     args = dict(args or {})
     if isinstance(kernel, Target):
@@ -343,6 +350,8 @@ def launch(
         detect_races=detect_races,
         sanitize=check,
         schedule_policy=schedule_policy,
+        executor=executor,
+        side_state=(rc,),
     )
     kc.extra.update(rc.as_dict())
     kc.extra["simd_len"] = float(cfg.simd_len)

@@ -1,0 +1,545 @@
+"""Launch executors: the serial reference loop and the block-sharding engine.
+
+The paper's execution model (§3) gives thread blocks no way to synchronize
+with one another — teams map to blocks, and every barrier the runtime
+offers is warp- or block-scoped.  A grid is therefore an embarrassingly
+parallel bag of blocks, and :class:`ParallelExecutor` exploits exactly
+that: it fans contiguous shards of blocks out over a worker pool (forked
+processes by default, an in-process loop otherwise), runs **every block
+against the pre-launch snapshot of global memory**, and has the
+coordinator merge the per-block effects back deterministically.
+
+Serial equivalence
+==================
+
+The merge is constructed so that, for any kernel that is well-formed
+under the model (no block reads another block's writes, no block branches
+on an atomic's returned old value accumulated across blocks), the result
+is *bit-identical* to :class:`SerialExecutor`:
+
+* plainly-stored cells carry their final per-block value and are applied
+  last-writer-wins in ascending block id — the order the serial loop
+  commits them;
+* cells touched by atomics carry the block's chronological store/atomic
+  op sequence and are **replayed through**
+  :func:`repro.gpu.atomics.apply_atomic` in ascending block id, so
+  read-modify-write results compose exactly as serial execution computed
+  them (``add`` re-accumulates, ``max``/``min`` re-fold, ``cas`` re-tests);
+  each replayed atomic's old value is *validated* against the value the
+  block actually observed under its snapshot — a mismatch means the block
+  could have branched on another block's atomic result (e.g. dynamic
+  work-claiming off a shared counter), so the merge rolls itself back and
+  the launch re-executes serially (optimistic execution with read
+  validation);
+* per-block counters, shared-memory high-water marks, sanitizer reports,
+  and side-state deltas merge in ascending block id;
+* a block that errors marks a *cutoff*: state merges only for blocks the
+  serial loop would have executed (everything below the cutoff, plus the
+  erroring block's partial effects), then the error re-raises — or, for a
+  deadlock under a report-mode sanitizer, the launch truncates exactly
+  where the serial loop ``break``s.
+
+Running every block against the same snapshot (rather than letting a
+shard accumulate its blocks' writes) is what makes the result invariant
+to worker count and shard boundaries.  Conflicting non-atomic writes to
+the same cell from different blocks — the one case where "some legal
+interleaving" and "the serial interleaving" can disagree — are detected
+during the merge and flagged as ``cross-block-write-conflict`` sanitizer
+findings.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DeadlockError
+from repro.gpu.atomics import apply_atomic
+from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
+from repro.gpu.counters import BlockCounters
+from repro.exec.pool import fork_available, fork_map
+from repro.exec.record import (
+    OP_ATOMIC,
+    OP_STORE,
+    BlockRecord,
+    ErrorCapsule,
+    GlobalWriteRecorder,
+)
+from repro.exec.state import (
+    apply_deltas,
+    delta_numeric,
+    restore_numeric,
+    snapshot_numeric,
+)
+
+#: Default cap on auto-detected worker count.
+MAX_AUTO_WORKERS = 8
+
+
+@dataclass
+class LaunchPlan:
+    """Everything an executor needs to run one kernel launch.
+
+    Built by :meth:`repro.gpu.device.Device.launch` after validation and
+    sanitizer resolution; executors never consult the global sanitizer
+    session or touch ``device.last_launch`` — the device applies those
+    only after a successful merge.
+    """
+
+    entry: object
+    args: tuple
+    num_blocks: int
+    threads_per_block: int
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    #: Legacy races-only raise-mode shorthand (per-block monitor built by
+    #: the block itself when no config is given).
+    detect_races: bool = False
+    #: Resolved :class:`~repro.sanitizer.monitor.SanitizerConfig` (None =
+    #: not sanitizing) and the report label.
+    config: object = None
+    label: Optional[str] = None
+    #: True when a deadlock truncates the launch instead of raising.
+    report_mode: bool = False
+    schedule_policy: object = None
+    #: Host-side observation hook; forces in-process serial execution.
+    tracer: object = None
+    #: Host-side accumulator objects (e.g. ``RuntimeCounters``) whose
+    #: numeric fields blocks mutate; the parallel engine merges them as
+    #: per-block deltas.
+    side_state: tuple = ()
+
+
+@dataclass
+class ExecOutcome:
+    """What an executor hands back to ``Device.launch`` for composition."""
+
+    blocks: List[BlockCounters]
+    shared_used: int
+    report: object = None
+    cross_block_conflicts: int = 0
+
+
+def _make_monitor(plan: LaunchPlan):
+    if plan.config is None:
+        return None
+    from repro.sanitizer.monitor import SanitizerMonitor
+
+    return SanitizerMonitor(plan.config, label=plan.label or "kernel")
+
+
+class SerialExecutor:
+    """The reference executor: the classic sequential block loop.
+
+    Byte-for-byte the behaviour ``Device.launch`` always had — one
+    shared monitor for the whole launch, blocks run in ascending id
+    against live global memory, a report-mode deadlock truncates the
+    loop without updating the deadlocked block's shared high-water mark.
+    """
+
+    def execute(self, device, plan: LaunchPlan) -> ExecOutcome:
+        monitor = _make_monitor(plan)
+        blocks: List[BlockCounters] = []
+        shared_used = 0
+        for block_id in range(plan.num_blocks):
+            block = ThreadBlock(
+                block_id=block_id,
+                num_threads=plan.threads_per_block,
+                params=device.params,
+                gmem=device.gmem,
+                entry=plan.entry,
+                args=plan.args,
+                num_blocks=plan.num_blocks,
+                max_rounds=plan.max_rounds,
+                tracer=plan.tracer,
+                detect_races=plan.detect_races and monitor is None,
+                monitor=monitor,
+                schedule_policy=plan.schedule_policy,
+            )
+            try:
+                blocks.append(block.run())
+            except DeadlockError:
+                if not plan.report_mode:
+                    raise
+                # Report mode: the deadlock finding is already recorded by
+                # the analyzer; remaining blocks are skipped because the
+                # launch cannot produce trustworthy results past this point.
+                blocks.append(block.counters)
+                break
+            shared_used = max(shared_used, block.shared.used)
+        report = monitor.finalize() if monitor is not None else None
+        return ExecOutcome(blocks=blocks, shared_used=shared_used, report=report)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Block-sharding launch engine with a deterministic merge.
+
+    Parameters
+    ----------
+    workers:
+        Worker count (None = one per CPU, capped at
+        :data:`MAX_AUTO_WORKERS`).
+    processes:
+        True forces forked workers, False forces the in-process isolated
+        loop, None picks processes when ``fork`` is available and more
+        than one worker is useful.  Both paths run the identical
+        snapshot/record/merge machinery — only the transport differs.
+    shard_size:
+        Blocks per work unit (None = one contiguous shard per worker).
+        Exposed so the determinism tests can vary shard boundaries.
+
+    Forked workers inherit the parent by copy-on-write, so kernel entry
+    closures and live buffers need no pickling; only
+    :class:`~repro.exec.record.BlockRecord` contents travel back.  The
+    cost is that *host-side* mutations a kernel makes (appending to a
+    Python list, printing) stay in the child — kernels observed that way
+    (and ``tracer=`` launches, which the device routes to
+    :class:`SerialExecutor`) need an in-process executor.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        processes: Optional[bool] = None,
+        shard_size: Optional[int] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.workers = workers
+        self.processes = processes
+        self.shard_size = shard_size
+
+    # ------------------------------------------------------------------
+    def execute(self, device, plan: LaunchPlan) -> ExecOutcome:
+        if plan.tracer is not None:
+            # Closure observation needs the kernel in-process and in the
+            # serial interleaving.
+            return SerialExecutor().execute(device, plan)
+        n = plan.num_blocks
+        workers = self.workers
+        if workers is None:
+            workers = min(os.cpu_count() or 1, MAX_AUTO_WORKERS)
+        workers = max(1, min(int(workers), n))
+        processes = self.processes
+        if processes is None:
+            processes = workers > 1 and fork_available()
+
+        # The handle watermark separates pre-launch buffers (tracked,
+        # merged) from kernel-time allocations (block-local by the model).
+        watermark = device.gmem.mark()
+        size = self.shard_size or -(-n // workers)
+        shards = [range(s, min(s + size, n)) for s in range(0, n, size)]
+
+        def run_shard(ids):
+            return [self._run_block(device, plan, watermark, b) for b in ids]
+
+        records: List[BlockRecord] = []
+        for status, payload in fork_map(
+            run_shard, shards, workers=workers, processes=processes
+        ):
+            if status == "err":
+                # Per-block errors are captured inside records; a shard-level
+                # error means the machinery itself failed.
+                payload.reraise()
+            records.extend(payload)
+        return self._merge(device, plan, records)
+
+    # ------------------------------------------------------------------
+    def _run_block(self, device, plan: LaunchPlan, watermark: int, block_id: int) -> BlockRecord:
+        """Run one block in isolation against the pre-launch snapshot."""
+        gmem = device.gmem
+        rec = GlobalWriteRecorder(watermark, track_reads=plan.config is not None)
+        monitor = _make_monitor(plan)
+        side_base = snapshot_numeric(plan.side_state)
+        record = BlockRecord(block_id)
+        block = None
+        try:
+            block = ThreadBlock(
+                block_id=block_id,
+                num_threads=plan.threads_per_block,
+                params=device.params,
+                gmem=gmem,
+                entry=plan.entry,
+                args=plan.args,
+                num_blocks=plan.num_blocks,
+                max_rounds=plan.max_rounds,
+                tracer=None,
+                detect_races=plan.detect_races and monitor is None,
+                monitor=monitor,
+                schedule_policy=plan.schedule_policy,
+                recorder=rec,
+            )
+            record.counters = block.run()
+            record.completed = True
+            record.shared_used = int(block.shared.used)
+        except BaseException as err:
+            record.error = ErrorCapsule(err)
+            record.deadlock = isinstance(err, DeadlockError)
+            record.counters = block.counters if block is not None else BlockCounters()
+        finally:
+            record.write_set, record.oplog = rec.extract()
+            record.read_cells = rec.read_cells
+            rec.undo()
+            record.live_allocs = _capture_and_purge(gmem, watermark)
+            record.side_deltas = delta_numeric(plan.side_state, side_base)
+            restore_numeric(plan.side_state, side_base)
+            if monitor is not None:
+                record.report = monitor.finalize()
+        return record
+
+    # ------------------------------------------------------------------
+    def _merge(self, device, plan: LaunchPlan, records: List[BlockRecord]) -> ExecOutcome:
+        """Fold per-block records into the serial outcome, ascending id."""
+        records.sort(key=lambda r: r.block_id)
+
+        # Deterministic cutoff: the lowest-id error is the one the serial
+        # loop would have hit; nothing past it ever ran serially.
+        error_rec: Optional[BlockRecord] = None
+        applied = records
+        for i, r in enumerate(records):
+            if r.error is not None:
+                error_rec = r
+                applied = records[: i + 1]
+                break
+
+        gmem = device.gmem
+        if plan.config is not None and _sanitized_cross_block_sharing(applied):
+            # The serial launch runs ONE monitor across all blocks, so its
+            # happens-before analysis flags cross-block races; per-block
+            # monitors cannot see them.  Whenever blocks share a tracked
+            # cell in a potentially racing way, re-run serially so the
+            # finding set matches ground truth exactly.  (No state was
+            # applied yet — the snapshot is intact.)
+            return SerialExecutor().execute(device, plan)
+        if _apply_records(gmem, applied):
+            # Read validation failed: some block observed an atomic old
+            # value that cross-block interleaving changes, so its whole
+            # execution is suspect.  The rollback restored the pre-launch
+            # snapshot; re-execute the ground truth.
+            return SerialExecutor().execute(device, plan)
+        apply_deltas(plan.side_state, [r.side_deltas for r in applied])
+
+        # An error that serial execution would have raised re-raises here,
+        # after the partial state landed — mirroring the serial loop, where
+        # every write before the raise is already committed.  A deadlock
+        # under a report-mode sanitizer instead truncates the launch.
+        if error_rec is not None and not (error_rec.deadlock and plan.report_mode):
+            error_rec.error.reraise()
+
+        blocks = [r.counters for r in applied]
+        shared_used = max((r.shared_used for r in applied), default=0)
+        conflicts = _find_cross_block_conflicts(gmem, applied)
+
+        report = None
+        if plan.config is not None:
+            report = _merge_reports(plan, applied)
+            for finding in conflicts:
+                report.add(finding)
+        return ExecOutcome(
+            blocks=blocks,
+            shared_used=shared_used,
+            report=report,
+            cross_block_conflicts=len(conflicts),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelExecutor(workers={self.workers}, "
+            f"processes={self.processes}, shard_size={self.shard_size})"
+        )
+
+
+class _StaleAtomicRead(Exception):
+    """Internal: merge-time read validation failed for one atomic."""
+
+
+def _sanitized_cross_block_sharing(records: Sequence[BlockRecord]) -> bool:
+    """True when blocks share a tracked cell in a way the launch-wide
+    serial monitor could flag as a cross-block race: a plain write
+    against *any* other block's access, or an atomic against another
+    block's plain access.  Read-read and atomic-atomic sharing is
+    race-free (and atomic results are still read-validated by
+    :func:`_apply_records`)."""
+    readers: Dict[Tuple[int, int], set] = {}
+    writers: Dict[Tuple[int, int], set] = {}
+    atomics: Dict[Tuple[int, int], set] = {}
+    for r in records:
+        b = r.block_id
+        for cell in r.read_cells:
+            readers.setdefault(cell, set()).add(b)
+        for cell in r.write_set:
+            writers.setdefault(cell, set()).add(b)
+        for op in r.oplog:
+            cell = (op[1], op[2])
+            if op[0] == OP_STORE:
+                writers.setdefault(cell, set()).add(b)
+            else:
+                atomics.setdefault(cell, set()).add(b)
+    for cell, wb in writers.items():
+        others = (
+            readers.get(cell, set())
+            | wb
+            | atomics.get(cell, set())
+        )
+        if len(wb) > 1 or others - wb:
+            return True
+    for cell, ab in atomics.items():
+        plain = readers.get(cell, set()) | writers.get(cell, set())
+        if plain - ab:
+            return True
+    return False
+
+
+def _apply_records(gmem, records: Sequence[BlockRecord]) -> bool:
+    """Apply merged block effects to live memory; True if rolled back.
+
+    Replays each record's write-set and oplog in ascending block id while
+    validating every atomic: :func:`apply_atomic` recomputes the old
+    value the *serial* interleaving would have produced, and if that
+    differs from the value the block observed under its snapshot, the
+    block's subsequent behaviour (control flow, later writes) cannot be
+    trusted.  All effects applied so far are then undone — the caller
+    falls back to serial execution against the intact pre-launch state.
+    """
+    undo: List[tuple] = []
+    added: List[object] = []
+    try:
+        for r in records:
+            for (handle, idx), value in r.write_set.items():
+                buf = gmem.lookup(handle)
+                undo.append((buf, idx, buf.read(idx)))
+                buf.write(idx, value)
+            for op in r.oplog:
+                buf = gmem.lookup(op[1])
+                idx = op[2]
+                undo.append((buf, idx, buf.read(idx)))
+                if op[0] == OP_STORE:
+                    buf.write(idx, op[3])
+                else:
+                    old = apply_atomic(buf, idx, op[3], op[4])
+                    # NaN-safe: anything but a clean match falls back to
+                    # serial, which is always correct.
+                    if not (old == op[5]):
+                        raise _StaleAtomicRead
+            for name, size, dtype, data in r.live_allocs:
+                buf = gmem.alloc(name, size, dtype)
+                buf.data[:] = data
+                added.append(buf)
+    except _StaleAtomicRead:
+        for buf in added:
+            gmem.free(buf)
+        for buf, idx, old in reversed(undo):
+            buf.data[idx] = old
+        return True
+    return False
+
+
+def _capture_and_purge(gmem, watermark: int) -> List[tuple]:
+    """Capture kernel-time global allocations still live, then drop them.
+
+    Serial launches leave such allocations (per-team ``dyn_counter``
+    scratch, leaked sharing fallbacks) live in global memory; the
+    coordinator recreates them from the returned descriptions so
+    ``live_bytes`` accounting matches.  Purging them here keeps the
+    in-process path's parent state identical to the forked path's.
+    """
+    survivors = []
+    for buf in gmem.allocated_since(watermark):
+        if buf.space == "global":
+            survivors.append((buf.name, buf.size, buf.dtype, buf.data.copy()))
+            gmem.free(buf)
+        else:
+            # Shared/local buffers registered for handle travel: forget the
+            # handle (the block that owned the memory is gone).
+            gmem.drop(buf)
+    return survivors
+
+
+def _find_cross_block_conflicts(gmem, records: Sequence[BlockRecord]) -> List[object]:
+    """Flag cells where distinct blocks' non-atomic writes collide.
+
+    Two blocks plainly storing *different* final values to one cell, or
+    one block plainly storing a cell another block updates atomically,
+    is a cross-block data race the per-block monitors cannot see — and
+    the one situation where the merged result is merely *a* legal
+    interleaving rather than the serial one.
+    """
+    plain: Dict[Tuple[int, int], Dict[int, object]] = {}
+    atomic: Dict[Tuple[int, int], List[int]] = {}
+    for r in records:
+        for cell, value in r.write_set.items():
+            plain.setdefault(cell, {})[r.block_id] = value
+        for op in r.oplog:
+            cell = (op[1], op[2])
+            if op[0] == OP_STORE:
+                plain.setdefault(cell, {})[r.block_id] = op[3]
+            else:
+                blocks = atomic.setdefault(cell, [])
+                if not blocks or blocks[-1] != r.block_id:
+                    blocks.append(r.block_id)
+
+    findings = []
+    from repro.sanitizer.report import Finding
+
+    for cell in sorted(plain):
+        by_block = plain[cell]
+        handle, idx = cell
+        name = gmem.lookup(handle).name
+        writers = sorted(by_block)
+        values = [by_block[b] for b in writers]
+        if len(writers) > 1 and any(v != values[0] for v in values[1:]):
+            findings.append(Finding(
+                category="cross-block-write-conflict",
+                message=(
+                    f"blocks {writers} store conflicting values to "
+                    f"{name!r}[{idx}] with no inter-block ordering; the "
+                    f"merged result keeps block {writers[-1]}'s value "
+                    "(the serial interleaving), but any order is legal"
+                ),
+                address=(name, idx),
+                extra={"blocks": writers},
+            ))
+        foreign_atomics = [b for b in atomic.get(cell, ()) if b not in by_block]
+        if foreign_atomics:
+            findings.append(Finding(
+                category="cross-block-write-conflict",
+                message=(
+                    f"block(s) {writers} plainly store {name!r}[{idx}] "
+                    f"while block(s) {sorted(set(foreign_atomics))} update "
+                    "it atomically; plain stores do not compose with "
+                    "cross-block atomics"
+                ),
+                address=(name, idx),
+                extra={"blocks": writers, "atomic_blocks": sorted(set(foreign_atomics))},
+            ))
+    return findings
+
+
+def _merge_reports(plan: LaunchPlan, records: Sequence[BlockRecord]):
+    """Merge per-block sanitizer reports ascending, re-applying the
+    launch-wide ``max_findings`` cap the serial shared monitor enforced."""
+    from repro.sanitizer.report import SanitizerReport
+
+    merged = SanitizerReport(plan.label or "kernel")
+    cap = plan.config.max_findings
+    for r in records:
+        rep = r.report
+        if rep is None:
+            continue
+        for finding in rep.findings:
+            # The race detector suppresses further race findings once the
+            # report is full; other detectors are never capped.
+            if finding.category == "data-race" and len(merged.findings) >= cap:
+                merged.truncated += 1
+            else:
+                merged.findings.append(finding)
+        merged.notes.extend(rep.notes)
+        for key, val in rep.stats.items():
+            merged.bump(key, val)
+        merged.truncated += rep.truncated
+    return merged

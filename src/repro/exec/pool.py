@@ -1,0 +1,137 @@
+"""A minimal fork-based worker pool for embarrassingly parallel fan-out.
+
+The simulator's work units — thread blocks, schedule-exploration seeds —
+close over generator functions, device objects, and live NumPy buffers,
+none of which survive pickling.  ``fork`` sidesteps that entirely: each
+worker is a forked child that *inherits* the parent's full state
+(copy-on-write), runs its chunk of tasks, and ships only the **results**
+back over a pipe.  Results must therefore be picklable; the task
+callables need not be.
+
+:func:`fork_map` is deliberately deterministic: tasks are split into
+contiguous chunks, one worker per chunk, and results are returned in
+task order regardless of which worker finished first.  A task that
+raises is returned as an :class:`~repro.exec.record.ErrorCapsule` in its
+slot rather than aborting the whole map — callers decide what an error
+in slot *i* means (for block shards: "serial execution would have
+stopped here").
+
+On platforms without ``fork`` (or when ``workers <= 1``) the map runs
+in-process with identical semantics, so results never depend on the
+transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.exec.record import ErrorCapsule
+
+
+class WorkerError(SimulationError):
+    """A worker process died without delivering its results."""
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX)."""
+    return sys.platform != "win32" and "fork" in multiprocessing.get_all_start_methods()
+
+
+def _chunk(n_tasks: int, workers: int) -> List[range]:
+    """Split ``range(n_tasks)`` into ``workers`` contiguous chunks."""
+    workers = max(1, min(workers, n_tasks))
+    base, rem = divmod(n_tasks, workers)
+    chunks, start = [], 0
+    for w in range(workers):
+        size = base + (1 if w < rem else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def _run_chunk(fn: Callable, tasks: Sequence, chunk: range) -> List[tuple]:
+    out = []
+    for i in chunk:
+        try:
+            out.append((i, "ok", fn(tasks[i])))
+        except BaseException as exc:  # ship, don't kill the chunk
+            out.append((i, "err", ErrorCapsule(exc)))
+    return out
+
+
+def _child_main(conn, fn: Callable, tasks: Sequence, chunk: range) -> None:
+    """Forked-child entry: run the chunk, ship results, exit *hard*.
+
+    ``os._exit`` matters: the child inherited the parent's interpreter
+    state (pytest hooks, atexit handlers, open benchmark sessions) and
+    must not run any of it on the way out.
+    """
+    code = 0
+    try:
+        results = _run_chunk(fn, tasks, chunk)
+        try:
+            conn.send(results)
+        except Exception as exc:  # an unpicklable *result* slipped through
+            conn.send([(i, "err", ErrorCapsule(exc)) for i in chunk])
+    except BaseException:
+        code = 1
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        os._exit(code)
+
+
+def fork_map(
+    fn: Callable,
+    tasks: Sequence,
+    workers: Optional[int] = None,
+    processes: bool = True,
+) -> List[Tuple[str, object]]:
+    """Run ``fn`` over ``tasks`` across forked workers; ordered outcomes.
+
+    Returns one ``("ok", result)`` or ``("err", ErrorCapsule)`` pair per
+    task, in task order.  ``workers=None`` uses one worker per available
+    CPU (capped at 8); ``processes=False`` forces the in-process path.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+    workers = max(1, min(int(workers), len(tasks)))
+
+    if workers == 1 or not processes or not fork_available():
+        flat = _run_chunk(fn, tasks, range(len(tasks)))
+        return [(status, payload) for _, status, payload in flat]
+
+    ctx = multiprocessing.get_context("fork")
+    children = []
+    for chunk in _chunk(len(tasks), workers):
+        recv_end, send_end = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_child_main, args=(send_end, fn, tasks, chunk))
+        proc.daemon = True
+        proc.start()
+        send_end.close()
+        children.append((proc, recv_end, chunk))
+
+    outcomes: List[Optional[Tuple[str, object]]] = [None] * len(tasks)
+    failures = []
+    for proc, recv_end, chunk in children:
+        try:
+            for i, status, payload in recv_end.recv():
+                outcomes[i] = (status, payload)
+        except EOFError:
+            failures.append(chunk)
+        finally:
+            recv_end.close()
+            proc.join()
+    if failures:
+        dead = ", ".join(f"tasks {c.start}..{c.stop - 1}" for c in failures)
+        raise WorkerError(f"worker process died before delivering results ({dead})")
+    return outcomes  # type: ignore[return-value]

@@ -1,0 +1,63 @@
+"""Numeric side-state snapshot/delta helpers.
+
+``omp.launch`` threads a :class:`~repro.runtime.state.RuntimeCounters`
+through every block's team runtime; blocks increment its integer fields
+as they run.  Under the parallel executor those increments happen in
+forked children (or must be undone between isolated blocks), so the
+engine works with *deltas*: snapshot the object's numeric fields before
+a block, diff after, restore, and let the coordinator sum the deltas of
+every block that serial execution would have run and apply them to the
+parent's live objects.
+
+Only plain ``int``/``float``/NumPy-scalar attributes participate; any
+other attribute is ignored.  This is intentionally duck-typed so other
+accumulator-style side state can ride along via ``side_state=(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+_NUMERIC = (int, float, np.integer, np.floating)
+
+
+def _numeric_fields(obj) -> Dict[str, float]:
+    out = {}
+    for name, val in vars(obj).items():
+        if isinstance(val, bool):
+            continue
+        if isinstance(val, _NUMERIC):
+            out[name] = val
+    return out
+
+
+def snapshot_numeric(objs: Sequence) -> Tuple[Dict[str, float], ...]:
+    """Capture every numeric attribute of each side-state object."""
+    return tuple(_numeric_fields(obj) for obj in objs)
+
+
+def delta_numeric(objs: Sequence, base: Tuple[Dict[str, float], ...]):
+    """Per-object ``{field: now - base}`` maps, dropping zero deltas."""
+    deltas = []
+    for obj, snap in zip(objs, base):
+        cur = _numeric_fields(obj)
+        deltas.append({k: cur[k] - v for k, v in snap.items()
+                       if k in cur and cur[k] != v})
+    return tuple(deltas)
+
+
+def restore_numeric(objs: Sequence, base: Tuple[Dict[str, float], ...]) -> None:
+    """Reset each object's numeric attributes to the snapshot values."""
+    for obj, snap in zip(objs, base):
+        for name, val in snap.items():
+            setattr(obj, name, val)
+
+
+def apply_deltas(objs: Sequence, deltas: Sequence[Tuple[Dict[str, float], ...]]) -> None:
+    """Add accumulated per-block deltas onto the live side-state objects."""
+    for per_block in deltas:
+        for obj, delta in zip(objs, per_block):
+            for name, inc in delta.items():
+                setattr(obj, name, getattr(obj, name) + inc)

@@ -98,6 +98,7 @@ class ThreadBlock:
         detect_races: bool = False,
         monitor=None,
         schedule_policy=None,
+        recorder=None,
     ) -> None:
         if num_threads < 1:
             raise LaunchError("block must have at least one thread")
@@ -129,6 +130,10 @@ class ThreadBlock:
         self.monitor = monitor
         #: Optional schedule policy permuting warp/commit order per round.
         self.schedule_policy = schedule_policy
+        #: Optional global-memory write recorder
+        #: (:class:`repro.exec.record.GlobalWriteRecorder`) — the parallel
+        #: launch engine's undo/merge hook; zero-cost when None.
+        self.recorder = recorder
         # Per-block L1 sector cache (LRU).  Dict preserves insertion order;
         # re-inserting on hit implements LRU cheaply.
         self._l1: dict = {}
@@ -257,17 +262,42 @@ class ThreadBlock:
                 tag = ev.tag
                 if tag == T_LOAD:
                     lane.pending = tuple(ev.buf.read(i) for i in ev.idxs)
+                    rec = self.recorder
+                    if (
+                        rec is not None
+                        and rec.track_reads
+                        and ev.buf.space == "global"
+                        and rec.tracks(ev.buf)
+                    ):
+                        rec.on_load(ev.buf, ev.idxs)
                 elif tag == T_STORE:
                     if len(ev.idxs) != len(ev.values):
                         raise SimulationError(
                             f"store index/value arity mismatch on {ev.buf.name!r}"
                         )
-                    for i, v in zip(ev.idxs, ev.values):
-                        ev.buf.write(i, v)
+                    rec = self.recorder
+                    if (
+                        rec is not None
+                        and ev.buf.space == "global"
+                        and rec.tracks(ev.buf)
+                    ):
+                        for i, v in zip(ev.idxs, ev.values):
+                            rec.on_store(ev.buf, i, v)
+                            ev.buf.write(i, v)
+                    else:
+                        for i, v in zip(ev.idxs, ev.values):
+                            ev.buf.write(i, v)
                 elif tag == T_ATOMIC:
                     if ev.buf.space == "global":
                         self._round_mem_stall = True
                     lane.pending = apply_atomic(ev.buf, ev.idx, ev.op, ev.operand)
+                    rec = self.recorder
+                    if (
+                        rec is not None
+                        and ev.buf.space == "global"
+                        and rec.tracks(ev.buf)
+                    ):
+                        rec.on_atomic(ev.buf, ev.idx, ev.op, ev.operand, lane.pending)
                     key = (id(ev.buf), int(ev.idx))
                     atomic_addrs[key] = atomic_addrs.get(key, 0) + 1
                 elif tag == T_SYNCWARP:

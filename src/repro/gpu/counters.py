@@ -59,6 +59,10 @@ class BlockCounters:
     def global_sectors(self) -> int:
         return self.global_load_sectors + self.global_store_sectors
 
+    def as_dict(self) -> Dict[str, float]:
+        """Every counter field by name (for differential comparison)."""
+        return dict(vars(self))
+
     def coalescing_efficiency(self, element_bytes: int = 8, sector_bytes: int = 32) -> float:
         """Useful bytes moved divided by sector bytes moved (≤ 1.0)."""
         moved = self.global_sectors * sector_bytes
@@ -128,6 +132,19 @@ class KernelCounters:
     @property
     def syncblocks(self) -> int:
         return int(self.total("syncblocks"))
+
+    def identical(self, other: "KernelCounters") -> bool:
+        """Bit-exact equality of geometry, cycles, per-block counters, and
+        extras — the differential serial≡parallel harness's oracle."""
+        return (
+            self.num_blocks == other.num_blocks
+            and self.threads_per_block == other.threads_per_block
+            and self.cycles == other.cycles
+            and self.blocks_per_sm == other.blocks_per_sm
+            and self.waves == other.waves
+            and self.blocks == other.blocks
+            and self.extra == other.extra
+        )
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of headline numbers for reports and EXPERIMENTS.md."""

@@ -27,8 +27,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DeadlockError, LaunchError
-from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
+from repro.errors import LaunchError
+from repro.gpu.block import DEFAULT_MAX_ROUNDS
 from repro.gpu.costmodel import CostParams, nvidia_a100
 from repro.gpu.counters import KernelCounters
 from repro.gpu.memory import Buffer, GlobalMemory
@@ -53,10 +53,16 @@ def set_global_sanitizer(session) -> None:
 class Device:
     """A simulated GPU with its global memory and cost profile."""
 
-    def __init__(self, params: Optional[CostParams] = None) -> None:
+    def __init__(self, params: Optional[CostParams] = None, executor=None) -> None:
         self.params = params if params is not None else nvidia_a100()
         self.gmem = GlobalMemory()
+        #: Default executor for this device's launches (None = resolve via
+        #: ``repro.exec.default_executor()``, i.e. the ``REPRO_EXECUTOR``
+        #: environment variable, at each launch).
+        self.executor = executor
         #: Counters of the most recent launch (convenience for examples).
+        #: Updated only after a launch fully completes and merges — a
+        #: failed launch leaves it untouched.
         self.last_launch: Optional[KernelCounters] = None
 
     # -- memory facade -------------------------------------------------
@@ -91,13 +97,27 @@ class Device:
         detect_races: bool = False,
         sanitize=None,
         schedule_policy=None,
+        executor=None,
+        side_state: Sequence = (),
     ) -> KernelCounters:
         """Run ``entry(tc, *args)`` over a grid and return kernel counters.
 
         ``entry`` must be a generator function whose first parameter is the
-        :class:`~repro.gpu.thread.ThreadCtx`.  Blocks execute sequentially
-        (a legal interleaving: blocks cannot synchronize with one another)
-        in ascending block id, so results are deterministic.
+        :class:`~repro.gpu.thread.ThreadCtx`.  Blocks cannot synchronize
+        with one another, so any block execution order is legal; the
+        default :class:`~repro.exec.SerialExecutor` runs them sequentially
+        in ascending block id, and :class:`~repro.exec.ParallelExecutor`
+        shards them over a worker pool and merges the per-block effects
+        back deterministically — bit-identical results either way for
+        well-formed kernels (see ``docs/EXECUTOR.md``).
+
+        ``executor`` overrides the execution strategy for this launch;
+        otherwise the device's executor, then the process default
+        (``REPRO_EXECUTOR``), applies.  ``side_state`` names host-side
+        accumulator objects (e.g. the OpenMP runtime's counters) whose
+        numeric fields the kernel mutates, so the parallel engine can
+        merge their per-block deltas; launches with a ``tracer`` always
+        run serially in-process.
 
         ``tracer(block_id, round, tid, event)``, when given, observes every
         posted event — a debugging hook for protocol inspection.
@@ -124,63 +144,73 @@ class Device:
                 f"threads_per_block must be in [1, {MAX_THREADS_PER_BLOCK}], "
                 f"got {threads_per_block}"
             )
-        monitor = None
+        config = None
+        label = None
         session = None
         report_mode = False
         if sanitize in (None, False, "off"):
             if sanitize is None and _GLOBAL_SANITIZER is not None and not detect_races:
                 session = _GLOBAL_SANITIZER
-                monitor = session.make_monitor(entry)
+                config = session.config
+                label = getattr(entry, "__qualname__", None) or repr(entry)
                 report_mode = True
         else:
-            from repro.sanitizer.monitor import SanitizerConfig, SanitizerMonitor
+            from repro.sanitizer.monitor import SanitizerConfig
 
             config = SanitizerConfig.coerce(sanitize)
             label = getattr(entry, "__qualname__", None) or repr(entry)
-            monitor = SanitizerMonitor(config, label=label)
             report_mode = config.mode == "report"
+
+        # Imported lazily: repro.exec pulls in the sanitizer package, which
+        # imports this module.
+        from repro.exec import default_executor
+        from repro.exec.engine import LaunchPlan, SerialExecutor
+
+        exec_ = executor if executor is not None else self.executor
+        if exec_ is None:
+            exec_ = default_executor()
+        if tracer is not None and not isinstance(exec_, SerialExecutor):
+            # Tracing observes live generators through a host closure,
+            # which only the in-process serial interleaving supports.
+            exec_ = SerialExecutor()
+        plan = LaunchPlan(
+            entry=entry,
+            args=tuple(args),
+            num_blocks=num_blocks,
+            threads_per_block=threads_per_block,
+            max_rounds=max_rounds,
+            detect_races=detect_races,
+            config=config,
+            label=label,
+            report_mode=report_mode,
+            schedule_policy=schedule_policy,
+            tracer=tracer,
+            side_state=tuple(side_state),
+        )
+        # Executors raise before any coordinator-side bookkeeping happens,
+        # so a failed launch leaves last_launch and the sanitizer session
+        # exactly as they were.
+        outcome = exec_.execute(self, plan)
+
         kc = KernelCounters(
             num_blocks=num_blocks, threads_per_block=threads_per_block
         )
-        shared_used = 0
-        for block_id in range(num_blocks):
-            block = ThreadBlock(
-                block_id=block_id,
-                num_threads=threads_per_block,
-                params=self.params,
-                gmem=self.gmem,
-                entry=entry,
-                args=args,
-                num_blocks=num_blocks,
-                max_rounds=max_rounds,
-                tracer=tracer,
-                detect_races=detect_races and monitor is None,
-                monitor=monitor,
-                schedule_policy=schedule_policy,
-            )
-            try:
-                kc.blocks.append(block.run())
-            except DeadlockError:
-                if not report_mode:
-                    raise
-                # Report mode: the deadlock finding is already recorded by
-                # the analyzer; remaining blocks are skipped because the
-                # launch cannot produce trustworthy results past this point.
-                kc.blocks.append(block.counters)
-                break
-            shared_used = max(shared_used, block.shared.used)
+        kc.blocks = outcome.blocks
         cycles, resident, waves = compose_kernel_cycles(
-            self.params, kc.blocks, threads_per_block, shared_used, regs_per_thread
+            self.params, kc.blocks, threads_per_block,
+            outcome.shared_used, regs_per_thread,
         )
         kc.cycles = cycles
         kc.blocks_per_sm = resident
         kc.waves = waves
-        kc.extra["shared_bytes_per_block"] = float(shared_used)
+        kc.extra["shared_bytes_per_block"] = float(outcome.shared_used)
         kc.extra["regs_per_thread"] = float(regs_per_thread)
-        if monitor is not None:
-            kc.sanitizer = monitor.finalize()
-            kc.extra["sanitizer_findings"] = float(len(kc.sanitizer.findings))
+        if outcome.report is not None:
+            kc.sanitizer = outcome.report
+            kc.extra["sanitizer_findings"] = float(len(outcome.report.findings))
             if session is not None:
-                session.add(kc.sanitizer)
+                session.add(outcome.report)
+        if outcome.cross_block_conflicts:
+            kc.extra["cross_block_conflicts"] = float(outcome.cross_block_conflicts)
         self.last_launch = kc
         return kc

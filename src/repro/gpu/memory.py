@@ -234,6 +234,29 @@ class GlobalMemory:
     def live_buffers(self) -> Iterable[Buffer]:
         return list(self._buffers.values())
 
+    # -- snapshot support (repro.exec) --------------------------------------
+    def mark(self) -> int:
+        """Handle watermark: buffers allocated later have handles >= it.
+
+        The parallel launch engine takes a mark before running any block;
+        pre-launch buffers (below the mark) are tracked and merged, while
+        kernel-time allocations are block-local by the execution model.
+        """
+        return self._next_handle
+
+    def allocated_since(self, mark: int) -> Iterable[Buffer]:
+        """Live buffers whose handles were issued at or after ``mark``."""
+        return [buf for handle, buf in sorted(self._buffers.items())
+                if handle >= mark]
+
+    def drop(self, buf: Buffer) -> None:
+        """Forget a *registered* (non-global) buffer's handle.
+
+        Unlike :meth:`free`, no byte accounting changes — registered
+        shared/local buffers were never counted in ``live_bytes``.
+        """
+        self._buffers.pop(buf.handle, None)
+
 
 class SharedMemory:
     """Per-block scratchpad with a bump allocator.

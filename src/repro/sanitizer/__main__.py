@@ -41,9 +41,13 @@ def _resolve_script(target: str) -> str:
     raise SystemExit(f"error: no such script or example: {target!r}")
 
 
-def _run_script(path: str, as_json: bool, quiet: bool) -> int:
+def _run_script(path: str, as_json: bool, quiet: bool, workers=None) -> int:
     from repro import sanitizer
 
+    if workers:
+        from repro.exec import ParallelExecutor, set_default_executor
+
+        set_default_executor(ParallelExecutor(workers=workers))
     sess = sanitizer.activate(label=os.path.basename(path))
     try:
         stdout = io.StringIO() if quiet else sys.stdout
@@ -51,6 +55,10 @@ def _run_script(path: str, as_json: bool, quiet: bool) -> int:
             runpy.run_path(path, run_name="__main__")
     finally:
         sanitizer.deactivate()
+        if workers:
+            from repro.exec import set_default_executor
+
+            set_default_executor(None)
     if as_json:
         print(json.dumps(sess.to_dict(), indent=2, sort_keys=True))
     else:
@@ -58,7 +66,7 @@ def _run_script(path: str, as_json: bool, quiet: bool) -> int:
     return 0 if sess.clean else 1
 
 
-def _run_corpus(name, as_json: bool) -> int:
+def _run_corpus(name, as_json: bool, workers=None) -> int:
     from repro.sanitizer import corpus
 
     if name:
@@ -68,7 +76,7 @@ def _run_corpus(name, as_json: bool) -> int:
             raise SystemExit(f"error: {exc.args[0]}")
     else:
         cases = corpus.CASES
-    results = [case.run() for case in cases]
+    results = [case.run(workers=workers) for case in cases]
     if as_json:
         print(json.dumps(
             [{"name": r.name, "caught": r.caught,
@@ -115,15 +123,20 @@ def main(argv=None) -> int:
                         help="emit the report as JSON")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the target script's own stdout")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run launches through the parallel block "
+                             "executor (and fan schedule exploration out "
+                             "over N worker processes)")
     args = parser.parse_args(argv)
 
     if args.list:
         return _list_targets()
     if args.corpus is not None:
-        return _run_corpus(args.corpus or None, args.json)
+        return _run_corpus(args.corpus or None, args.json, workers=args.workers)
     if not args.target:
         parser.error("give a script/example to sanitize, --corpus, or --list")
-    return _run_script(_resolve_script(args.target), args.json, args.quiet)
+    return _run_script(_resolve_script(args.target), args.json, args.quiet,
+                       workers=args.workers)
 
 
 if __name__ == "__main__":

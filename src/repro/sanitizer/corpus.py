@@ -34,6 +34,20 @@ from repro.sanitizer.schedule import ShuffleSchedule, explore_schedules
 _REPORT = SanitizerConfig(mode="report")
 
 
+def _executor(workers):
+    """Launch executor for corpus devices: parallel when workers is set.
+
+    Corpus kernels are single-block, so this exercises the parallel
+    engine's per-block isolation and report merge rather than any real
+    fan-out — the point is that findings are identical either way.
+    """
+    if not workers:
+        return None
+    from repro.exec import ParallelExecutor
+
+    return ParallelExecutor(workers=workers)
+
+
 @dataclass
 class CaseResult:
     """Outcome of one corpus case: did the sanitizer flag the bug?"""
@@ -63,9 +77,10 @@ class CorpusCase:
     run: Callable[[], CaseResult] = field(repr=False, default=None)
 
 
-def _sanitized(name, expect, kernel, num_blocks, threads, make_args, detail=""):
+def _sanitized(name, expect, kernel, num_blocks, threads, make_args, detail="",
+               workers=None):
     """Run ``kernel`` under the report-mode sanitizer and collect categories."""
-    dev = Device()
+    dev = Device(executor=_executor(workers))
     args = make_args(dev)
     kc = dev.launch(kernel, num_blocks=num_blocks, threads_per_block=threads,
                     args=args, sanitize=_REPORT)
@@ -79,7 +94,7 @@ def _sanitized(name, expect, kernel, num_blocks, threads, make_args, detail=""):
 # ---------------------------------------------------------------------------
 
 
-def _cross_round_race() -> CaseResult:
+def _cross_round_race(workers=None) -> CaseResult:
     """t0 stores a[0] in round 0; t32 (warp 1) stores a[0] in round 1.
 
     The conflicting accesses are posted in *different* scheduling rounds,
@@ -96,10 +111,11 @@ def _cross_round_race() -> CaseResult:
             yield from tc.compute("alu")
 
     return _sanitized("cross-round-race", ("data-race",), kernel,
-                      1, 64, lambda dev: (dev.alloc("a", 4, np.float64),))
+                      1, 64, lambda dev: (dev.alloc("a", 4, np.float64),),
+                      workers=workers)
 
 
-def _shared_missing_syncwarp() -> CaseResult:
+def _shared_missing_syncwarp(workers=None) -> CaseResult:
     """Lane 0 writes shared memory; siblings read it with no syncwarp."""
     cell: Dict[str, object] = {}
 
@@ -116,10 +132,11 @@ def _shared_missing_syncwarp() -> CaseResult:
             yield from tc.store(out, tc.tid, v)
 
     return _sanitized("shared-missing-syncwarp", ("data-race",), kernel,
-                      1, 32, lambda dev: (dev.alloc("out", 32, np.float64),))
+                      1, 32, lambda dev: (dev.alloc("out", 32, np.float64),),
+                      workers=workers)
 
 
-def _atomic_mixed_race() -> CaseResult:
+def _atomic_mixed_race(workers=None) -> CaseResult:
     """An atomicAdd and a plain store touch one element, unordered."""
 
     def kernel(tc, a):
@@ -133,7 +150,8 @@ def _atomic_mixed_race() -> CaseResult:
             yield from tc.compute("alu")
 
     return _sanitized("atomic-mixed-race", ("data-race",), kernel,
-                      1, 32, lambda dev: (dev.alloc("a", 1, np.float64),))
+                      1, 32, lambda dev: (dev.alloc("a", 1, np.float64),),
+                      workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -141,7 +159,7 @@ def _atomic_mixed_race() -> CaseResult:
 # ---------------------------------------------------------------------------
 
 
-def _divergent_block_barriers() -> CaseResult:
+def _divergent_block_barriers(workers=None) -> CaseResult:
     """Halves of a block arrive at textually different block barriers."""
 
     def kernel(tc, a):
@@ -153,10 +171,11 @@ def _divergent_block_barriers() -> CaseResult:
 
     return _sanitized("divergent-block-barriers",
                       ("barrier-divergence", "deadlock"), kernel,
-                      1, 32, lambda dev: (dev.alloc("a", 32, np.float64),))
+                      1, 32, lambda dev: (dev.alloc("a", 32, np.float64),),
+                      workers=workers)
 
 
-def _stale_simdmask() -> CaseResult:
+def _stale_simdmask(workers=None) -> CaseResult:
     """A warp barrier mask names a lane that already retired."""
 
     def kernel(tc, a):
@@ -169,7 +188,8 @@ def _stale_simdmask() -> CaseResult:
         yield from tc.syncwarp()
 
     return _sanitized("stale-simdmask", ("stale-mask", "deadlock"), kernel,
-                      1, 32, lambda dev: (dev.alloc("a", 4, np.float64),))
+                      1, 32, lambda dev: (dev.alloc("a", 4, np.float64),),
+                      workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -177,13 +197,13 @@ def _stale_simdmask() -> CaseResult:
 # ---------------------------------------------------------------------------
 
 
-def _sharing_leak() -> CaseResult:
+def _sharing_leak(workers=None) -> CaseResult:
     """An overflowing staging episode is never released (leaked fallback)."""
     from repro.runtime.icv import ExecMode, LaunchConfig
     from repro.runtime.sharing import SharingSpace
     from repro.runtime.state import RuntimeCounters
 
-    dev = Device()
+    dev = Device(executor=_executor(workers))
     cfg = LaunchConfig(
         num_teams=1, team_size=32, simd_len=8,
         teams_mode=ExecMode.SPMD, parallel_mode=ExecMode.SPMD,
@@ -229,8 +249,9 @@ def order_dependent_run(policy):
     return {"a": dev.to_numpy(a)}
 
 
-def _order_dependent() -> CaseResult:
-    result = explore_schedules(order_dependent_run, schedules=64)
+def _order_dependent(workers=None) -> CaseResult:
+    result = explore_schedules(order_dependent_run, schedules=64,
+                               workers=workers)
     got = result.report.categories() if result.order_dependent else []
     return CaseResult(name="order-dependent",
                       expect=("schedule-divergence",), got=got,
@@ -274,6 +295,11 @@ def by_name(name: str) -> CorpusCase:
                    f"have {[c.name for c in CASES]}")
 
 
-def run_all() -> List[CaseResult]:
-    """Run every corpus case; each result says whether the bug was caught."""
-    return [case.run() for case in CASES]
+def run_all(workers=None) -> List[CaseResult]:
+    """Run every corpus case; each result says whether the bug was caught.
+
+    ``workers`` routes every case through the parallel launch engine
+    (and the schedule explorer's seed fan-out) — the corpus doubles as a
+    differential fixture for the executors.
+    """
+    return [case.run(workers=workers) for case in CASES]

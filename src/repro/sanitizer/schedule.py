@@ -32,24 +32,31 @@ class ShuffleSchedule:
 
     ``warp_order(block, round, n)`` permutes the order in which the
     round's warps resolve; ``commit_order(block, round, warp, n)``
-    permutes side-effect application within one warp's posts.  Both are
-    deterministic functions of the seed and the (fully deterministic)
-    call sequence, so a run is replayed exactly by reusing the seed.
+    permutes side-effect application within one warp's posts.  The policy
+    is *stateless*: each permutation is drawn from a PRNG seeded by
+    ``(seed, block, round, warp)`` alone, never by call order.  That
+    keeps a run replayable from the integer seed — and, because a
+    block's schedule no longer depends on which blocks ran before it,
+    one policy object yields identical schedules whether the blocks
+    execute serially or sharded across the parallel executor's workers.
+    (String seeding hashes via SHA-512, so permutations are stable
+    across processes and ``PYTHONHASHSEED`` values.)
     """
 
     def __init__(self, seed: int) -> None:
         self.seed = int(seed)
-        self._rng = random.Random(self.seed)
+
+    def _perm(self, n: int, *key) -> Sequence[int]:
+        order = list(range(n))
+        rng = random.Random(":".join(str(k) for k in (self.seed,) + key))
+        rng.shuffle(order)
+        return order
 
     def warp_order(self, block_id: int, rnd: int, n: int) -> Sequence[int]:
-        order = list(range(n))
-        self._rng.shuffle(order)
-        return order
+        return self._perm(n, "w", block_id, rnd)
 
     def commit_order(self, block_id: int, rnd: int, warp_id: int, n: int) -> Sequence[int]:
-        order = list(range(n))
-        self._rng.shuffle(order)
-        return order
+        return self._perm(n, "c", block_id, rnd, warp_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShuffleSchedule(seed={self.seed})"
@@ -139,6 +146,7 @@ def explore_schedules(
     schedules: int = 16,
     base_seed: int = 1,
     stop_on_divergence: bool = True,
+    workers: Optional[int] = None,
 ) -> ExplorationResult:
     """Fuzz a kernel across ``schedules`` seeded warp/commit orderings.
 
@@ -146,27 +154,51 @@ def explore_schedules(
     ``schedule_policy=policy`` (None = default order), and return a dict
     of named output arrays.  Each divergence is reported with the seed
     that reproduces it deterministically via :func:`replay_schedule`.
+
+    ``workers`` > 1 fans the seeds out over forked worker processes
+    (seeds are independent by construction); results are then folded in
+    seed order with the exact serial semantics — same ``schedules_run``
+    count, same first divergence, same early stop.  Speculative runs
+    past the stopping point are simply discarded.
     """
     result = ExplorationResult(schedules_run=0, baseline=run(None))
     report = result.report
-    for i in range(schedules):
-        seed = base_seed + i
-        result.schedules_run += 1
+    seeds = [base_seed + i for i in range(schedules)]
+
+    def run_seed(seed):
+        """-> ("ok", outputs) or ("raised", (type name, message))."""
         try:
-            outputs = run(ShuffleSchedule(seed))
+            return "ok", run(ShuffleSchedule(seed))
         except Exception as err:  # deadlocks/races only some orders reach
-            result.errored.append((seed, f"{type(err).__name__}: {err}"))
+            return "raised", (type(err).__name__, str(err))
+
+    completed = None
+    if workers is not None and workers > 1 and len(seeds) > 1:
+        from repro.exec.pool import fork_map
+
+        completed = []
+        for status, payload in fork_map(run_seed, seeds, workers=workers):
+            if status == "err":  # infrastructure failure, not a kernel error
+                payload.reraise()
+            completed.append(payload)
+    for i, seed in enumerate(seeds):
+        result.schedules_run += 1
+        status, payload = completed[i] if completed is not None else run_seed(seed)
+        if status == "raised":
+            err_type, err_msg = payload
+            result.errored.append((seed, f"{err_type}: {err_msg}"))
             report.add(Finding(
                 category="schedule-divergence",
                 message=(
-                    f"schedule seed {seed} raised {type(err).__name__} while "
-                    f"the default schedule completed: {err}"
+                    f"schedule seed {seed} raised {err_type} while "
+                    f"the default schedule completed: {err_msg}"
                 ),
                 extra={"seed": seed},
             ))
             if stop_on_divergence:
                 break
             continue
+        outputs = payload
         diffs = _diff_outputs(seed, result.baseline, outputs)
         if diffs:
             result.diffs.extend(diffs)

@@ -5,26 +5,39 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exec import default_executor
 from repro.gpu.costmodel import CostParams, amd_mi100, nvidia_a100
 from repro.gpu.device import Device
 
 
 @pytest.fixture
-def device() -> Device:
+def executor():
+    """The launch executor under test, resolved from the environment.
+
+    Defaults to :class:`repro.exec.SerialExecutor`; running the suite with
+    ``REPRO_EXECUTOR=parallel`` (in-process isolated engine) or
+    ``REPRO_EXECUTOR=fork:4`` (forked workers) re-exercises every launch
+    through the block-sharding engine — the CI matrix does exactly that.
+    """
+    return default_executor()
+
+
+@pytest.fixture
+def device(executor) -> Device:
     """A fresh NVIDIA-profile device per test."""
-    return Device(nvidia_a100())
+    return Device(nvidia_a100(), executor=executor)
 
 
 @pytest.fixture
-def amd_device() -> Device:
+def amd_device(executor) -> Device:
     """A fresh AMD-profile device (64-wide wavefronts, no warp sync)."""
-    return Device(amd_mi100())
+    return Device(amd_mi100(), executor=executor)
 
 
 @pytest.fixture
-def small_device() -> Device:
+def small_device(executor) -> Device:
     """A 2-SM device so occupancy/wave effects are visible in tests."""
-    return Device(nvidia_a100().with_overrides(num_sms=2))
+    return Device(nvidia_a100().with_overrides(num_sms=2), executor=executor)
 
 
 def run_lanes(device: Device, entry, threads: int = 32, blocks: int = 1, args=()):

@@ -43,7 +43,8 @@ def launch_rt(device, cfg, body, table=None, counters=None, args=()):
         rt = TeamRuntime.get(tc, cfg, device.gmem, table, counters)
         yield from body(tc, rt, *args)
 
-    kc = device.launch(entry, cfg.num_teams, cfg.block_dim)
+    kc = device.launch(entry, cfg.num_teams, cfg.block_dim,
+                       side_state=(counters,))
     return kc, counters
 
 
