@@ -89,7 +89,63 @@ def test_parallel_speedup(benchmark):
         )
 
 
+#: Repeats for the off-path overhead measurement (min-of-k kills noise).
+OVERHEAD_ROUNDS = 5
+#: The resilience acceptance target: faults off-path costs < 2%.
+MAX_OFF_OVERHEAD_PCT = 2.0
+
+
+def _time_one(faults) -> float:
+    dev = Device(executor=SerialExecutor(), faults=faults)
+    n = NUM_BLOCKS * THREADS
+    x = dev.from_array("x", np.arange(n, dtype=np.float64))
+    y = dev.alloc("y", n, np.float64)
+    t0 = time.perf_counter()
+    dev.launch(_kernel, NUM_BLOCKS, THREADS, args=(x, y))
+    return time.perf_counter() - t0
+
+
+def faults_off_overhead():
+    """Return (overhead_pct, t_off, t_inert) for the fault hooks' off path.
+
+    ``t_off`` runs with no plan at all; ``t_inert`` with an armed but
+    spec-less :class:`repro.faults.FaultPlan` — every hook is consulted
+    and must decline at hash-draw cost zero (specs are filtered per site
+    before any draw happens).  The two legs are interleaved pairwise so
+    host-load drift between series cannot masquerade as overhead, and
+    min-of-k absorbs the remaining noise.
+    """
+    from repro.faults import FaultPlan
+
+    t_off = t_inert = float("inf")
+    for _ in range(OVERHEAD_ROUNDS):
+        t_off = min(t_off, _time_one(None))
+        t_inert = min(t_inert, _time_one(FaultPlan(seed=2023)))
+    return (t_inert / t_off - 1.0) * 100.0, t_off, t_inert
+
+
+@pytest.mark.benchmark(group="exec")
+def test_faults_off_overhead(benchmark):
+    overhead, t_off, t_inert = benchmark.pedantic(
+        faults_off_overhead, rounds=1, iterations=1
+    )
+    print(f"\nBENCH faults-off off={t_off:.3f}s inert={t_inert:.3f}s "
+          f"overhead={overhead:+.2f}%")
+    benchmark.extra_info["overhead_pct"] = round(overhead, 2)
+    if t_off >= 0.05:  # too-short baselines are all noise
+        assert overhead < MAX_OFF_OVERHEAD_PCT, (
+            f"faults off-path costs {overhead:.2f}% "
+            f"(target < {MAX_OFF_OVERHEAD_PCT}%)"
+        )
+
+
 def main() -> int:
+    overhead, t_off, t_inert = faults_off_overhead()
+    print(f"BENCH faults-off off={t_off:.3f}s inert={t_inert:.3f}s "
+          f"overhead={overhead:+.2f}%")
+    if t_off >= 0.05 and overhead >= MAX_OFF_OVERHEAD_PCT:
+        print(f"BENCH faults-off FAIL: above the {MAX_OFF_OVERHEAD_PCT}% target")
+        return 1
     if not fork_available():
         print("BENCH exec SKIP (fork unavailable)")
         return 0

@@ -286,6 +286,10 @@ def launch(
     check=None,
     schedule_policy=None,
     executor=None,
+    faults=None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
 ) -> LaunchResult:
     """Launch a compiled kernel (or compile a tree on the fly) on ``device``.
 
@@ -309,6 +313,11 @@ def launch(
     executor, then the ``REPRO_EXECUTOR`` environment default, applies.
     The runtime counters are registered as launch side state so the
     parallel engine merges their per-team deltas deterministically.
+
+    ``faults``/``timeout``/``retries``/``backoff`` pass straight through
+    to :meth:`~repro.gpu.device.Device.launch` — fault-injection plan,
+    wall-clock watchdog, and launch-level retry-with-rollback (see
+    ``docs/RESILIENCE.md``).
     """
     args = dict(args or {})
     if isinstance(kernel, Target):
@@ -352,6 +361,10 @@ def launch(
         schedule_policy=schedule_policy,
         executor=executor,
         side_state=(rc,),
+        faults=faults,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
     )
     kc.extra.update(rc.as_dict())
     kc.extra["simd_len"] = float(cfg.simd_len)

@@ -83,6 +83,31 @@ class DeviceAssertionError(SimulationError):
     """A device-side assertion (``tc.device_assert``) failed."""
 
 
+class LaunchTimeout(SimulationError):
+    """A launch exceeded its wall-clock watchdog (``timeout=`` seconds).
+
+    Structured progress rides along for programmatic consumers (and the
+    launch retry ladder): ``timeout`` is the configured limit in seconds,
+    ``blocks_done``/``num_blocks`` locate how far the launch got, and
+    ``progress`` is a tuple of ``(block_id, rounds)`` rows for every block
+    that completed before the deadline.  Under the parallel executor the
+    granularity is the work chunk, so ``blocks_done`` counts blocks whose
+    chunk delivered results in time.
+    """
+
+    def __init__(self, message: str, timeout=None, blocks_done=None,
+                 num_blocks=None, progress=()):
+        super().__init__(message)
+        self.timeout = timeout
+        self.blocks_done = blocks_done
+        self.num_blocks = num_blocks
+        self.progress = tuple(progress)
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan is misconfigured (bad spec, bad env string)."""
+
+
 # ---------------------------------------------------------------------------
 # OpenMP device runtime faults
 # ---------------------------------------------------------------------------

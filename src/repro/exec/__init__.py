@@ -42,7 +42,7 @@ from repro.exec.engine import (
     ParallelExecutor,
     SerialExecutor,
 )
-from repro.exec.pool import WorkerError, fork_available, fork_map
+from repro.exec.pool import RetryPolicy, WorkerError, fork_available, fork_map
 from repro.exec.record import BlockRecord, ErrorCapsule, GlobalWriteRecorder
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "GlobalWriteRecorder",
     "LaunchPlan",
     "ParallelExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "WorkerError",
     "coerce_executor",

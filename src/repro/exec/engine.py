@@ -51,14 +51,15 @@ findings.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError
+from repro.errors import DeadlockError, LaunchTimeout
 from repro.gpu.atomics import apply_atomic
 from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
 from repro.gpu.counters import BlockCounters
-from repro.exec.pool import fork_available, fork_map
+from repro.exec.pool import RetryPolicy, fork_available, fork_map
 from repro.exec.record import (
     OP_ATOMIC,
     OP_STORE,
@@ -108,6 +109,15 @@ class LaunchPlan:
     #: numeric fields blocks mutate; the parallel engine merges them as
     #: per-block deltas.
     side_state: tuple = ()
+    #: Optional fault plan (:class:`repro.faults.FaultPlan`); consulted by
+    #: the block scheduler, the sharing space, and the worker pool.
+    faults: object = None
+    #: Optional absolute :func:`time.monotonic` watchdog deadline; expiry
+    #: raises :class:`~repro.errors.LaunchTimeout` (block granularity on
+    #: the serial executor, chunk granularity on the pool).
+    deadline: Optional[float] = None
+    #: Optional worker-pool :class:`~repro.exec.pool.RetryPolicy`.
+    retry: object = None
 
 
 @dataclass
@@ -118,6 +128,9 @@ class ExecOutcome:
     shared_used: int
     report: object = None
     cross_block_conflicts: int = 0
+    #: Worker-pool recovery stats (:data:`repro.exec.pool.STAT_KEYS`);
+    #: None when execution never touched the pool.
+    recovery: Optional[dict] = None
 
 
 def _make_monitor(plan: LaunchPlan):
@@ -142,6 +155,16 @@ class SerialExecutor:
         blocks: List[BlockCounters] = []
         shared_used = 0
         for block_id in range(plan.num_blocks):
+            if plan.deadline is not None and time.monotonic() >= plan.deadline:
+                if plan.faults is not None:
+                    plan.faults.counters.timeouts += 1
+                raise LaunchTimeout(
+                    f"launch watchdog expired after {block_id}/"
+                    f"{plan.num_blocks} blocks",
+                    blocks_done=block_id,
+                    num_blocks=plan.num_blocks,
+                    progress=[(i, b.rounds) for i, b in enumerate(blocks)],
+                )
             block = ThreadBlock(
                 block_id=block_id,
                 num_threads=plan.threads_per_block,
@@ -155,6 +178,7 @@ class SerialExecutor:
                 detect_races=plan.detect_races and monitor is None,
                 monitor=monitor,
                 schedule_policy=plan.schedule_policy,
+                faults=plan.faults,
             )
             try:
                 blocks.append(block.run())
@@ -239,15 +263,27 @@ class ParallelExecutor:
             return [self._run_block(device, plan, watermark, b) for b in ids]
 
         records: List[BlockRecord] = []
+        stats: dict = {}
+        retry = plan.retry if plan.retry is not None else RetryPolicy()
         for status, payload in fork_map(
-            run_shard, shards, workers=workers, processes=processes
+            run_shard,
+            shards,
+            workers=workers,
+            processes=processes,
+            faults=plan.faults,
+            retry=retry,
+            deadline=plan.deadline,
+            stats=stats,
         ):
             if status == "err":
                 # Per-block errors are captured inside records; a shard-level
                 # error means the machinery itself failed.
                 payload.reraise()
             records.extend(payload)
-        return self._merge(device, plan, records)
+        outcome = self._merge(device, plan, records)
+        if any(stats.values()):
+            outcome.recovery = stats
+        return outcome
 
     # ------------------------------------------------------------------
     def _run_block(self, device, plan: LaunchPlan, watermark: int, block_id: int) -> BlockRecord:
@@ -273,6 +309,7 @@ class ParallelExecutor:
                 monitor=monitor,
                 schedule_policy=plan.schedule_policy,
                 recorder=rec,
+                faults=plan.faults,
             )
             record.counters = block.run()
             record.completed = True

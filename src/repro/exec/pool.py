@@ -1,4 +1,4 @@
-"""A minimal fork-based worker pool for embarrassingly parallel fan-out.
+"""A self-healing fork-based worker pool for embarrassingly parallel fan-out.
 
 The simulator's work units — thread blocks, schedule-exploration seeds —
 close over generator functions, device objects, and live NumPy buffers,
@@ -16,6 +16,24 @@ slot rather than aborting the whole map — callers decide what an error
 in slot *i* means (for block shards: "serial execution would have
 stopped here").
 
+Worker *processes*, on the other hand, can die or wedge — naturally
+(OOM-killed, a segfaulting extension) or injected by a
+:class:`repro.faults.FaultPlan` at the ``worker.crash``/``worker.hang``
+sites.  The pool recovers instead of aborting (the recovery ladder,
+governed by :class:`RetryPolicy`):
+
+1. failed chunks are **retried** with capped exponential backoff, their
+   task indices **redistributed** across a fresh set of forked workers;
+2. after ``max_retries`` rounds the survivors' results are kept and the
+   still-missing tasks **degrade to in-process** serial execution, which
+   cannot suffer worker faults — the map always completes;
+3. only with ``recover=False`` does the old behaviour return: a
+   :class:`WorkerError` naming each dead worker's exit code or signal.
+
+A ``deadline`` (absolute :func:`time.monotonic` value) turns the pool
+into a launch watchdog: expiry kills outstanding workers and raises
+:class:`~repro.errors.LaunchTimeout` with progress counts.
+
 On platforms without ``fork`` (or when ``workers <= 1``) the map runs
 in-process with identical semantics, so results never depend on the
 transport.
@@ -25,20 +43,84 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as _signal
 import sys
+import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import LaunchTimeout, SimulationError
 from repro.exec.record import ErrorCapsule
 
 
 class WorkerError(SimulationError):
-    """A worker process died without delivering its results."""
+    """A worker process died without delivering its results.
+
+    Raised only when recovery is disabled (``recover=False``) or by the
+    legacy single-shot path; the default pool retries, redistributes,
+    and degrades in-process instead.  The message names each failed
+    chunk's task range and its worker's exit code or fatal signal.
+    """
+
+
+#: Exit code used by injected worker crashes (distinctive in diagnostics).
+INJECTED_CRASH_EXIT = 86
+
+#: How long an injected hang sleeps; the parent reaps it long before.
+_HANG_SLEEP = 3600.0
+
+#: Hang watchdog applied when a fault plan is attached but the policy
+#: does not set one — keeps injected hangs from stalling the suite.
+DEFAULT_FAULT_HANG_TIMEOUT = 1.5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery knobs for :func:`fork_map`.
+
+    ``max_retries`` bounds redistribution rounds (not counting the final
+    in-process degradation).  Backoff before retry round *k* is
+    ``min(backoff_cap, backoff * 2**(k-1))`` seconds.  ``hang_timeout``
+    is how long the parent waits on a chunk's pipe before declaring the
+    worker hung (None = wait forever, unless a fault plan is attached —
+    then :data:`DEFAULT_FAULT_HANG_TIMEOUT` applies so injected hangs
+    are detected promptly).
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.02
+    backoff_cap: float = 0.5
+    hang_timeout: Optional[float] = None
+
+
+#: Stats keys :func:`fork_map` maintains in a caller-supplied dict.
+STAT_KEYS = (
+    "worker_deaths",
+    "worker_hangs",
+    "chunk_retries",
+    "redistributions",
+    "degraded_chunks",
+    "degraded_tasks",
+    "retry_rounds",
+)
 
 
 def fork_available() -> bool:
     """True when the ``fork`` start method exists (POSIX)."""
     return sys.platform != "win32" and "fork" in multiprocessing.get_all_start_methods()
+
+
+def describe_exit(code: Optional[int]) -> str:
+    """Human-readable worker exit status (exit code or signal name)."""
+    if code is None:
+        return "no exit status"
+    if code < 0:
+        try:
+            name = _signal.Signals(-code).name
+        except ValueError:
+            name = f"signal {-code}"
+        return f"killed by {name}"
+    return f"exit code {code}"
 
 
 def _chunk(n_tasks: int, workers: int) -> List[range]:
@@ -53,7 +135,7 @@ def _chunk(n_tasks: int, workers: int) -> List[range]:
     return chunks
 
 
-def _run_chunk(fn: Callable, tasks: Sequence, chunk: range) -> List[tuple]:
+def _run_chunk(fn: Callable, tasks: Sequence, chunk: Sequence[int]) -> List[tuple]:
     out = []
     for i in chunk:
         try:
@@ -63,15 +145,29 @@ def _run_chunk(fn: Callable, tasks: Sequence, chunk: range) -> List[tuple]:
     return out
 
 
-def _child_main(conn, fn: Callable, tasks: Sequence, chunk: range) -> None:
+def _child_main(conn, fn: Callable, tasks: Sequence, chunk: Sequence[int],
+                faults=None, attempt: int = 0) -> None:
     """Forked-child entry: run the chunk, ship results, exit *hard*.
 
     ``os._exit`` matters: the child inherited the parent's interpreter
     state (pytest hooks, atexit handlers, open benchmark sessions) and
-    must not run any of it on the way out.
+    must not run any of it on the way out.  Fault injection happens here,
+    before any work: a fired ``worker.crash`` dies with
+    :data:`INJECTED_CRASH_EXIT`, a fired ``worker.hang`` sleeps until
+    the parent's watchdog reaps it.  The parent re-evaluates the same
+    (stateless) predicates for provenance.
     """
     code = 0
     try:
+        if faults is not None and len(chunk):
+            coords = {"chunk": int(chunk[0]), "attempt": attempt}
+            # Hang before crash: a plan arming both (the campaign's
+            # ``--hang`` leg) pins the hang to one chunk and must not
+            # have the broader crash predicate mask it.
+            if faults.fires("worker.hang", **coords) is not None:
+                time.sleep(_HANG_SLEEP)
+            if faults.fires("worker.crash", **coords) is not None:
+                os._exit(INJECTED_CRASH_EXIT)
         results = _run_chunk(fn, tasks, chunk)
         try:
             conn.send(results)
@@ -87,51 +183,197 @@ def _child_main(conn, fn: Callable, tasks: Sequence, chunk: range) -> None:
         os._exit(code)
 
 
+def _deadline_timeout(msg_done: int, n_tasks: int) -> LaunchTimeout:
+    return LaunchTimeout(
+        f"launch watchdog expired with {msg_done}/{n_tasks} work chunks done",
+        blocks_done=msg_done,
+        num_blocks=n_tasks,
+    )
+
+
 def fork_map(
     fn: Callable,
     tasks: Sequence,
     workers: Optional[int] = None,
     processes: bool = True,
+    *,
+    faults=None,
+    retry: Optional[RetryPolicy] = None,
+    deadline: Optional[float] = None,
+    recover: bool = True,
+    stats: Optional[dict] = None,
 ) -> List[Tuple[str, object]]:
     """Run ``fn`` over ``tasks`` across forked workers; ordered outcomes.
 
     Returns one ``("ok", result)`` or ``("err", ErrorCapsule)`` pair per
     task, in task order.  ``workers=None`` uses one worker per available
     CPU (capped at 8); ``processes=False`` forces the in-process path.
+
+    Keyword-only recovery surface: ``faults`` is an optional
+    :class:`repro.faults.FaultPlan` consulted at the worker hook sites;
+    ``retry`` a :class:`RetryPolicy`; ``deadline`` an absolute
+    :func:`time.monotonic` watchdog; ``recover=False`` restores the
+    legacy raise-on-death behaviour; ``stats`` (a dict) receives the
+    :data:`STAT_KEYS` counts for observability.
     """
     tasks = list(tasks)
+    if stats is not None:
+        for key in STAT_KEYS:
+            stats.setdefault(key, 0)
     if not tasks:
         return []
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)
     workers = max(1, min(int(workers), len(tasks)))
+    policy = retry if retry is not None else RetryPolicy()
 
     if workers == 1 or not processes or not fork_available():
-        flat = _run_chunk(fn, tasks, range(len(tasks)))
+        if deadline is None:
+            flat = _run_chunk(fn, tasks, range(len(tasks)))
+        else:
+            flat = []
+            for i in range(len(tasks)):
+                if time.monotonic() >= deadline:
+                    if faults is not None:
+                        faults.counters.timeouts += 1
+                    raise _deadline_timeout(i, len(tasks))
+                flat.extend(_run_chunk(fn, tasks, (i,)))
         return [(status, payload) for _, status, payload in flat]
 
     ctx = multiprocessing.get_context("fork")
-    children = []
-    for chunk in _chunk(len(tasks), workers):
-        recv_end, send_end = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_child_main, args=(send_end, fn, tasks, chunk))
-        proc.daemon = True
-        proc.start()
-        send_end.close()
-        children.append((proc, recv_end, chunk))
-
     outcomes: List[Optional[Tuple[str, object]]] = [None] * len(tasks)
-    failures = []
-    for proc, recv_end, chunk in children:
-        try:
-            for i, status, payload in recv_end.recv():
-                outcomes[i] = (status, payload)
-        except EOFError:
-            failures.append(chunk)
-        finally:
-            recv_end.close()
+    hang = policy.hang_timeout
+    if hang is None and faults is not None:
+        hang = DEFAULT_FAULT_HANG_TIMEOUT
+
+    def spawn(chunks: List[Sequence[int]], attempt: int):
+        children = []
+        for chunk in chunks:
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_child_main,
+                args=(send_end, fn, tasks, chunk, faults, attempt),
+            )
+            proc.daemon = True
+            proc.start()
+            send_end.close()
+            # The hang clock starts at spawn, not at first poll, so the
+            # watchdogs of several hung workers expire concurrently.
+            children.append((proc, recv_end, chunk, time.monotonic()))
+        return children
+
+    def reap(children) -> None:
+        for proc, recv_end, _, _ in children:
+            try:
+                recv_end.close()
+            except Exception:
+                pass
+            if proc.is_alive():
+                proc.terminate()
             proc.join()
-    if failures:
-        dead = ", ".join(f"tasks {c.start}..{c.stop - 1}" for c in failures)
-        raise WorkerError(f"worker process died before delivering results ({dead})")
+
+    def collect(children, attempt: int):
+        """Drain every child; returns [(chunk, why, exitcode)] failures."""
+        failed = []
+        for pos, (proc, recv_end, chunk, started) in enumerate(children):
+            why = None
+            rows = None
+            try:
+                while rows is None and why is None:
+                    budgets = []
+                    if hang is not None:
+                        budgets.append(hang - (time.monotonic() - started))
+                    if deadline is not None:
+                        budgets.append(deadline - time.monotonic())
+                    try:
+                        if not budgets:
+                            rows = recv_end.recv()
+                        elif recv_end.poll(max(0.0, min(budgets))):
+                            rows = recv_end.recv()
+                    except EOFError:
+                        why = "died"
+                        break
+                    if rows is not None or why is not None:
+                        break
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        reap(children[pos:])
+                        if faults is not None:
+                            faults.counters.timeouts += 1
+                        done = sum(1 for o in outcomes if o is not None)
+                        raise _deadline_timeout(done, len(tasks))
+                    if hang is not None and now - started >= hang:
+                        why = "hung"
+            finally:
+                if why is None and rows is None:
+                    pass  # LaunchTimeout path already reaped
+                else:
+                    try:
+                        recv_end.close()
+                    except Exception:
+                        pass
+            if rows is not None:
+                for i, status, payload in rows:
+                    outcomes[i] = (status, payload)
+                proc.join()
+                continue
+            if why == "hung":
+                proc.terminate()
+            proc.join()
+            failed.append((list(chunk), why, proc.exitcode))
+            if stats is not None:
+                key = "worker_deaths" if why == "died" else "worker_hangs"
+                stats[key] += 1
+            if faults is not None:
+                site = "worker.crash" if why == "died" else "worker.hang"
+                coords = {"chunk": int(chunk[0]), "attempt": attempt}
+                if faults.fires(site, **coords) is not None:
+                    faults.record(site, coords, recovered=recover,
+                                  detail=describe_exit(proc.exitcode))
+        return failed
+
+    chunks: List[Sequence[int]] = list(_chunk(len(tasks), workers))
+    attempt = 0
+    failed = collect(spawn(chunks, attempt), attempt)
+
+    while failed and attempt < policy.max_retries:
+        delay = min(policy.backoff_cap, policy.backoff * (2 ** attempt))
+        if delay > 0:
+            time.sleep(delay)
+        attempt += 1
+        indices = sorted(i for chunk, _, _ in failed for i in chunk)
+        sub = _chunk(len(indices), workers)
+        chunks = [[indices[p] for p in r] for r in sub if len(r)]
+        if stats is not None:
+            stats["chunk_retries"] += len(failed)
+            stats["retry_rounds"] += 1
+            if len(chunks) != len(failed):
+                stats["redistributions"] += 1
+        if faults is not None:
+            faults.counters.chunk_retries += len(failed)
+        failed = collect(spawn(chunks, attempt), attempt)
+
+    if failed:
+        if not recover:
+            parts = []
+            for chunk, why, code in failed:
+                parts.append(
+                    f"tasks {chunk[0]}..{chunk[-1]} {why} "
+                    f"({describe_exit(code)})"
+                )
+            raise WorkerError(
+                "worker process(es) failed before delivering results: "
+                + "; ".join(parts)
+            )
+        # Degradation floor: run the still-missing tasks in-process.
+        # Worker faults cannot fire here (they live in the forked child's
+        # entry), so the map is guaranteed to complete.
+        remaining = sorted(i for chunk, _, _ in failed for i in chunk)
+        if stats is not None:
+            stats["degraded_chunks"] += len(failed)
+            stats["degraded_tasks"] += len(remaining)
+        if faults is not None:
+            faults.counters.degradations += 1
+        for i, status, payload in _run_chunk(fn, tasks, remaining):
+            outcomes[i] = (status, payload)
     return outcomes  # type: ignore[return-value]

@@ -1,0 +1,125 @@
+"""repro.faults — deterministic fault injection and recovery campaigns.
+
+The fault plane has two halves.  *Injection* is a :class:`FaultPlan`
+(:mod:`repro.faults.plan`): a seeded, stateless decision oracle that hook
+points across the stack consult — worker crash/hang in
+:mod:`repro.exec.pool`, memory bit-flips via the ECC-style scrubber
+(:mod:`repro.faults.scrub`), forced sharing-space overflow in
+:mod:`repro.runtime.sharing`, transient atomic failure in
+:mod:`repro.gpu.atomics`.  *Recovery* lives in the layers themselves:
+the worker pool retries/redistributes/degrades instead of dying,
+launches gain watchdogs and retry-with-rollback
+(:meth:`repro.gpu.device.Device.launch`), and the scrubber repairs
+flipped pages from snapshots.  Campaigns
+(:mod:`repro.faults.campaign`, ``python -m repro.faults``) drive seeded
+fault schedules over the evaluation kernels and sanitizer corpus and
+assert recovered runs are bit-identical to fault-free serial runs.
+
+Selection, most specific wins (mirroring the executor knob):
+
+1. ``device.launch(..., faults=...)`` per launch;
+2. ``Device(..., faults=...)`` per device;
+3. :func:`set_default_faults` process-wide override (used by the
+   campaign CLI);
+4. the ``REPRO_FAULTS`` environment variable:
+
+   ==============================  =====================================
+   unset / ``""`` / ``off``        no fault plane (the zero-cost path)
+   ``<seed>``                      plan with that seed and no specs —
+                                   attached but inert, for off-path and
+                                   plumbing checks
+   ``<seed>:site[=prob][,...]``    plan with one spec per listed site;
+                                   bare site means probability 1.0
+   ==============================  =====================================
+
+   Example: ``REPRO_FAULTS=42:worker.crash=0.5,sharing.overflow``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import (
+    SITES,
+    FaultCounters,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.faults.scrub import MemorySnapshot, inject_bitflips
+
+__all__ = [
+    "SITES",
+    "FaultCounters",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "MemorySnapshot",
+    "coerce_faults",
+    "default_faults",
+    "inject_bitflips",
+    "set_default_faults",
+]
+
+#: Environment variable consulted by :func:`default_faults`.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_override = None
+_OFF = object()  # sentinel: override explicitly set to "no faults"
+
+
+def set_default_faults(plan) -> None:
+    """Install (or clear, with None) a process-wide default fault plan.
+
+    Takes precedence over :data:`FAULTS_ENV`; pass ``False`` to force
+    faults *off* even when the environment variable is set.
+    """
+    global _override
+    _override = _OFF if plan is False else plan
+
+
+def coerce_faults(spec: str):
+    """Parse a fault spec string (the ``REPRO_FAULTS`` grammar).
+
+    Returns a :class:`FaultPlan` or None (for ``""``/``off``); an
+    already-built plan passes through unchanged.
+    """
+    if isinstance(spec, FaultPlan):
+        return spec
+    spec = (spec or "").strip()
+    if spec.lower() in ("", "off", "none"):
+        return None
+    head, _, tail = spec.partition(":")
+    try:
+        seed = int(head)
+    except ValueError:
+        raise FaultInjectionError(
+            f"bad fault spec {spec!r}: expected <seed>[:site[=prob],...]"
+        ) from None
+    specs = []
+    if tail:
+        for part in tail.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            site, _, prob = part.partition("=")
+            try:
+                probability = float(prob) if prob else 1.0
+            except ValueError:
+                raise FaultInjectionError(
+                    f"bad probability in fault spec part {part!r}"
+                ) from None
+            specs.append(FaultSpec(site.strip(), probability=probability))
+    return FaultPlan(seed=seed, specs=specs)
+
+
+def default_faults():
+    """The fault plan launches use when none is given explicitly.
+
+    Re-reads the environment on every call so fixtures and campaign
+    subprocesses pick up changes without import-order games.
+    """
+    if _override is not None:
+        return None if _override is _OFF else _override
+    return coerce_faults(os.environ.get(FAULTS_ENV, ""))

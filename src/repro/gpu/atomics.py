@@ -13,6 +13,9 @@ from repro.errors import SimulationError
 from repro.gpu.events import ATOMIC_OPS
 from repro.gpu.memory import Buffer
 
+#: Retry cap for transiently failing atomics (fault injection only).
+ATOMIC_RETRY_CAP = 8
+
 
 def apply_atomic(buf: Buffer, idx: int, op: str, operand):
     """Apply one atomic op to ``buf[idx]``; returns the old value."""
@@ -34,3 +37,46 @@ def apply_atomic(buf: Buffer, idx: int, op: str, operand):
             f"unknown atomic op {op!r}; expected one of {ATOMIC_OPS}"
         )
     return old
+
+
+def apply_atomic_resilient(buf: Buffer, idx: int, op: str, operand,
+                           faults, block: int, round: int, lane: int):
+    """Apply one atomic op, retrying injected transient failures.
+
+    Real hardware atomics can fail transiently (the CAS loop the paper's
+    runtime spins on); the fault plane models this at the
+    ``atomic.transient`` site.  Each injected failure is retried with an
+    incremented ``attempt`` coordinate — the side effect is only applied
+    on the attempt that succeeds, so retries never double-apply — up to
+    :data:`ATOMIC_RETRY_CAP`, past which a :class:`SimulationError`
+    surfaces (an ``attempts`` bound that high is a deliberately
+    unrecoverable spec).  Callers pass a non-None ``faults``; the hot
+    no-faults path stays on :func:`apply_atomic`.
+    """
+    attempt = 0
+    while True:
+        spec = faults.fires("atomic.transient", block=block, round=round,
+                            lane=lane, attempt=attempt)
+        if spec is None:
+            old = apply_atomic(buf, idx, op, operand)
+            if attempt:
+                faults.record(
+                    "atomic.transient",
+                    {"block": block, "round": round, "lane": lane},
+                    recovered=True,
+                    detail=f"{op} on {buf.name!r}[{idx}] after {attempt} retries",
+                )
+            return old
+        attempt += 1
+        if attempt > ATOMIC_RETRY_CAP:
+            faults.record(
+                "atomic.transient",
+                {"block": block, "round": round, "lane": lane},
+                recovered=False,
+                detail=f"{op} on {buf.name!r}[{idx}] exhausted retries",
+            )
+            raise SimulationError(
+                f"atomic {op} on {buf.name!r}[{idx}] failed transiently "
+                f"{attempt} times (injected, block {block}, round {round}, "
+                f"lane {lane})"
+            )

@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DeadlockError, LaunchError, SimulationError
-from repro.gpu.atomics import apply_atomic
+from repro.gpu.atomics import apply_atomic, apply_atomic_resilient
 from repro.gpu.coalescing import shared_conflict_degree
 from repro.gpu.costmodel import CostParams
 from repro.gpu.counters import BlockCounters
@@ -99,6 +99,7 @@ class ThreadBlock:
         monitor=None,
         schedule_policy=None,
         recorder=None,
+        faults=None,
     ) -> None:
         if num_threads < 1:
             raise LaunchError("block must have at least one thread")
@@ -134,6 +135,10 @@ class ThreadBlock:
         #: (:class:`repro.exec.record.GlobalWriteRecorder`) — the parallel
         #: launch engine's undo/merge hook; zero-cost when None.
         self.recorder = recorder
+        #: Optional fault plan (:class:`repro.faults.FaultPlan`) consulted
+        #: at the transient-atomic and forced-overflow hook sites;
+        #: zero-cost when None.
+        self.faults = faults
         # Per-block L1 sector cache (LRU).  Dict preserves insertion order;
         # re-inserting on hit implements LRU cheaply.
         self._l1: dict = {}
@@ -290,7 +295,15 @@ class ThreadBlock:
                 elif tag == T_ATOMIC:
                     if ev.buf.space == "global":
                         self._round_mem_stall = True
-                    lane.pending = apply_atomic(ev.buf, ev.idx, ev.op, ev.operand)
+                    if self.faults is None:
+                        lane.pending = apply_atomic(
+                            ev.buf, ev.idx, ev.op, ev.operand
+                        )
+                    else:
+                        lane.pending = apply_atomic_resilient(
+                            ev.buf, ev.idx, ev.op, ev.operand, self.faults,
+                            self.block_id, c.rounds, lane.tid,
+                        )
                     rec = self.recorder
                     if (
                         rec is not None

@@ -23,11 +23,12 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import LaunchError
+from repro.errors import LaunchError, LaunchTimeout, MemoryFault, SimulationError
 from repro.gpu.block import DEFAULT_MAX_ROUNDS
 from repro.gpu.costmodel import CostParams, nvidia_a100
 from repro.gpu.counters import KernelCounters
@@ -53,13 +54,17 @@ def set_global_sanitizer(session) -> None:
 class Device:
     """A simulated GPU with its global memory and cost profile."""
 
-    def __init__(self, params: Optional[CostParams] = None, executor=None) -> None:
+    def __init__(self, params: Optional[CostParams] = None, executor=None,
+                 faults=None) -> None:
         self.params = params if params is not None else nvidia_a100()
         self.gmem = GlobalMemory()
         #: Default executor for this device's launches (None = resolve via
         #: ``repro.exec.default_executor()``, i.e. the ``REPRO_EXECUTOR``
         #: environment variable, at each launch).
         self.executor = executor
+        #: Default fault plan for this device's launches (None = resolve
+        #: via ``repro.faults.default_faults()``, i.e. ``REPRO_FAULTS``).
+        self.faults = faults
         #: Counters of the most recent launch (convenience for examples).
         #: Updated only after a launch fully completes and merges — a
         #: failed launch leaves it untouched.
@@ -99,6 +104,10 @@ class Device:
         schedule_policy=None,
         executor=None,
         side_state: Sequence = (),
+        faults=None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
     ) -> KernelCounters:
         """Run ``entry(tc, *args)`` over a grid and return kernel counters.
 
@@ -136,6 +145,21 @@ class Device:
         :class:`~repro.sanitizer.schedule.ShuffleSchedule`) permutes warp
         resolution and commit order per round — a legal interleaving used
         by the schedule explorer.  Both options are zero-cost when unset.
+
+        Resilience surface (see ``docs/RESILIENCE.md``):
+
+        * ``faults`` attaches a :class:`repro.faults.FaultPlan` for this
+          launch (``False`` forces faults off; None resolves the device
+          plan, then :func:`repro.faults.default_faults`, i.e. the
+          ``REPRO_FAULTS`` environment variable).
+        * ``timeout`` arms a wall-clock watchdog (seconds); expiry raises
+          :class:`~repro.errors.LaunchTimeout` with per-block progress.
+        * ``retries``/``backoff`` arm launch-level retry-with-rollback:
+          a launch that fails with a :class:`~repro.errors.SimulationError`
+          (including timeouts and unrepaired memory faults) is rolled back
+          to a pre-launch snapshot — buffer contents restored, kernel-time
+          allocations freed, side-state counters rewound — and re-executed
+          after capped exponential backoff, up to ``retries`` times.
         """
         if num_blocks < 1:
             raise LaunchError("grid must have at least one block")
@@ -165,6 +189,11 @@ class Device:
         # imports this module.
         from repro.exec import default_executor
         from repro.exec.engine import LaunchPlan, SerialExecutor
+        from repro.exec.state import (
+            delta_numeric,
+            restore_numeric,
+            snapshot_numeric,
+        )
 
         exec_ = executor if executor is not None else self.executor
         if exec_ is None:
@@ -173,6 +202,24 @@ class Device:
             # Tracing observes live generators through a host closure,
             # which only the in-process serial interleaving supports.
             exec_ = SerialExecutor()
+
+        if faults is False:
+            faults_ = None
+        elif faults is not None:
+            faults_ = faults
+        elif self.faults is not None:
+            faults_ = self.faults
+        else:
+            from repro.faults import default_faults
+
+            faults_ = default_faults()
+
+        user_side = tuple(side_state)
+        plan_side = user_side
+        if faults_ is not None:
+            # Ride the fault counters on the side-state merge so bumps made
+            # inside forked workers travel back to the coordinator.
+            plan_side = user_side + (faults_.counters,)
         plan = LaunchPlan(
             entry=entry,
             args=tuple(args),
@@ -185,12 +232,65 @@ class Device:
             report_mode=report_mode,
             schedule_policy=schedule_policy,
             tracer=tracer,
-            side_state=tuple(side_state),
+            side_state=plan_side,
+            faults=faults_,
         )
+
+        max_attempts = int(retries) + 1
+        need_snapshot = max_attempts > 1 or (
+            faults_ is not None
+            and any(s.site == "memory.bitflip" for s in faults_.specs)
+        )
+        fc_base = None
+        if faults_ is not None:
+            faults_.launch_index += 1
+            fc_base = snapshot_numeric((faults_.counters,))
+        side_base = snapshot_numeric(user_side) if max_attempts > 1 else None
+
         # Executors raise before any coordinator-side bookkeeping happens,
         # so a failed launch leaves last_launch and the sanitizer session
-        # exactly as they were.
-        outcome = exec_.execute(self, plan)
+        # exactly as they were.  With retries armed, a SimulationError
+        # (timeout, unrepaired memory fault, worker failure, injected
+        # breakage) rolls global memory and side state back to the
+        # pre-launch snapshot and re-executes after capped backoff.
+        attempt = 0
+        leak_mark = self.gmem.mark()
+        while True:
+            snapshot = None
+            if need_snapshot:
+                from repro.faults.scrub import MemorySnapshot
+
+                snapshot = MemorySnapshot(self.gmem)
+            if faults_ is not None:
+                faults_.launch_attempt = attempt
+            plan.deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            try:
+                if faults_ is not None:
+                    self._inject_memory_faults(faults_, snapshot, attempt)
+                outcome = exec_.execute(self, plan)
+                break
+            except SimulationError as err:
+                if isinstance(err, LaunchTimeout) and err.timeout is None:
+                    err.timeout = timeout
+                if attempt + 1 >= max_attempts:
+                    # Terminal failure: reclaim sharing-space overflow
+                    # allocations the dying kernel could not release
+                    # in-band (the lockstep loop stopped resuming lanes).
+                    from repro.runtime.sharing import release_leaked_overflow
+
+                    release_leaked_overflow(self.gmem, leak_mark)
+                    raise
+                if snapshot is not None:
+                    snapshot.restore()
+                if side_base is not None:
+                    restore_numeric(user_side, side_base)
+                if faults_ is not None:
+                    faults_.counters.launch_retries += 1
+                    faults_.counters.rollbacks += 1
+                time.sleep(min(1.0, backoff * (2 ** attempt)))
+                attempt += 1
 
         kc = KernelCounters(
             num_blocks=num_blocks, threads_per_block=threads_per_block
@@ -212,5 +312,63 @@ class Device:
                 session.add(outcome.report)
         if outcome.cross_block_conflicts:
             kc.extra["cross_block_conflicts"] = float(outcome.cross_block_conflicts)
+        if outcome.recovery:
+            for key, val in sorted(outcome.recovery.items()):
+                if val:
+                    kc.extra[f"pool_{key}"] = float(val)
+        if faults_ is not None:
+            # Per-launch deltas only: a plan under which nothing fired adds
+            # no keys, keeping counters bit-identical to a plane-less run.
+            delta = delta_numeric((faults_.counters,), fc_base)[0]
+            injected = sum(
+                delta.get(k, 0)
+                for k in ("worker_crashes", "worker_hangs", "bitflips",
+                          "forced_overflows", "atomic_transients")
+            )
+            for key, value in (
+                ("faults", injected),
+                ("faults_detected", delta.get("detected", 0)),
+                ("faults_recovered", delta.get("recovered", 0)),
+                ("faults_unrecovered", delta.get("unrecovered", 0)),
+                ("faults_retries",
+                 delta.get("chunk_retries", 0) + delta.get("launch_retries", 0)),
+                ("faults_degradations", delta.get("degradations", 0)),
+                ("faults_timeouts", delta.get("timeouts", 0)),
+            ):
+                if value:
+                    kc.extra[key] = float(value)
         self.last_launch = kc
         return kc
+
+    def _inject_memory_faults(self, plan, snapshot, attempt: int) -> None:
+        """Fire the ``memory.bitflip`` site, then run the ECC-style scrub.
+
+        Flips land between the pre-launch snapshot and execution, exactly
+        where a real upset between kernel launches would.  With the plan's
+        ``scrub`` enabled (default) dirty pages are detected by checksum
+        and repaired from the snapshot — or, for a ``repair=False`` spec,
+        surfaced as :class:`~repro.errors.MemoryFault` with provenance
+        (which the retry ladder can roll back and retry past, since the
+        spec's ``attempts`` bound stops it re-firing).
+        """
+        from repro.faults.scrub import inject_bitflips
+
+        coords = {"launch": plan.launch_index, "attempt": attempt}
+        spec = plan.fires("memory.bitflip", **coords)
+        if spec is None:
+            return
+        flips = inject_bitflips(self.gmem, plan, spec, coords)
+        if not flips:
+            return
+        if not plan.scrub:
+            plan.record("memory.bitflip", coords, recovered=False,
+                        detail=f"{flips} flip(s), scrub disabled")
+            return
+        try:
+            pages = snapshot.scrub(plan, repair=spec.repair)
+        except MemoryFault as err:
+            plan.record("memory.bitflip", coords, recovered=False,
+                        detail=str(err))
+            raise
+        plan.record("memory.bitflip", coords, recovered=True,
+                    detail=f"{flips} flip(s) across {pages} dirty page(s)")

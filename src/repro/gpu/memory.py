@@ -138,6 +138,22 @@ class Buffer:
             raise ValueError("size mismatch in fill_from")
         self.data[:] = arr
 
+    def flip_bit(self, idx: int, bit: int) -> None:
+        """Flip one bit of element ``idx`` in place (fault injection).
+
+        The flip is applied to the raw storage bytes, so it models a
+        physical upset rather than an arithmetic perturbation — for float
+        dtypes the flipped word may decode to anything, including NaN.
+        Used by :mod:`repro.faults.scrub`; out-of-range ``bit`` raises.
+        """
+        self.check_index(int(idx))
+        nbits = self.itemsize * 8
+        if not 0 <= bit < nbits:
+            raise ValueError(f"bit {bit} out of range for {self.dtype} element")
+        raw = self.data.view(np.uint8)
+        byte = int(idx) * self.itemsize + bit // 8
+        raw[byte] ^= np.uint8(1 << (bit % 8))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Buffer({self.name!r}, {self.space}, size={self.size}, "
@@ -209,6 +225,10 @@ class GlobalMemory:
         del self._buffers[buf.handle]
         self.live_bytes -= buf.nbytes
         self.free_count += 1
+
+    def is_live(self, buf: Buffer) -> bool:
+        """Whether ``buf`` still owns its handle (cleanup-path guard)."""
+        return self._buffers.get(buf.handle) is buf
 
     # -- handles -----------------------------------------------------------
     def register(self, buf: Buffer) -> int:

@@ -60,13 +60,39 @@ class SharingSpace:
             mon.on_sharing(block, kind, self, group, nslots, capacity,
                            block.counters.rounds)
 
+    def _forced_overflow(self, tc, group: int, kind: str) -> bool:
+        """Fault hook: should this staging episode take the overflow path?
+
+        Consults the block's fault plan at the ``sharing.overflow`` site.
+        Forcing the fallback is *not* an error — the global-buffer path is
+        a legal (slower) execution the campaign proves bit-identical — so
+        the injection is recorded as recovered immediately.
+        """
+        faults = getattr(getattr(tc, "block", None), "faults", None)
+        if faults is None:
+            return False
+        block_id = tc.block.block_id
+        spec = faults.fires("sharing.overflow", block=block_id, group=group,
+                            kind=kind)
+        if spec is None:
+            return False
+        faults.record(
+            "sharing.overflow",
+            {"block": block_id, "group": group, "kind": kind},
+            recovered=True,
+            detail="forced global-memory fallback",
+        )
+        return True
+
     # -- SIMD-group staging (paper Fig 4 / __begin_sharing_simd_args) ------
     def stage_simd_args(self, tc, group: int, slots: Sequence[int]):
         """SIMD main thread publishes its group's packed argument slots."""
         n = len(slots)
         per_group = self.cfg.slots_per_group
         self._notify(tc, "stage_simd", group, n, per_group)
-        if n <= per_group:
+        if n <= per_group and (
+            n == 0 or not self._forced_overflow(tc, group, "simd")
+        ):
             base = group * per_group
             if n:
                 yield from tc.store_vec(
@@ -150,3 +176,50 @@ class SharingSpace:
             yield Compute("alu", 8)
         else:
             yield Compute("alu", 1)
+
+    # -- host-side cleanup (error paths) -----------------------------------
+    def release_group(self, group: int) -> None:
+        """Free a group's overflow allocation without device cost accounting.
+
+        Error-path cleanup: when a simd region raises after staging has
+        overflowed to global memory, ``end_simd_sharing`` never runs — the
+        runtime calls this from its exception handler so the allocation is
+        not leaked.  Idempotent; no scheduler events are emitted because
+        the block is already unwinding.
+        """
+        gbuf = self._group_overflow.pop(group, None)
+        if gbuf is not None and self.gmem.is_live(gbuf):
+            # Not live: the host-side launch sweep already reclaimed it
+            # (this handler can run late, from a GC'd lane generator).
+            self.gmem.free(gbuf)
+
+    def release_team(self) -> None:
+        """Free the team overflow allocation on an error path (idempotent)."""
+        if self._team_overflow is not None:
+            if self.gmem.is_live(self._team_overflow):
+                self.gmem.free(self._team_overflow)
+            self._team_overflow = None
+
+
+#: Name prefixes of the sharing space's global fallback allocations.
+OVERFLOW_PREFIXES = ("omp.simd_args_overflow", "omp.team_args_overflow")
+
+
+def release_leaked_overflow(gmem: GlobalMemory, mark: int) -> int:
+    """Free overflow allocations a failed launch left behind; host-side.
+
+    When a kernel aborts (device assert, out-of-bounds access, deadlock,
+    watchdog expiry) the lockstep round loop stops resuming lane
+    generators, so a staging thread's in-band release never runs and any
+    global overflow allocation from the dying launch would leak.
+    ``Device.launch`` calls this on its terminal error path with the
+    handle watermark it took at launch entry; returns how many
+    allocations were reclaimed.
+    """
+    leaked = [
+        buf for buf in gmem.allocated_since(mark)
+        if buf.name.startswith(OVERFLOW_PREFIXES) and buf.space == "global"
+    ]
+    for buf in leaked:
+        gmem.free(buf)
+    return len(leaked)

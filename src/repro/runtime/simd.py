@@ -149,19 +149,26 @@ def simd(tc, rt: TeamRuntime, fn_id: int, trip_count: int, values: Dict, spmd: b
     layout = task.layout
     yield from set_simd_fn(tc, rt, group, fn_id, trip_count)
     slots = layout.pack(values, rt.gmem)
-    yield from rt.sharing.stage_simd_args(tc, group, slots)
-    yield from tc.syncwarp(simdmask(tc, cfg))  # wake the group's workers
-    # The main thread executes its share against the shared arguments too
-    # (Fig 4 runs __workshare_loop_simd on GlobalArgs).
-    shared_values = layout.unpack(slots, rt.gmem)
-    if task.reduction:
-        total = yield from simd_reduce_loop(
-            tc, rt, fn_id, trip_count, shared_values, task.reduction
-        )
-    else:
-        total = None
-        yield from simd_loop(tc, rt, fn_id, trip_count, shared_values)
-    yield from tc.syncwarp(simdmask(tc, cfg))  # join
+    try:
+        yield from rt.sharing.stage_simd_args(tc, group, slots)
+        yield from tc.syncwarp(simdmask(tc, cfg))  # wake the group's workers
+        # The main thread executes its share against the shared arguments too
+        # (Fig 4 runs __workshare_loop_simd on GlobalArgs).
+        shared_values = layout.unpack(slots, rt.gmem)
+        if task.reduction:
+            total = yield from simd_reduce_loop(
+                tc, rt, fn_id, trip_count, shared_values, task.reduction
+            )
+        else:
+            total = None
+            yield from simd_loop(tc, rt, fn_id, trip_count, shared_values)
+        yield from tc.syncwarp(simdmask(tc, cfg))  # join
+    except BaseException:
+        # If the loop body (or a barrier) raises after staging overflowed
+        # to a global allocation, ``end_simd_sharing`` below never runs —
+        # release the allocation host-side so it does not leak.
+        rt.sharing.release_group(group)
+        raise
     yield from rt.sharing.end_simd_sharing(tc, group)
     return total
 

@@ -1,0 +1,158 @@
+"""FaultPlan mechanics: stateless draws, spec validation, env parsing."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    coerce_faults,
+    default_faults,
+    set_default_faults,
+)
+from repro.faults.plan import MAX_LOG, SITES
+
+
+class TestDraws:
+    def test_fires_is_deterministic(self):
+        plan = FaultPlan(seed=9, specs=(FaultSpec("worker.crash", 0.5),))
+        draws = [plan.fires("worker.crash", chunk=c, attempt=0) is not None
+                 for c in range(64)]
+        again = FaultPlan(seed=9, specs=(FaultSpec("worker.crash", 0.5),))
+        assert draws == [again.fires("worker.crash", chunk=c, attempt=0)
+                         is not None for c in range(64)]
+        # Roughly half fire; certainly not none and not all.
+        assert 8 < sum(draws) < 56
+
+    def test_seed_changes_draws(self):
+        a = FaultPlan(seed=1, specs=(FaultSpec("worker.crash", 0.5),))
+        b = FaultPlan(seed=2, specs=(FaultSpec("worker.crash", 0.5),))
+        da = [a.fires("worker.crash", chunk=c, attempt=0) is not None
+              for c in range(64)]
+        db = [b.fires("worker.crash", chunk=c, attempt=0) is not None
+              for c in range(64)]
+        assert da != db
+
+    def test_probability_extremes(self):
+        hot = FaultPlan(seed=3, specs=(FaultSpec("atomic.transient", 1.0),))
+        cold = FaultPlan(seed=3, specs=(FaultSpec("atomic.transient", 0.0),))
+        for lane in range(16):
+            assert hot.fires("atomic.transient", block=0, round=0,
+                             lane=lane, attempt=0) is not None
+            assert cold.fires("atomic.transient", block=0, round=0,
+                              lane=lane, attempt=0) is None
+
+    def test_attempts_gate(self):
+        plan = FaultPlan(seed=4, specs=(FaultSpec("worker.crash",
+                                                  attempts=2),))
+        assert plan.fires("worker.crash", chunk=0, attempt=0) is not None
+        assert plan.fires("worker.crash", chunk=0, attempt=1) is not None
+        assert plan.fires("worker.crash", chunk=0, attempt=2) is None
+
+    def test_match_constrains_coords(self):
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec("worker.hang", match=(("chunk", 3),)),))
+        assert plan.fires("worker.hang", chunk=3, attempt=0) is not None
+        assert plan.fires("worker.hang", chunk=4, attempt=0) is None
+
+    def test_unarmed_site_never_fires(self):
+        plan = FaultPlan(seed=6, specs=(FaultSpec("worker.crash", 1.0),))
+        assert plan.fires("memory.bitflip", launch=0, attempt=0) is None
+
+    def test_rng_is_keyed_and_stable(self):
+        plan = FaultPlan(seed=7)
+        a = plan.rng("memory.bitflip", launch=0).random()
+        b = FaultPlan(seed=7).rng("memory.bitflip", launch=0).random()
+        c = plan.rng("memory.bitflip", launch=1).random()
+        assert a == b
+        assert a != c
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault site"):
+            FaultSpec("warp.melt")
+
+    def test_probability_range(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("worker.crash", probability=1.5)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("worker.crash", probability=-0.1)
+
+    def test_attempts_positive(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("worker.crash", attempts=0)
+
+    def test_all_documented_sites_construct(self):
+        for site in SITES:
+            FaultSpec(site)
+
+
+class TestRecordAndLog:
+    def test_counters_and_log(self):
+        plan = FaultPlan(seed=8, specs=(FaultSpec("atomic.transient"),))
+        plan.record("atomic.transient", {"block": 0}, recovered=True)
+        plan.record("memory.bitflip", {"launch": 1}, recovered=False)
+        assert plan.counters.atomic_transients == 1
+        assert plan.counters.bitflips == 1
+        assert plan.counters.recovered == 1
+        assert plan.counters.unrecovered == 1
+        assert plan.counters.injected == 2
+        assert len(plan.log) == 2
+        assert "atomic.transient" in plan.describe()
+
+    def test_log_is_capped(self):
+        plan = FaultPlan(seed=8)
+        for i in range(MAX_LOG + 50):
+            plan.record("atomic.transient", {"i": i}, recovered=True)
+        assert len(plan.log) == MAX_LOG
+        assert "more (log capped)" in plan.describe()
+
+
+class TestEnvParsing:
+    def test_off_spellings(self):
+        for spec in ("", "off", "none", None):
+            assert coerce_faults(spec) is None
+
+    def test_bare_seed_is_inert_plan(self):
+        plan = coerce_faults("42")
+        assert plan.seed == 42
+        assert plan.specs == ()
+
+    def test_sites_and_probabilities(self):
+        plan = coerce_faults("42:worker.crash=0.5,sharing.overflow")
+        assert plan.seed == 42
+        sites = {s.site: s.probability for s in plan.specs}
+        assert sites == {"worker.crash": 0.5, "sharing.overflow": 1.0}
+
+    def test_plan_passes_through(self):
+        plan = FaultPlan(seed=1)
+        assert coerce_faults(plan) is plan
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(FaultInjectionError):
+            coerce_faults("notanumber")
+        with pytest.raises(FaultInjectionError):
+            coerce_faults("1:worker.crash=banana")
+        with pytest.raises(FaultInjectionError):
+            coerce_faults("1:warp.melt")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "7:atomic.transient=0.1")
+        plan = default_faults()
+        assert plan.seed == 7
+        assert plan.specs[0].site == "atomic.transient"
+        monkeypatch.setenv("REPRO_FAULTS", "off")
+        assert default_faults() is None
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "7:atomic.transient")
+        mine = FaultPlan(seed=99)
+        set_default_faults(mine)
+        try:
+            assert default_faults() is mine
+            set_default_faults(False)  # force-off overrides the env too
+            assert default_faults() is None
+        finally:
+            set_default_faults(None)
+        assert default_faults() is not None  # env visible again

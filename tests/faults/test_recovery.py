@@ -1,0 +1,210 @@
+"""Launch-level recovery: scrub, rollback/retry, watchdog, forced overflow.
+
+Every test drives a real kernel through :meth:`Device.launch` (or the
+``omp`` front end) with a seeded plan and asserts the recovered run is
+bit-identical to a fault-free one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import api as omp
+from repro.errors import LaunchTimeout, MemoryFault
+from repro.exec import ParallelExecutor, SerialExecutor, fork_available
+from repro.faults import FaultPlan, FaultSpec
+from repro.gpu.device import Device
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform cannot fork worker processes"
+)
+
+N = 256
+
+
+def _saxpy_kernel(tc, x, y):
+    i = tc.global_tid
+    v = yield from tc.load(x, i)
+    yield from tc.compute("fma")
+    yield from tc.store(y, i, 2.0 * v + 1.0)
+
+
+def _run_saxpy(executor=None, faults=None, **launch_kw):
+    dev = Device(executor=executor, faults=faults)
+    x = dev.from_array("x", np.arange(N, dtype=np.float64))
+    y = dev.alloc("y", N, np.float64)
+    dev.launch(_saxpy_kernel, num_blocks=4, threads_per_block=64,
+               args=(x, y), **launch_kw)
+    return dev.to_numpy(y)
+
+
+CLEAN = 2.0 * np.arange(N, dtype=np.float64) + 1.0
+
+
+class TestScrub:
+    def test_bitflips_repaired_and_bit_identical(self):
+        plan = FaultPlan(seed=14, specs=(
+            FaultSpec("memory.bitflip", flips=3),))
+        out = _run_saxpy(faults=plan)
+        assert out.tobytes() == CLEAN.tobytes()
+        assert plan.counters.bitflips == 1
+        assert plan.counters.recovered == 1
+        assert plan.counters.unrecovered == 0
+
+    def test_unrepairable_flip_raises_memory_fault(self):
+        plan = FaultPlan(seed=14, specs=(
+            FaultSpec("memory.bitflip", repair=False),))
+        with pytest.raises(MemoryFault, match="uncorrectable"):
+            _run_saxpy(faults=plan)
+        assert plan.counters.unrecovered == 1
+
+    def test_scrub_disabled_is_recorded_unrecovered(self):
+        # scrub=False: the corruption goes undetected before launch; the
+        # plan still books the injection as unrecovered provenance.
+        plan = FaultPlan(seed=14, scrub=False, specs=(
+            FaultSpec("memory.bitflip"),))
+        _run_saxpy(faults=plan)
+        assert plan.counters.bitflips == 1
+        assert plan.counters.unrecovered == 1
+
+
+class TestRetryRollback:
+    def test_retry_heals_unrepairable_flip(self):
+        # attempts=1: the flip fires on attempt 0 only; the rollback
+        # restores memory and attempt 1 runs clean.
+        plan = FaultPlan(seed=14, specs=(
+            FaultSpec("memory.bitflip", repair=False, attempts=1),))
+        out = _run_saxpy(faults=plan, retries=2, backoff=0.0)
+        assert out.tobytes() == CLEAN.tobytes()
+        assert plan.counters.launch_retries == 1
+        assert plan.counters.rollbacks == 1
+
+    def test_retries_exhausted_reraises(self):
+        plan = FaultPlan(seed=14, specs=(
+            FaultSpec("memory.bitflip", repair=False, attempts=99),))
+        with pytest.raises(MemoryFault):
+            _run_saxpy(faults=plan, retries=2, backoff=0.0)
+        assert plan.counters.rollbacks == 2
+
+
+class TestWatchdog:
+    def test_timeout_raises_structured_launch_timeout(self):
+        dev = Device(executor=SerialExecutor())
+        x = dev.from_array("x", np.arange(N, dtype=np.float64))
+        y = dev.alloc("y", N, np.float64)
+        with pytest.raises(LaunchTimeout) as exc:
+            dev.launch(_saxpy_kernel, num_blocks=64, threads_per_block=4,
+                       args=(x, y), timeout=0.0)
+        err = exc.value
+        assert err.timeout == 0.0
+        assert err.blocks_done < err.num_blocks == 64
+        assert isinstance(err.progress, tuple)
+
+    def test_no_timeout_no_watchdog(self):
+        assert _run_saxpy(timeout=None).tobytes() == CLEAN.tobytes()
+
+
+class TestForcedOverflow:
+    def _generic_simd_out(self, faults=None):
+        # Non-tight simd region: captures travel through the sharing
+        # space, where a forced overflow has a global fallback to hit.
+        dev = Device(faults=faults)
+        n = 64
+        x = dev.from_array("gx", np.arange(n, dtype=np.float64))
+        y = dev.from_array("gy", np.zeros(n))
+
+        def pre(tc, ivs, view):
+            (i,) = ivs
+            yield from tc.compute("alu")
+            return {"base": i * 8}
+
+        def body(tc, ivs, view):
+            i, j = ivs
+            k = int(view["base"]) + j
+            v = yield from tc.load(view["x"], k)
+            yield from tc.store(view["y"], k, 3.0 * v)
+
+        inner = omp.simd(omp.loop(8, body=body, uses=("x", "y"), name="col"))
+        tree = omp.target(omp.teams_distribute_parallel_for(
+            n // 8, nested=inner, pre=pre, captures=[("base", "i64")],
+            uses=(), name="row"))
+        res = omp.launch(dev, tree, num_teams=2, team_size=32, simd_len=8,
+                         args={"x": x, "y": y})
+        return dev.to_numpy(y), res, dev
+
+    def test_forced_overflow_is_transparent(self):
+        clean, _, _ = self._generic_simd_out()
+        plan = FaultPlan(seed=21, specs=(FaultSpec("sharing.overflow"),))
+        out, res, dev = self._generic_simd_out(faults=plan)
+        assert out.tobytes() == clean.tobytes()
+        assert plan.counters.forced_overflows > 0
+        assert plan.counters.recovered >= plan.counters.forced_overflows
+        # Every forced fallback allocation was released again.
+        assert res.runtime.sharing_fallbacks >= plan.counters.forced_overflows
+        live = {b.name for b in dev.gmem.live_buffers()}
+        assert not any("overflow" in name for name in live)
+
+
+class TestTransientAtomics:
+    def _histogram(self, faults=None):
+        dev = Device(faults=faults)
+        hist = dev.alloc("hist", 8, np.float64)
+
+        def kernel(tc, hist):
+            yield from tc.atomic_add(hist, tc.global_tid % 8, 1.0)
+
+        dev.launch(kernel, num_blocks=2, threads_per_block=64, args=(hist,))
+        return dev.to_numpy(hist)
+
+    def test_transient_atomic_retries_in_place(self):
+        clean = self._histogram()
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec("atomic.transient", probability=0.2, attempts=2),))
+        out = self._histogram(faults=plan)
+        assert out.tobytes() == clean.tobytes()
+        assert plan.counters.atomic_transients > 0
+        assert plan.counters.unrecovered == 0
+
+
+@needs_fork
+class TestExecutorCrashRecovery:
+    def test_worker_crash_no_longer_raises(self):
+        plan = FaultPlan(seed=11, specs=(
+            FaultSpec("worker.crash", probability=0.7),))
+        out = _run_saxpy(
+            executor=ParallelExecutor(workers=4, processes=True), faults=plan)
+        assert out.tobytes() == CLEAN.tobytes()
+        assert plan.counters.worker_crashes > 0
+        assert plan.counters.unrecovered == 0
+
+    def test_crash_every_attempt_degrades_and_completes(self):
+        plan = FaultPlan(seed=11, specs=(
+            FaultSpec("worker.crash", attempts=99),))
+        out = _run_saxpy(
+            executor=ParallelExecutor(workers=2, processes=True), faults=plan)
+        assert out.tobytes() == CLEAN.tobytes()
+        assert plan.counters.degradations >= 1
+
+
+class TestExtras:
+    def test_fault_extras_only_when_nonzero(self):
+        dev = Device()
+        x = dev.from_array("x", np.arange(N, dtype=np.float64))
+        y = dev.alloc("y", N, np.float64)
+        kc = dev.launch(_saxpy_kernel, num_blocks=4, threads_per_block=64,
+                        args=(x, y))
+        assert not any(k.startswith("faults") for k in kc.extra)
+
+    def test_fault_extras_report_per_launch_deltas(self):
+        plan = FaultPlan(seed=14, specs=(FaultSpec("memory.bitflip"),))
+        dev = Device(faults=plan)
+        x = dev.from_array("x", np.arange(N, dtype=np.float64))
+        y = dev.alloc("y", N, np.float64)
+        kc1 = dev.launch(_saxpy_kernel, num_blocks=4, threads_per_block=64,
+                         args=(x, y))
+        kc2 = dev.launch(_saxpy_kernel, num_blocks=4, threads_per_block=64,
+                         args=(x, y))
+        # Cumulative plan counters, but per-launch extras.
+        assert plan.counters.bitflips == 2
+        assert kc1.extra["faults"] == 1.0
+        assert kc2.extra["faults"] == 1.0
+        assert kc2.extra["faults_recovered"] == 1.0

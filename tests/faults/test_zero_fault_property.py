@@ -1,0 +1,84 @@
+"""Property: an armed-but-inert fault plan is invisible, bit for bit.
+
+A plan with no specs — or specs whose probability is zero — must leave
+every counter of every launch identical to a plan-less run: the off path
+is *zero-cost*, not merely cheap.  The executor is resolved from
+``REPRO_EXECUTOR``, so the CI matrix replays this property through the
+serial, in-process-parallel, and forked engines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_executor,
+    fork_available,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.plan import SITES
+from repro.gpu.device import Device
+
+
+def _run(executor, faults, num_blocks, threads, seed):
+    dev = Device(executor=executor, faults=faults)
+    n = num_blocks * threads
+    rng = np.random.default_rng(seed)
+    x = dev.from_array("x", rng.standard_normal(n))
+    y = dev.alloc("y", n, np.float64)
+    acc = dev.alloc("acc", num_blocks, np.float64)
+
+    def kernel(tc, x, y, acc):
+        i = tc.global_tid
+        v = yield from tc.load(x, i)
+        yield from tc.compute("fma")
+        yield from tc.store(y, i, v * v)
+        yield from tc.atomic_add(acc, tc.block_id, v)
+        yield from tc.syncwarp()
+
+    kc = dev.launch(kernel, num_blocks=num_blocks, threads_per_block=threads,
+                    args=(x, y, acc))
+    return kc, dev.to_numpy(y), dev.to_numpy(acc)
+
+
+def zero_plans():
+    inert = st.just(())
+    zeroed = st.lists(
+        st.sampled_from(sorted(SITES)), min_size=1, max_size=3, unique=True,
+    ).map(lambda sites: tuple(FaultSpec(s, probability=0.0) for s in sites))
+    return st.tuples(st.integers(0, 2**32 - 1), st.one_of(inert, zeroed)).map(
+        lambda t: FaultPlan(seed=t[0], specs=t[1]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=zero_plans(), num_blocks=st.integers(1, 6),
+       warps=st.integers(1, 3), seed=st.integers(0, 2**16))
+def test_zero_probability_plan_is_bit_identical(plan, num_blocks,
+                                                warps, seed):
+    # default_executor() resolves REPRO_EXECUTOR (stateless, so calling
+    # it per example is equivalent to the suite-wide ``executor`` fixture
+    # without tripping hypothesis's function-scoped-fixture check).
+    executor = default_executor()
+    threads = warps * 32
+    base_kc, base_y, base_acc = _run(executor, None, num_blocks, threads, seed)
+    kc, y, acc = _run(executor, plan, num_blocks, threads, seed)
+    assert y.tobytes() == base_y.tobytes()
+    assert acc.tobytes() == base_acc.tobytes()
+    assert kc.identical(base_kc)
+    assert plan.counters.injected == 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform cannot fork")
+@settings(max_examples=5, deadline=None)
+@given(plan=zero_plans(), seed=st.integers(0, 2**16))
+def test_zero_probability_plan_identical_under_fork(plan, seed):
+    # Explicit fork leg, independent of REPRO_EXECUTOR: the plan rides
+    # into worker processes and must stay inert there too.
+    fork = ParallelExecutor(workers=2, processes=True)
+    _, base_y, base_acc = _run(SerialExecutor(), None, 4, 32, seed)
+    kc, y, acc = _run(fork, plan, 4, 32, seed)
+    assert y.tobytes() == base_y.tobytes()
+    assert acc.tobytes() == base_acc.tobytes()
+    assert plan.counters.injected == 0

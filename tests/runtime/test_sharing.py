@@ -118,3 +118,44 @@ class TestTeamStaging:
         kc, rc = launch_rt(rt_device, cfg, body, args=(results,))
         assert results.read(0) == sum(range(n))
         assert rc.sharing_fallbacks == 1
+
+
+class TestOverflowLeak:
+    """Regression: an aborted simd region must release its overflow.
+
+    Before the fix in :func:`repro.runtime.simd.simd`, a loop body (or
+    barrier) raising after ``stage_simd_args`` had fallen back to a
+    global allocation skipped ``end_simd_sharing`` entirely, leaking the
+    allocation: ``sharing_fallbacks`` grew without a matching free.
+    """
+
+    def test_aborted_generic_region_releases_overflow(self):
+        from repro.core import api as omp
+        from repro.errors import MemoryFault
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.gpu.device import Device
+
+        plan = FaultPlan(seed=3, specs=(FaultSpec("sharing.overflow"),))
+        dev = Device(faults=plan)
+        x = dev.from_array("x", np.zeros(16))
+        live_before = {b.name for b in dev.gmem.live_buffers()}
+
+        def pre(tc, ivs, view):
+            yield from tc.compute("alu")
+            return {"mark": 1}
+
+        def body(tc, ivs, view):
+            yield from tc.load(view["x"], 999)  # out of bounds: aborts
+
+        inner = omp.simd(omp.loop(8, body=body, uses=("x",), name="inner"))
+        tree = omp.target(omp.teams_distribute_parallel_for(
+            2, nested=inner, pre=pre, captures=[("mark", "i64")],
+            uses=(), name="outer"))
+        with pytest.raises(MemoryFault):
+            omp.launch(dev, tree, num_teams=1, team_size=32, simd_len=8,
+                       args={"x": x})
+
+        assert plan.counters.forced_overflows >= 1  # the fallback happened
+        live_after = {b.name for b in dev.gmem.live_buffers()}
+        leaked = {n for n in live_after - live_before if "overflow" in n}
+        assert not leaked, f"aborted region leaked {sorted(leaked)}"
