@@ -118,6 +118,11 @@ class LaunchPlan:
     deadline: Optional[float] = None
     #: Optional worker-pool :class:`~repro.exec.pool.RetryPolicy`.
     retry: object = None
+    #: Round-engine preference (see :mod:`repro.gpu.block`): None lets the
+    #: block auto-select (fast when hook-free), False forces the
+    #: instrumented engine — the differential suite's reference.  Hooks
+    #: always force instrumented regardless of this field.
+    fastpath: Optional[bool] = None
 
 
 @dataclass
@@ -179,6 +184,7 @@ class SerialExecutor:
                 monitor=monitor,
                 schedule_policy=plan.schedule_policy,
                 faults=plan.faults,
+                fastpath=plan.fastpath,
             )
             try:
                 blocks.append(block.run())
@@ -310,6 +316,7 @@ class ParallelExecutor:
                 schedule_policy=plan.schedule_policy,
                 recorder=rec,
                 faults=plan.faults,
+                fastpath=plan.fastpath,
             )
             record.counters = block.run()
             record.completed = True

@@ -37,6 +37,13 @@ into a launch watchdog: expiry kills outstanding workers and raises
 On platforms without ``fork`` (or when ``workers <= 1``) the map runs
 in-process with identical semantics, so results never depend on the
 transport.
+
+Block shards inherit the scheduler's engine selection unchanged: a
+hook-free launch runs each shard on the fast round engine even inside a
+worker, because the exec-layer write recorder is fast-path-compatible
+(the block's handler tables specialize on it at construction — see
+``docs/PERF.md``); any tracer/monitor/schedule-policy/fault-plan forces
+the instrumented engine in the worker exactly as it would serially.
 """
 
 from __future__ import annotations

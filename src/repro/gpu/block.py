@@ -26,15 +26,46 @@ An optional ``monitor`` (see :mod:`repro.sanitizer.monitor`) observes
 events, retirements, barrier releases, and deadlocks; the happens-before
 race detector, barrier analyzer, and sharing auditor all attach through
 it.  Both hooks are strictly zero-cost when absent.
+
+Engines
+=======
+
+The block owns two interchangeable round engines:
+
+* the **instrumented engine** (:meth:`ThreadBlock._run_instrumented`) —
+  the reference implementation, carrying every hook point (tracer,
+  monitor, schedule policy, fault plan);
+* the **fast engine** (:meth:`ThreadBlock._run_fast`) — selected
+  automatically when no tracer, monitor, schedule policy, or fault plan
+  is attached (the production configuration).  It steps the same lanes
+  in the same deterministic order and shares the barrier/vote/shuffle
+  resolution and memory-accounting code, so memory contents, every
+  :class:`~repro.gpu.counters.BlockCounters` field, and the
+  deadlock/error behaviour are bit-identical to the instrumented engine
+  — only the interpreter overhead differs.  The exec-layer write
+  recorder *is* supported on the fast path (the per-tag handler tables
+  are specialized once at construction, so the per-event hot loop stays
+  free of hook-presence branches) — parallel-executor workers inherit
+  the fast engine.  ``tests/gpu/test_fastpath_equiv.py`` holds the
+  differential proof obligation.
 """
 
 from __future__ import annotations
 
+import math
+import operator
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError, LaunchError, SimulationError
+import numpy as np
+
+from repro.errors import (
+    DeadlockError,
+    LaunchError,
+    SimulationError,
+    SynchronizationError,
+)
 from repro.gpu.atomics import apply_atomic, apply_atomic_resilient
-from repro.gpu.coalescing import shared_conflict_degree
+from repro.gpu.coalescing import L1SectorCache, shared_conflict_degree
 from repro.gpu.costmodel import CostParams
 from repro.gpu.counters import BlockCounters
 from repro.gpu.events import (
@@ -48,7 +79,6 @@ from repro.gpu.events import (
     T_VOTE,
 )
 from repro.gpu.memory import GlobalMemory, SharedMemory
-from repro.gpu.shuffle import resolve_shuffles
 from repro.gpu.thread import (
     DONE,
     RUN,
@@ -61,6 +91,8 @@ from repro.gpu.thread import (
 
 #: Hard cap on scheduling rounds; hitting it means a runaway kernel.
 DEFAULT_MAX_ROUNDS = 5_000_000
+
+_BY_LANE_ID = operator.attrgetter("lane_id")
 
 
 def _signature(ev) -> tuple:
@@ -100,6 +132,7 @@ class ThreadBlock:
         schedule_policy=None,
         recorder=None,
         faults=None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         if num_threads < 1:
             raise LaunchError("block must have at least one thread")
@@ -139,11 +172,25 @@ class ThreadBlock:
         #: at the transient-atomic and forced-overflow hook sites;
         #: zero-cost when None.
         self.faults = faults
-        # Per-block L1 sector cache (LRU).  Dict preserves insertion order;
-        # re-inserting on hit implements LRU cheaply.
-        self._l1: dict = {}
-        self._l1_cap = max(1, params.l1_size_bytes // params.sector_bytes)
+        #: Per-block L1 sector cache (LRU), shared by both round engines so
+        #: their hit/miss streams evolve identically.
+        self._l1 = L1SectorCache(
+            max(1, params.l1_size_bytes // params.sector_bytes)
+        )
         self._round_mem_stall = False
+        # Engine selection: the fast engine carries no hook points, so any
+        # attached tracer/monitor/policy/fault-plan forces the instrumented
+        # engine regardless of the caller's preference.  The exec-layer
+        # write recorder is compatible with the fast engine (see module
+        # docstring); ``fastpath=False`` forces the instrumented engine,
+        # which the differential suite uses as its reference.
+        eligible = (
+            self.tracer is None
+            and self.monitor is None
+            and self.schedule_policy is None
+            and self.faults is None
+        )
+        self.fastpath = eligible if fastpath is None else (bool(fastpath) and eligible)
         ws = params.warp_size
         self.num_warps = -(-num_threads // ws)
         self.lanes: List[Lane] = []
@@ -168,10 +215,68 @@ class ThreadBlock:
         self._warps: List[List[Lane]] = [
             self.lanes[w * ws : (w + 1) * ws] for w in range(self.num_warps)
         ]
+        # -- fast-engine state ------------------------------------------
+        # Pre-allocated per-warp event buffers, reused — cleared, never
+        # reallocated — every round.  (Side effects apply inline while
+        # stepping, so only the events survive to the accounting step.)
+        self._post_evs: List[list] = [[] for _ in range(self.num_warps)]
+        # Hoisted cost-table lookup target for the accounting handlers.
+        self._op_cost = self.params.op_cost
+        self._cost_ld = self._op_cost.get("ld", 1.0)
+        self._cost_st = self._op_cost.get("st", 1.0)
+        # Round-local atomic address histogram, reused across rounds.
+        self._atomic_addrs: Dict[tuple, int] = {}
+        # Incremental barrier bookkeeping: waiter groups are maintained at
+        # post time (side-effect handlers) and torn down at release, so the
+        # fast engine never rescans all lanes looking for barriers.
+        self._block_waiters: Dict[tuple, List[Lane]] = {}
+        self._warp_waiters: List[Dict[int, List[Lane]]] = [
+            {} for _ in range(self.num_warps)
+        ]
+        self._shfl_waiters: List[Dict[tuple, List[Lane]]] = [
+            {} for _ in range(self.num_warps)
+        ]
+        self._n_waiters = 0
+        self._full_mask = (1 << ws) - 1
+        # Per-tag handler tables (indexed by event tag).  The side-effect
+        # table is specialized once, here, on recorder presence — the hot
+        # loop itself carries no hook-presence branches.
+        rec = self.recorder
+        side_load = self._side_load if rec is None or not rec.track_reads else self._side_load_rec
+        side_store = self._side_store if rec is None else self._side_store_rec
+        side_atomic = self._side_atomic if rec is None else self._side_atomic_rec
+        self._side = [
+            None,  # T_COMPUTE: no architectural side effect
+            side_load,
+            side_store,
+            side_atomic,
+            self._side_syncwarp,
+            self._side_syncblock,
+            self._side_shuffle,
+            self._side_vote,
+        ]
+        self._acct = [
+            self._acct_compute,
+            self._acct_mem,
+            self._acct_mem,
+            self._acct_atomic,
+            self._acct_barrier,
+            self._acct_barrier,
+            self._acct_shfl,
+            self._acct_shfl,
+        ]
 
     # ------------------------------------------------------------------
     def run(self) -> BlockCounters:
         """Execute the block to completion; returns its counters."""
+        if self.fastpath:
+            return self._run_fast()
+        return self._run_instrumented()
+
+    # ------------------------------------------------------------------
+    # Instrumented engine: the reference implementation with every hook.
+    # ------------------------------------------------------------------
+    def _run_instrumented(self) -> BlockCounters:
         lanes = self.lanes
         c = self.counters
         mon = self.monitor
@@ -194,6 +299,10 @@ class ThreadBlock:
                     ev = lane.gen.send(lane.pending)
                 except StopIteration:
                     lane.state = DONE
+                    # Clear the resume value eagerly: post-mortem
+                    # diagnostics and the exec recorder must never observe
+                    # a dead lane's stale value.
+                    lane.pending = None
                     live -= 1
                     if mon is not None:
                         mon.on_retire(self, c.rounds, lane)
@@ -205,26 +314,13 @@ class ThreadBlock:
                     self.tracer(self.block_id, c.rounds, lane.tid, ev)
                 if mon is not None:
                     mon.on_event(self, c.rounds, lane, ev)
+            c.lane_steps += advanced
             if live == 0:
                 break
             self._resolve_round(posted_by_warp)
             released = self._release_barriers()
             if advanced == 0 and released == 0:
-                msg = self._deadlock_report()
-                if mon is not None:
-                    analysis = mon.on_deadlock(self, c.rounds)
-                    if analysis:
-                        msg += "\n" + analysis
-                raise DeadlockError(
-                    msg,
-                    block_id=self.block_id,
-                    round=c.rounds,
-                    lanes=[
-                        (l.tid, l.warp_id, l.lane_id, l.state, l.wait_key)
-                        for l in lanes
-                        if l.state != DONE
-                    ],
-                )
+                self._raise_deadlock()
             c.rounds += 1
             if c.rounds > self.max_rounds:
                 raise SimulationError(
@@ -234,6 +330,611 @@ class ThreadBlock:
         if mon is not None:
             mon.on_block_end(self)
         return c
+
+    def _raise_deadlock(self):
+        """Raise the no-progress diagnostic (identical on both engines)."""
+        c = self.counters
+        mon = self.monitor
+        msg = self._deadlock_report()
+        if mon is not None:
+            analysis = mon.on_deadlock(self, c.rounds)
+            if analysis:
+                msg += "\n" + analysis
+        raise DeadlockError(
+            msg,
+            block_id=self.block_id,
+            round=c.rounds,
+            lanes=[
+                (l.tid, l.warp_id, l.lane_id, l.state, l.wait_key)
+                for l in self.lanes
+                if l.state != DONE
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Fast engine: hook-free specialization of the same round semantics.
+    # ------------------------------------------------------------------
+    def _run_fast(self) -> BlockCounters:
+        """Hook-free round loop: one fused pass per warp per round.
+
+        The instrumented engine steps every lane, buffers ``(lane, event)``
+        posts, then resolves side effects and accounting in two further
+        passes.  This engine fuses all three into a single warp-major scan:
+        as each lane steps, its event's side effect is applied immediately
+        (warps partition tids contiguously, so warp-major iteration applies
+        side effects in exactly the ascending-tid order the buffered scheme
+        produces) and the warp's convergence is tracked incrementally —
+        interned events and signatures make the common converged case two
+        identity checks per lane.  Accounting for the warp's issue groups
+        runs right after its lanes, which is the same warp-ascending
+        accounting order (and therefore the same L1 cache evolution) as the
+        instrumented resolve pass.  Retired lanes are filtered out of the
+        per-warp scan lists, and barrier release runs off incrementally
+        maintained waiter groups instead of rescanning every lane.  All
+        observable behaviour — memory, counters, errors — matches the
+        instrumented engine bit for bit.
+        """
+        c = self.counters
+        params = self.params
+        post_evs = self._post_evs
+        atomic_addrs = self._atomic_addrs
+        side = self._side
+        acct = self._acct
+        max_rounds = self.max_rounds
+        rec = self.recorder
+        block_waiters = self._block_waiters
+        warp_waiters = self._warp_waiters
+        shfl_waiters = self._shfl_waiters
+        warps = self._warps
+        full_mask = self._full_mask
+        syncwarp_cycles = params.syncwarp_cycles
+        syncthreads_cycles = params.syncthreads_cycles
+        nw = 0  # waiters added this round; merged into _n_waiters below
+        bbk = bbg = None  # round-local classic-barrier arrivals
+        # Single-element loads/stores inline below when no recorder watches
+        # the direction; everything else dispatches through the table.
+        inline_ld = rec is None or not rec.track_reads
+        inline_st = rec is None
+        active: List[List[Lane]] = [
+            [l for l in warp if l.state != DONE] for warp in self._warps
+        ]
+        live = sum(map(len, active))
+        while live:
+            self._round_mem_stall = False
+            if atomic_addrs:
+                atomic_addrs.clear()
+            advanced = 0
+            for w, lanes_w in enumerate(active):
+                if not lanes_w:
+                    continue
+                evs = post_evs[w]
+                ap_ev = evs.append
+                ww_waiters = warp_waiters[w]
+                sh_waiters = shfl_waiters[w]
+                retired = False
+                ev0 = None
+                sk0 = sg0 = sspill = None
+                swk0 = swg = None
+                for lane in lanes_w:
+                    if lane.state != RUN:
+                        continue
+                    try:
+                        ev = lane.send(lane.pending)
+                    except StopIteration:
+                        lane.state = DONE
+                        lane.pending = None
+                        retired = True
+                        live -= 1
+                        continue
+                    t = ev.tag
+                    if t == 0:
+                        lane.pending = None
+                    elif t == 1:
+                        idxs = ev.idxs
+                        if inline_ld and len(idxs) == 1:
+                            buf = ev.buf
+                            i = idxs[0]
+                            if i.__class__ is not int:
+                                i = int(i)
+                            if 0 <= i < buf.size:
+                                lane.pending = (buf.data[i],)
+                            else:
+                                buf.check_index(i)
+                        else:
+                            lane.pending = None
+                            side[1](lane, ev)
+                    elif t == 2:
+                        lane.pending = None
+                        idxs = ev.idxs
+                        values = ev.values
+                        if inline_st and len(idxs) == 1 == len(values):
+                            buf = ev.buf
+                            i = idxs[0]
+                            if i.__class__ is not int:
+                                i = int(i)
+                            if 0 <= i < buf.size:
+                                buf.data[i] = values[0]
+                            else:
+                                buf.check_index(i)
+                        else:
+                            side[2](lane, ev)
+                    elif t == 4:
+                        # SyncWarp arrival — collected round-locally; a
+                        # full-mask barrier every warp lane reaches this
+                        # round completes inline after the lane scan.
+                        # Lanes with a second, different mask this round
+                        # park in the waiter dict directly.
+                        lane.pending = None
+                        mask = ev.mask
+                        if swk0 is None:
+                            swk0 = mask
+                            swg = [lane]
+                        elif mask == swk0:
+                            swg.append(lane)
+                        else:
+                            lane.state = WAIT_WARP
+                            lane.wait_key = mask
+                            grp = ww_waiters.get(mask)
+                            if grp is None:
+                                ww_waiters[mask] = [lane]
+                            else:
+                                grp.append(lane)
+                            nw += 1
+                    elif t == 5:
+                        # SyncBlock arrival — the classic block-wide
+                        # barrier collects round-locally (completion is
+                        # checked against end-of-round liveness below);
+                        # a second, different key this round parks in
+                        # the waiter dict directly.
+                        lane.pending = None
+                        key = ev.wkey
+                        if bbk is None:
+                            bbk = key
+                            bbg = [lane]
+                        elif key == bbk:
+                            bbg.append(lane)
+                        else:
+                            lane.state = WAIT_BLOCK
+                            lane.wait_key = key
+                            grp = block_waiters.get(key)
+                            if grp is None:
+                                block_waiters[key] = [lane]
+                            else:
+                                grp.append(lane)
+                            nw += 1
+                    elif t == 3:
+                        lane.pending = None
+                        side[3](lane, ev)
+                    else:
+                        # Shuffle / Vote arrival (tags 6 and 7 share the
+                        # WAIT_SHFL machinery).  Collected round-locally: a
+                        # full-warp group completing within this round is
+                        # resolved inline after the lane scan, without ever
+                        # parking its lanes in the waiter structures.
+                        # ``wkey`` objects are interned, so the single-key
+                        # common case is one identity check per lane.
+                        lane.pending = None
+                        lane.posted = ev
+                        key = ev.wkey
+                        if sk0 is None:
+                            sk0 = key
+                            sg0 = [lane]
+                        elif key is sk0:
+                            sg0.append(lane)
+                        else:
+                            if sspill is None:
+                                sspill = {}
+                            grp = sspill.get(key)
+                            if grp is None:
+                                sspill[key] = [lane]
+                            else:
+                                grp.append(lane)
+                    if ev0 is None:
+                        ev0 = ev
+                        sig0 = ev.sig
+                        uniform = True
+                        converged = True
+                    elif ev is not ev0:
+                        uniform = False
+                        if converged:
+                            s = ev.sig
+                            if s is not sig0 and s != sig0:
+                                converged = False
+                    ap_ev(ev)
+                if retired:
+                    active[w] = [l for l in lanes_w if l.state != DONE]
+                if swk0 is not None:
+                    # Full-mask syncwarp every warp lane reached this round:
+                    # complete without parking — arrival already cleared
+                    # ``pending`` and the lanes never left RUN.  (A retired
+                    # lane keeps ``len(swg)`` short of the denominator, so
+                    # such a group still deadlocks via the waiter path.)
+                    if swk0 == full_mask and len(swg) == len(warps[w]):
+                        c.syncwarps += 1
+                        c.sync_cycles += syncwarp_cycles
+                    else:
+                        grp = ww_waiters.get(swk0)
+                        if grp is None:
+                            ww_waiters[swk0] = grp = []
+                        for l in swg:
+                            l.state = WAIT_WARP
+                            l.wait_key = swk0
+                            grp.append(l)
+                        nw += len(swg)
+                if sk0 is not None:
+                    # Shuffle/vote groups posted this round: resolve inline
+                    # when complete (full mask, every warp lane — retired
+                    # lanes included in the denominator, so a group with a
+                    # retired participant still deadlocks via the waiter
+                    # path); park incomplete groups in the waiter dicts,
+                    # merging behind any earlier-round arrivals.
+                    nall = len(warps[w])
+                    if sk0[0] == full_mask and len(sg0) == nall:
+                        self._resolve_shfl_group(sk0, sg0)
+                    else:
+                        grp = sh_waiters.get(sk0)
+                        if grp is None:
+                            sh_waiters[sk0] = grp = []
+                        for l in sg0:
+                            l.state = WAIT_SHFL
+                            l.wait_key = sk0
+                            grp.append(l)
+                        nw += len(sg0)
+                    if sspill is not None:
+                        for k2, g2 in sspill.items():
+                            if k2[0] == full_mask and len(g2) == nall:
+                                self._resolve_shfl_group(k2, g2)
+                            else:
+                                grp = sh_waiters.get(k2)
+                                if grp is None:
+                                    sh_waiters[k2] = grp = []
+                                for l in g2:
+                                    l.state = WAIT_SHFL
+                                    l.wait_key = k2
+                                    grp.append(l)
+                                nw += len(g2)
+                if ev0 is None:
+                    continue
+                advanced += len(evs)
+                # Issue accounting for this warp's round, grouped by
+                # signature; ``uniform`` (every entry the same interned
+                # object) lets handlers skip per-event reductions.
+                if converged:
+                    c.issues += 1
+                    acct[sig0[0]](sig0, evs, uniform)
+                else:
+                    groups: Dict[tuple, list] = {}
+                    for ev in evs:
+                        g = groups.get(ev.sig)
+                        if g is None:
+                            groups[ev.sig] = [ev]
+                        else:
+                            g.append(ev)
+                    c.issues += len(groups)
+                    c.divergent_issues += len(groups) - 1
+                    for sig, items in groups.items():
+                        acct[sig[0]](sig, items, False)
+                evs.clear()
+            c.lane_steps += advanced
+            if not live:
+                break
+            # Device-wide atomic contention within the round.
+            if atomic_addrs:
+                extra = 0
+                for n in atomic_addrs.values():
+                    if n > 1:
+                        extra += n - 1
+                if extra:
+                    c.atomic_conflicts += extra
+                    c.mem_cycles += extra * params.atomic_conflict_cycles
+            if self._round_mem_stall:
+                c.mem_serial_rounds += 1
+            if bbk is not None:
+                # Classic block barrier every live lane reached this round:
+                # complete without parking (no live lane can be waiting
+                # elsewhere when all of them arrived here).  Named/counted
+                # barriers and partial arrivals park in the waiter dict,
+                # merging behind earlier-round arrivals.
+                if bbk[1] is None and len(bbg) == live:
+                    c.syncblocks += 1
+                    c.sync_cycles += syncthreads_cycles
+                else:
+                    grp = block_waiters.get(bbk)
+                    if grp is None:
+                        block_waiters[bbk] = grp = []
+                    for l in bbg:
+                        l.state = WAIT_BLOCK
+                        l.wait_key = bbk
+                        grp.append(l)
+                    nw += len(bbg)
+                bbk = bbg = None
+            if nw:
+                self._n_waiters += nw
+                nw = 0
+            released = (
+                self._release_barriers_fast(live) if self._n_waiters else 0
+            )
+            if advanced == 0 and released == 0:
+                self._raise_deadlock()
+            c.rounds += 1
+            if c.rounds > max_rounds:
+                raise SimulationError(
+                    f"block {self.block_id} exceeded {self.max_rounds} rounds; "
+                    "likely a runaway loop"
+                )
+        return c
+
+    # -- fast-engine side-effect handlers (pass 1) ----------------------
+    @staticmethod
+    def _side_load(lane, ev) -> None:
+        buf = ev.buf
+        idxs = ev.idxs
+        if len(idxs) == 1:
+            i = int(idxs[0])
+            if 0 <= i < buf.size:
+                lane.pending = (buf.data[i],)
+                return
+            buf.check_index(i)  # raises the canonical MemoryFault
+        lane.pending = tuple(buf.read(i) for i in idxs)
+
+    def _side_load_rec(self, lane, ev) -> None:
+        lane.pending = tuple(ev.buf.read(i) for i in ev.idxs)
+        rec = self.recorder
+        if ev.buf.space == "global" and rec.tracks(ev.buf):
+            rec.on_load(ev.buf, ev.idxs)
+
+    @staticmethod
+    def _side_store(lane, ev) -> None:
+        idxs = ev.idxs
+        values = ev.values
+        buf = ev.buf
+        n = len(idxs)
+        if n != len(values):
+            raise SimulationError(
+                f"store index/value arity mismatch on {buf.name!r}"
+            )
+        if n == 1:
+            i = int(idxs[0])
+            if 0 <= i < buf.size:
+                buf.data[i] = values[0]
+                return
+            buf.check_index(i)
+        write = buf.write
+        for i, v in zip(idxs, values):
+            write(i, v)
+
+    def _side_store_rec(self, lane, ev) -> None:
+        idxs = ev.idxs
+        values = ev.values
+        if len(idxs) != len(values):
+            raise SimulationError(
+                f"store index/value arity mismatch on {ev.buf.name!r}"
+            )
+        buf = ev.buf
+        rec = self.recorder
+        if buf.space == "global" and rec.tracks(buf):
+            for i, v in zip(idxs, values):
+                rec.on_store(buf, i, v)
+                buf.write(i, v)
+        else:
+            for i, v in zip(idxs, values):
+                buf.write(i, v)
+
+    def _side_atomic(self, lane, ev) -> None:
+        buf = ev.buf
+        if buf.space == "global":
+            self._round_mem_stall = True
+        lane.pending = apply_atomic(buf, ev.idx, ev.op, ev.operand)
+        key = self._contention_key(ev)
+        addrs = self._atomic_addrs
+        addrs[key] = addrs.get(key, 0) + 1
+
+    def _side_atomic_rec(self, lane, ev) -> None:
+        buf = ev.buf
+        if buf.space == "global":
+            self._round_mem_stall = True
+        lane.pending = apply_atomic(buf, ev.idx, ev.op, ev.operand)
+        rec = self.recorder
+        if buf.space == "global" and rec.tracks(buf):
+            rec.on_atomic(buf, ev.idx, ev.op, ev.operand, lane.pending)
+        key = self._contention_key(ev)
+        addrs = self._atomic_addrs
+        addrs[key] = addrs.get(key, 0) + 1
+
+    def _side_syncwarp(self, lane, ev) -> None:
+        lane.state = WAIT_WARP
+        mask = ev.mask
+        lane.wait_key = mask
+        waiters = self._warp_waiters[lane.warp_id]
+        grp = waiters.get(mask)
+        if grp is None:
+            waiters[mask] = [lane]
+        else:
+            grp.append(lane)
+        self._n_waiters += 1
+
+    def _side_syncblock(self, lane, ev) -> None:
+        lane.state = WAIT_BLOCK
+        key = ev.wkey
+        lane.wait_key = key
+        waiters = self._block_waiters
+        grp = waiters.get(key)
+        if grp is None:
+            waiters[key] = [lane]
+        else:
+            grp.append(lane)
+        self._n_waiters += 1
+
+    def _side_shuffle(self, lane, ev) -> None:
+        lane.state = WAIT_SHFL
+        key = ev.wkey
+        lane.wait_key = key
+        lane.posted = ev
+        waiters = self._shfl_waiters[lane.warp_id]
+        grp = waiters.get(key)
+        if grp is None:
+            waiters[key] = [lane]
+        else:
+            grp.append(lane)
+        self._n_waiters += 1
+
+    _side_vote = _side_shuffle
+
+    # -- fast-engine accounting handlers (pass 2) ------------------------
+    # Each takes (sig, evs, uniform): ``evs`` is the group's event list,
+    # ``uniform`` is True when every entry is the *same* interned object —
+    # a free by-product of the convergence scan that lets the handlers
+    # skip per-event reduction work.
+    def _acct_compute(self, sig, evs, uniform) -> None:
+        if uniform:
+            ops = evs[0].ops
+        else:
+            ops = max(ev.ops for ev in evs)
+        self.counters.issue_cycles += self._op_cost.get(sig[1], 1.0) * ops
+
+    def _acct_mem(self, sig, evs, uniform) -> None:
+        self._account_memory_fast(sig[0], sig[1], evs)
+
+    @staticmethod
+    def _consec_run(evs):
+        """``(first, last)`` when the group's single-index events form a
+        unit-stride ascending run, else None.  Indices normalize through
+        the same ``int()`` truncation the side-effect pass applied, so the
+        returned bounds match ``byte_address`` arithmetic exactly."""
+        prev = first = evs[0].idxs[0]
+        if first.__class__ is not int:
+            prev = first = int(first)
+        it = iter(evs)
+        next(it)
+        for ev in it:
+            i = ev.idxs[0]
+            if i.__class__ is not int:
+                i = int(i)
+            if i != prev + 1:
+                return None
+            prev = i
+        return first, prev
+
+    def _acct_atomic(self, sig, evs, uniform) -> None:
+        c = self.counters
+        params = self.params
+        n = len(evs)
+        c.atomics += n
+        c.issue_cycles += self._cost_st
+        c.mem_cycles += n * params.atomic_cycles
+
+    def _acct_barrier(self, sig, evs, uniform) -> None:
+        # Barrier arrival issue cost is folded into sync_cycles at release.
+        pass
+
+    def _acct_shfl(self, sig, evs, uniform) -> None:
+        self.counters.issue_cycles += 1.0
+
+    # -- fast-engine barrier release -------------------------------------
+    def _release_barriers_fast(self, live_count: int) -> int:
+        """Release ready groups off the maintained waiter structures.
+
+        Semantics mirror :meth:`_release_barriers`: block-level releases
+        first (short-circuiting warp-level work for the round), then
+        warp barriers and shuffle/vote groups per warp in ascending warp
+        order.  Convergence checks reuse :meth:`_mask_converged` and
+        :meth:`_resolve_shfl_group`, so release results are identical.
+        """
+        params = self.params
+        c = self.counters
+        released = 0
+
+        bw = self._block_waiters
+        if bw:
+            done_keys = []
+            for key, waiters in bw.items():
+                count = key[1]
+                if count is None:
+                    ready = len(waiters) == live_count
+                else:
+                    ready = len(waiters) >= count
+                if ready:
+                    for lane in waiters:
+                        lane.state = RUN
+                        lane.pending = None
+                        lane.wait_key = None
+                    c.syncblocks += 1
+                    c.sync_cycles += params.syncthreads_cycles
+                    released += len(waiters)
+                    done_keys.append(key)
+            if done_keys:
+                for key in done_keys:
+                    del bw[key]
+                self._n_waiters -= released
+                return released
+
+        full = self._full_mask
+        for wid in range(self.num_warps):
+            warp_lanes = self._warps[wid]
+            nlanes = len(warp_lanes)
+            by_mask = self._warp_waiters[wid]
+            if by_mask:
+                done_masks = []
+                for mask, waiters in by_mask.items():
+                    # Full-warp groups (the common case) are ready exactly
+                    # when every lane of the warp sits in the group — a
+                    # retired or diverged lane keeps the count short, and
+                    # the scan would refuse the release too.
+                    if (
+                        len(waiters) == nlanes
+                        if mask == full
+                        else self._mask_converged(
+                            warp_lanes, mask, waiters, WAIT_WARP, mask
+                        )
+                    ):
+                        for lane in waiters:
+                            lane.state = RUN
+                            lane.pending = None
+                            lane.wait_key = None
+                        c.syncwarps += 1
+                        c.sync_cycles += params.syncwarp_cycles
+                        released += len(waiters)
+                        self._n_waiters -= len(waiters)
+                        done_masks.append(mask)
+                for mask in done_masks:
+                    del by_mask[mask]
+
+            shfl = self._shfl_waiters[wid]
+            if shfl:
+                done_shfl = []
+                for key, waiters in shfl.items():
+                    mask = key[0]
+                    if (
+                        len(waiters) == nlanes
+                        if mask == full
+                        else self._mask_converged(
+                            warp_lanes, mask, waiters, WAIT_SHFL, key
+                        )
+                    ):
+                        self._resolve_shfl_group(key, waiters)
+                        released += len(waiters)
+                        self._n_waiters -= len(waiters)
+                        done_shfl.append(key)
+                for key in done_shfl:
+                    del shfl[key]
+        return released
+
+    @staticmethod
+    def _contention_key(ev) -> tuple:
+        """Round-local atomic contention key for ``ev.buf[ev.idx]``.
+
+        Keyed by the buffer's stable device address ``(space, base)`` so
+        two distinct :class:`~repro.gpu.memory.Buffer` objects aliasing
+        the same storage contend correctly (``id()`` would treat them as
+        different addresses).  Lane-private ``local`` buffers have no
+        stable address space — all carry ``base == 0`` — so object
+        identity *is* the location there (the round's events keep the
+        buffers alive, making ``id`` collision-free within the round).
+        """
+        buf = ev.buf
+        if buf.space == "local":
+            return (id(buf), int(ev.idx))
+        return (buf.space, buf.base, int(ev.idx))
 
     # ------------------------------------------------------------------
     def _resolve_round(self, posted_by_warp) -> None:
@@ -311,7 +1012,7 @@ class ThreadBlock:
                         and rec.tracks(ev.buf)
                     ):
                         rec.on_atomic(ev.buf, ev.idx, ev.op, ev.operand, lane.pending)
-                    key = (id(ev.buf), int(ev.idx))
+                    key = self._contention_key(ev)
                     atomic_addrs[key] = atomic_addrs.get(key, 0) + 1
                 elif tag == T_SYNCWARP:
                     lane.state = WAIT_WARP
@@ -396,20 +1097,9 @@ class ThreadBlock:
                         pos_sectors.add((a + buf.itemsize - 1) // sb)
                 transactions += len(pos_sectors)
                 sectors |= pos_sectors
-            l1 = self._l1
-            hits = misses = 0
-            for sec in sectors:
-                if sec in l1:
-                    hits += 1
-                    # LRU touch: move to the back.
-                    del l1[sec]
-                    l1[sec] = None
-                else:
-                    misses += 1
-                    l1[sec] = None
-            if len(l1) > self._l1_cap:
-                for old in list(l1)[: len(l1) - self._l1_cap]:
-                    del l1[old]
+            # Sector sets are filtered through the L1 in ascending sector
+            # order on both engines, so the caches evolve identically.
+            hits, misses = self._l1.access(sorted(sectors))
             c.l1_hits += hits
             c.l1_misses += misses
             if tag == T_LOAD:
@@ -435,6 +1125,202 @@ class ThreadBlock:
                 passes += shared_conflict_degree(
                     addrs, params.shared_banks, params.shared_word_bytes
                 )
+            c.shared_passes += passes
+            c.mem_cycles += passes * params.shared_pass_cycles
+        else:  # local
+            c.local_accesses += nelem
+            c.mem_cycles += nelem * params.local_access_cycles
+
+    def _account_memory_fast(self, tag: int, space: str, evs) -> None:
+        """Fast twin of :meth:`_account_memory`, taking a raw event list.
+
+        Specialized for the hot shape — every event of the group touches
+        the same buffer with equal-length index runs (the lockstep pattern
+        a converged warp produces).  There the per-position set churn
+        collapses into one sector computation: a small set comprehension
+        for warp-sized groups, NumPy unique counts once the unrolled run
+        is large enough to amortize array overhead.  Aligned elements
+        (``sector_bytes % itemsize == 0`` and an aligned base) can never
+        straddle a sector, halving the address work.  Any other shape
+        falls back to the scalar per-position logic, identical to the
+        instrumented twin.  Both twins push sector runs through the shared
+        :class:`L1SectorCache` in ascending sector order, so counters and
+        cache state are bit-identical.
+        """
+        params = self.params
+        c = self.counters
+        n = len(evs)
+        ev0 = evs[0]
+        npos = len(ev0.idxs)
+        buf0 = ev0.buf
+        lockstep = npos > 0
+        if lockstep and n > 1:
+            for ev in evs:
+                if ev.buf is not buf0 or len(ev.idxs) != npos:
+                    lockstep = False
+                    break
+        if lockstep:
+            positions = npos
+            nelem = n * npos
+        else:
+            positions = 0
+            nelem = 0
+            for ev in evs:
+                ln = len(ev.idxs)
+                nelem += ln
+                if ln > positions:
+                    positions = ln
+        if tag == T_LOAD:
+            c.loads += nelem
+            c.issue_cycles += self._cost_ld * positions
+        else:
+            c.stores += nelem
+            c.issue_cycles += self._cost_st * positions
+        if space == "global":
+            sb = params.sector_bytes
+            if lockstep:
+                isz = buf0.itemsize
+                base = buf0.base
+                # Pass-1 side effects already validated (and int()-
+                # truncated) every index, so the arithmetic below matches
+                # ``byte_address`` exactly.
+                aligned = sb % isz == 0 and base % isz == 0
+                if npos == 1:
+                    run = self._consec_run(evs)
+                    if run is not None:
+                        # Unit-stride ascending run (the coalesced-stream
+                        # pattern): the footprint is one contiguous sector
+                        # interval — two divisions replace the set walk.
+                        s0 = (base + run[0] * isz) // sb
+                        s1 = (base + run[1] * isz + (isz - 1)) // sb
+                        secs = range(s0, s1 + 1)
+                        transactions = s1 - s0 + 1
+                    elif aligned:
+                        if n < 48:
+                            secs = sorted(
+                                {(base + int(ev.idxs[0]) * isz) // sb for ev in evs}
+                            )
+                        else:
+                            lo = (
+                                base
+                                + np.fromiter(
+                                    (ev.idxs[0] for ev in evs), np.int64, n
+                                )
+                                * isz
+                            ) // sb
+                            secs = np.unique(lo).tolist()
+                        transactions = len(secs)
+                    else:
+                        pos = set()
+                        spill = isz - 1
+                        for ev in evs:
+                            a = base + int(ev.idxs[0]) * isz
+                            pos.add(a // sb)
+                            pos.add((a + spill) // sb)
+                        secs = sorted(pos)
+                        transactions = len(secs)
+                else:
+                    mat = np.asarray([ev.idxs for ev in evs])
+                    if mat.dtype != np.int64:
+                        mat = mat.astype(np.int64)
+                    lo = (base + mat * isz) // sb
+                    if aligned:
+                        transactions = 0
+                        for k in range(npos):
+                            transactions += np.unique(lo[:, k]).size
+                        secs = np.unique(lo).tolist()
+                    else:
+                        hi = (base + mat * isz + (isz - 1)) // sb
+                        transactions = 0
+                        for k in range(npos):
+                            transactions += np.unique(
+                                np.concatenate((lo[:, k], hi[:, k]))
+                            ).size
+                        secs = np.unique(
+                            np.concatenate((lo.ravel(), hi.ravel()))
+                        ).tolist()
+            else:
+                # Ragged or multi-buffer group: scalar logic, identical to
+                # the instrumented twin.
+                sectors = set()
+                transactions = 0
+                for k in range(positions):
+                    pos_sectors = set()
+                    for ev in evs:
+                        idxs = ev.idxs
+                        if k < len(idxs):
+                            buf = ev.buf
+                            a = buf.byte_address(idxs[k])
+                            pos_sectors.add(a // sb)
+                            pos_sectors.add((a + buf.itemsize - 1) // sb)
+                    transactions += len(pos_sectors)
+                    sectors |= pos_sectors
+                secs = sorted(sectors)
+            hits, misses = self._l1.access(secs)
+            c.l1_hits += hits
+            c.l1_misses += misses
+            if tag == T_LOAD:
+                c.global_load_sectors += misses
+                if misses:
+                    self._round_mem_stall = True
+            else:
+                c.global_store_sectors += misses
+            c.lsu_transactions += transactions
+            c.mem_cycles += (
+                misses * params.sector_cycles
+                + hits * params.l1_sector_cycles
+                + transactions * params.lsu_transaction_cycles
+            )
+        elif space == "shared":
+            passes = 0
+            if lockstep:
+                isz = buf0.itemsize
+                base = buf0.base
+                banks = params.shared_banks
+                wb = params.shared_word_bytes
+                run = (
+                    self._consec_run(evs)
+                    if npos == 1 and isz % wb == 0
+                    else None
+                )
+                if run is not None:
+                    # Unit-stride run with word-multiple elements: the word
+                    # sequence is an arithmetic progression of stride
+                    # ``isz // wb``, so the conflict degree is the maximum
+                    # round-robin occupancy over the ``banks // gcd`` banks
+                    # it cycles through.
+                    stride = isz // wb
+                    period = banks // math.gcd(stride, banks)
+                    passes = -(-n // period)
+                elif npos == 1 and n < 48:
+                    per_bank: Dict[int, set] = {}
+                    for ev in evs:
+                        word = (base + int(ev.idxs[0]) * isz) // wb
+                        bank = word % banks
+                        s = per_bank.get(bank)
+                        if s is None:
+                            per_bank[bank] = {word}
+                        else:
+                            s.add(word)
+                    passes = max(len(words) for words in per_bank.values())
+                else:
+                    mat = np.asarray([ev.idxs for ev in evs])
+                    if mat.dtype != np.int64:
+                        mat = mat.astype(np.int64)
+                    words = (base + mat * isz) // wb
+                    for k in range(npos):
+                        w = np.unique(words[:, k])
+                        passes += int(np.bincount(w % banks).max())
+            else:
+                for k in range(positions):
+                    addrs = [
+                        ev.buf.byte_address(ev.idxs[k])
+                        for ev in evs
+                        if k < len(ev.idxs)
+                    ]
+                    passes += shared_conflict_degree(
+                        addrs, params.shared_banks, params.shared_word_bytes
+                    )
             c.shared_passes += passes
             c.mem_cycles += passes * params.shared_pass_cycles
         else:  # local
@@ -511,37 +1397,108 @@ class ThreadBlock:
                         )
 
             for key, waiters in shfl_groups.items():
-                mask, mode = key
+                mask = key[0]
                 if self._mask_converged(warp_lanes, mask, waiters, WAIT_SHFL, key):
-                    lane_ids = sorted(l.lane_id for l in waiters)
-                    if isinstance(mode, tuple):  # ("vote", any|all|ballot)
-                        vote_mode = mode[1]
-                        preds = {l.lane_id: bool(l.posted.predicate) for l in waiters}
-                        if vote_mode == "any":
-                            result = any(preds.values())
-                        elif vote_mode == "all":
-                            result = all(preds.values())
-                        else:  # ballot
-                            result = 0
-                            for lid, p in preds.items():
-                                if p:
-                                    result |= 1 << lid
-                        results = {lid: result for lid in lane_ids}
-                    else:
-                        values = {l.lane_id: l.posted.value for l in waiters}
-                        lane_args = {l.lane_id: l.posted.lane_arg for l in waiters}
-                        results = resolve_shuffles(mode, lane_ids, values, lane_args)
-                    for lane in waiters:
-                        lane.state = RUN
-                        lane.pending = results[lane.lane_id]
-                        lane.wait_key = None
-                        lane.posted = None
+                    self._resolve_shfl_group(key, waiters)
                     released += len(waiters)
                     if mon is not None:
                         mon.on_release(
                             self, rnd, "shfl", key, [l.tid for l in waiters]
                         )
         return released
+
+    @staticmethod
+    def _resolve_shfl_group(key: tuple, waiters) -> None:
+        """Resolve a converged shuffle or vote group and wake its lanes.
+
+        Shared by both engines so data-movement results are identical by
+        construction.  ``key`` is ``(mask, mode)`` for shuffles and
+        ``(mask, ("vote", mode))`` for votes.  The mask-relative lane
+        arithmetic matches :func:`repro.gpu.shuffle.resolve_shuffles`
+        positionally on the ascending participant order.
+        """
+        mode = key[1]
+        # Arrivals append in step order, which is ascending lane order when
+        # the group converged in one round — the overwhelmingly common case.
+        # Only fall back to a keyed sort when a multi-round (divergent)
+        # arrival actually scrambled the order.
+        ws = waiters
+        prev = -1
+        for l in ws:
+            lid = l.lane_id
+            if lid < prev:
+                ws = sorted(waiters, key=_BY_LANE_ID)
+                break
+            prev = lid
+        if isinstance(mode, tuple):  # ("vote", any|all|ballot)
+            vote_mode = mode[1]
+            if vote_mode == "any":
+                result = False
+                for l in ws:
+                    if l.posted.predicate:
+                        result = True
+                        break
+            elif vote_mode == "all":
+                result = True
+                for l in ws:
+                    if not l.posted.predicate:
+                        result = False
+                        break
+            else:  # ballot
+                result = 0
+                for l in ws:
+                    if l.posted.predicate:
+                        result |= 1 << l.lane_id
+            for lane in ws:
+                lane.state = RUN
+                lane.pending = result
+                lane.wait_key = None
+                lane.posted = None
+            return
+        n = len(ws)
+        vals = [l.posted.value for l in ws]
+        # SIMD reductions issue the same lane_arg from every lane; when the
+        # group is uniform that way, the positional formulas collapse to
+        # slice concatenations (identical results to the per-lane formulas).
+        d0 = ws[0].posted.lane_arg
+        uniform = True
+        for l in ws:
+            if l.posted.lane_arg != d0:
+                uniform = False
+                break
+        if uniform and mode == "down" and 0 <= d0:
+            out = vals if d0 == 0 or d0 >= n else vals[d0:] + vals[n - d0:]
+        elif uniform and mode == "up" and 0 <= d0:
+            out = vals if d0 == 0 or d0 >= n else vals[:d0] + vals[: n - d0]
+        elif uniform and mode == "idx":
+            out = [vals[d0]] * n if 0 <= d0 < n else vals
+        elif mode == "idx":
+            out = [
+                vals[src] if 0 <= (src := l.posted.lane_arg) < n else vals[i]
+                for i, l in enumerate(ws)
+            ]
+        elif mode == "up":
+            out = [
+                vals[src] if 0 <= (src := i - l.posted.lane_arg) < n else vals[i]
+                for i, l in enumerate(ws)
+            ]
+        elif mode == "down":
+            out = [
+                vals[src] if 0 <= (src := i + l.posted.lane_arg) < n else vals[i]
+                for i, l in enumerate(ws)
+            ]
+        elif mode == "xor":
+            out = [
+                vals[src] if 0 <= (src := i ^ l.posted.lane_arg) < n else vals[i]
+                for i, l in enumerate(ws)
+            ]
+        else:
+            raise SynchronizationError(f"unknown shuffle mode {mode!r}")
+        for lane, v in zip(ws, out):
+            lane.state = RUN
+            lane.pending = v
+            lane.wait_key = None
+            lane.posted = None
 
     @staticmethod
     def _mask_converged(warp_lanes, mask: int, waiters, state: int, key) -> bool:

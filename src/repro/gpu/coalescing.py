@@ -63,6 +63,62 @@ def shared_conflict_degree(
     return max(len(words) for words in per_bank.values())
 
 
+class L1SectorCache:
+    """Per-block L1 sector cache: LRU over sector ids with a batch API.
+
+    The block scheduler filters every global-memory issue group's distinct
+    sectors through this cache; hits ride the cheap L1 pipe, misses pay
+    DRAM bandwidth.  The backing dict preserves insertion order, so
+    re-inserting on hit implements LRU with O(1) per-sector work; eviction
+    trims from the front (least recently used) after each batch, exactly
+    one warp instruction's worth of accesses at a time.
+
+    Both round engines (instrumented and fast) share one instance per
+    block and present their sector batches in ascending sector order, so
+    the cache state — and therefore every downstream hit/miss counter —
+    evolves identically regardless of which engine ran the round.
+    """
+
+    __slots__ = ("cap", "_entries")
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ValueError("L1 cache needs at least one sector slot")
+        self.cap = int(cap)
+        self._entries: dict = {}
+
+    def access(self, sectors: Iterable[int]) -> Tuple[int, int]:
+        """Touch a run of *distinct* sector ids; returns ``(hits, misses)``.
+
+        Callers pass each batch in ascending order (a sorted set or the
+        output of ``np.unique``) so independent engines replay the same
+        insertion sequence.
+        """
+        entries = self._entries
+        hits = 0
+        misses = 0
+        for sec in sectors:
+            if sec in entries:
+                hits += 1
+                # LRU touch: move to the back.
+                del entries[sec]
+                entries[sec] = None
+            else:
+                misses += 1
+                entries[sec] = None
+        over = len(entries) - self.cap
+        if over > 0:
+            for old in list(entries)[:over]:
+                del entries[old]
+        return hits, misses
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sector: int) -> bool:
+        return sector in self._entries
+
+
 def transaction_summary(
     addresses: Sequence[int], sector_bytes: int = 32
 ) -> Tuple[int, int]:

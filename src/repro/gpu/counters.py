@@ -54,6 +54,9 @@ class BlockCounters:
     #: Total element loads/stores (for coalescing-efficiency ratios).
     loads: int = 0
     stores: int = 0
+    #: Generator advances (events consumed); the interpreter-throughput
+    #: denominator for the substrate benchmarks (lane-steps per second).
+    lane_steps: int = 0
 
     @property
     def global_sectors(self) -> int:
@@ -154,6 +157,7 @@ class KernelCounters:
             "threads_per_block": self.threads_per_block,
             "waves": self.waves,
             "rounds": self.rounds,
+            "lane_steps": int(self.total("lane_steps")),
             "issues": self.issues,
             "issue_cycles": self.issue_cycles,
             "mem_cycles": self.mem_cycles,

@@ -108,6 +108,7 @@ class Device:
         timeout: Optional[float] = None,
         retries: int = 0,
         backoff: float = 0.05,
+        fastpath: Optional[bool] = None,
     ) -> KernelCounters:
         """Run ``entry(tc, *args)`` over a grid and return kernel counters.
 
@@ -160,6 +161,13 @@ class Device:
           to a pre-launch snapshot — buffer contents restored, kernel-time
           allocations freed, side-state counters rewound — and re-executed
           after capped exponential backoff, up to ``retries`` times.
+
+        ``fastpath`` selects the block round engine (``docs/PERF.md``):
+        None (the default) auto-selects the fast engine whenever the
+        launch is hook-free; ``False`` forces the instrumented reference
+        engine.  Results are bit-identical either way — hooks
+        (``tracer``/``sanitize``/``detect_races``/``schedule_policy``/
+        ``faults``) always force the instrumented engine.
         """
         if num_blocks < 1:
             raise LaunchError("grid must have at least one block")
@@ -234,6 +242,7 @@ class Device:
             tracer=tracer,
             side_state=plan_side,
             faults=faults_,
+            fastpath=fastpath,
         )
 
         max_attempts = int(retries) + 1

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.errors import AllocationError, MemoryFault
+from repro.gpu.events import T_LOAD, T_STORE, _sig
 
 #: Valid memory space tags.
 SPACES = ("global", "shared", "local")
@@ -65,7 +66,18 @@ class Buffer:
         is created when omitted.
     """
 
-    __slots__ = ("name", "space", "size", "dtype", "itemsize", "base", "handle", "data")
+    __slots__ = (
+        "name",
+        "space",
+        "size",
+        "dtype",
+        "itemsize",
+        "base",
+        "handle",
+        "data",
+        "sig_load",
+        "sig_store",
+    )
 
     def __init__(
         self,
@@ -88,6 +100,12 @@ class Buffer:
         self.itemsize = self.dtype.itemsize
         self.base = int(base)
         self.handle = int(handle)
+        # Issue-group signatures of loads/stores against this buffer are a
+        # pure function of the space, so they are computed once here and
+        # picked up by the Load/Store event constructors without re-interning
+        # per event.
+        self.sig_load = _sig(T_LOAD, space)
+        self.sig_store = _sig(T_STORE, space)
         if data is None:
             data = np.zeros(self.size, dtype=self.dtype)
         else:

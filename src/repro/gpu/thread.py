@@ -28,6 +28,10 @@ from repro.gpu.events import (
     SyncBlock,
     SyncWarp,
     Vote,
+    intern_compute,
+    intern_syncblock,
+    intern_syncwarp,
+    intern_vote,
 )
 from repro.gpu.memory import Buffer, local_buffer
 
@@ -139,8 +143,13 @@ class ThreadCtx:
 
     # -- arithmetic accounting ----------------------------------------------
     def compute(self, kind: str = "alu", ops: int = 1):
-        """Charge ``ops`` arithmetic operations of class ``kind``."""
-        yield Compute(kind, ops)
+        """Charge ``ops`` arithmetic operations of class ``kind``.
+
+        Compute events carry no lane-private payload, so the hot
+        ``(kind, ops)`` combinations are interned singletons — every lane
+        of every round yields the same frozen object.
+        """
+        yield intern_compute(kind, ops)
 
     # -- atomics -------------------------------------------------------------
     def atomic_add(self, buf: Buffer, idx: int, value):
@@ -178,7 +187,7 @@ class ThreadCtx:
                 f"lane {self.lane_id} called syncwarp with a mask {mask:#x} "
                 "that does not include itself"
             )
-        yield SyncWarp(mask)
+        yield intern_syncwarp(mask)
 
     def syncthreads(self, bar_id: int = 0, count: Optional[int] = None):
         """Block-level barrier (CUDA ``__syncthreads`` / ``barrier.sync``).
@@ -189,7 +198,7 @@ class ThreadCtx:
         worker threads can synchronize while the main thread waits
         elsewhere.
         """
-        yield SyncBlock(bar_id, count)
+        yield intern_syncblock(bar_id, count)
 
     # -- shuffles --------------------------------------------------------------
     def shfl(self, value, src: int, mask: Optional[int] = None):
@@ -222,21 +231,21 @@ class ThreadCtx:
         """True iff any live lane in ``mask`` passes a true predicate."""
         if mask is None:
             mask = full_mask(self.warp_size)
-        res = yield Vote("any", bool(predicate), mask)
+        res = yield intern_vote("any", bool(predicate), mask)
         return res
 
     def vote_all(self, predicate, mask: Optional[int] = None):
         """True iff every live lane in ``mask`` passes a true predicate."""
         if mask is None:
             mask = full_mask(self.warp_size)
-        res = yield Vote("all", bool(predicate), mask)
+        res = yield intern_vote("all", bool(predicate), mask)
         return res
 
     def ballot(self, predicate, mask: Optional[int] = None):
         """Bitmask (absolute warp lane positions) of true predicates."""
         if mask is None:
             mask = full_mask(self.warp_size)
-        res = yield Vote("ballot", bool(predicate), mask)
+        res = yield intern_vote("ballot", bool(predicate), mask)
         return res
 
     # -- diagnostics ---------------------------------------------------------
@@ -248,7 +257,7 @@ class ThreadCtx:
         """
         from repro.errors import DeviceAssertionError
 
-        yield Compute("branch", 1)
+        yield intern_compute("branch", 1)
         if not condition:
             raise DeviceAssertionError(
                 f"{message} (block {self.block_id}, thread {self.tid})"
@@ -272,13 +281,17 @@ class ThreadCtx:
 class Lane:
     """Scheduler bookkeeping for one thread: its generator and wait state."""
 
-    __slots__ = ("tid", "warp_id", "lane_id", "gen", "state", "pending", "wait_key", "posted")
+    __slots__ = ("tid", "warp_id", "lane_id", "gen", "send", "state", "pending", "wait_key", "posted")
 
     def __init__(self, tid: int, warp_id: int, lane_id: int, gen) -> None:
         self.tid = tid
         self.warp_id = warp_id
         self.lane_id = lane_id
         self.gen = gen
+        #: Bound ``gen.send`` — saves an attribute hop in the hot round
+        #: loop.  None for non-generator stand-ins (the scheduler validates
+        #: real kernels before any Lane reaches an engine).
+        self.send = getattr(gen, "send", None)
         self.state = RUN
         #: Value to ``send`` into the generator on the next advance.
         self.pending = None

@@ -333,3 +333,72 @@ class TestDeterminism:
             kc = dev.launch(k, 2, 64, args=(out,))
             results.append((out.read(0), kc.cycles, kc.rounds, kc.issues))
         assert results[0] == results[1]
+
+
+class TestAtomicContentionKey:
+    @pytest.mark.parametrize("fastpath", [None, False])
+    def test_aliased_buffers_contend(self, fastpath):
+        """Two Buffer objects over the same storage are one address.
+
+        Contention is keyed by the stable ``(space, base)`` device address,
+        not Python object identity — two handles aliasing the same
+        allocation must serialize against each other.
+        """
+        from repro.gpu.memory import Buffer
+
+        dev = Device(nvidia_a100())
+        acc = dev.alloc("acc", 1, np.int64)
+        alias = Buffer(
+            "acc_alias", acc.space, acc.size, acc.dtype,
+            base=acc.base, handle=acc.handle, data=acc.data,
+        )
+
+        def k(tc, acc, alias):
+            target = acc if tc.lane_id % 2 == 0 else alias
+            yield from tc.atomic_add(target, 0, 1)
+
+        kc = dev.launch(k, 1, 32, args=(acc, alias), fastpath=fastpath)
+        assert acc.read(0) == 32
+        assert kc.total("atomic_conflicts") == 31
+
+    @pytest.mark.parametrize("fastpath", [None, False])
+    def test_local_buffers_not_conflated(self, fastpath):
+        """Lane-private local buffers all sit at base 0 but never contend."""
+        dev = Device(nvidia_a100())
+
+        def k(tc):
+            lb = tc.alloca("scratch", 1, np.int64)
+            yield from tc.atomic_add(lb, 0, 1)
+
+        kc = dev.launch(k, 1, 32, fastpath=fastpath)
+        assert kc.total("atomic_conflicts") == 0
+
+
+class TestRetiredLaneState:
+    @pytest.mark.parametrize("fastpath", [None, False])
+    def test_pending_cleared_on_retire(self, fastpath):
+        """A lane retiring right after a load must not pin the loaded value.
+
+        ``lane.pending`` holds the value the next resume would deliver; on
+        StopIteration the scheduler clears it so retired lanes hold no
+        stale references to buffer contents.
+        """
+        from repro.gpu.memory import Buffer
+
+        x = Buffer("x", "global", 4, np.float64, data=np.arange(4.0))
+
+        def k(tc, x):
+            yield from tc.load(x, tc.lane_id % 4)
+
+        tb = ThreadBlock(
+            block_id=0,
+            num_threads=32,
+            params=nvidia_a100(),
+            gmem=GlobalMemory(),
+            entry=k,
+            args=(x,),
+            fastpath=fastpath,
+        )
+        tb.run()
+        assert all(l.pending is None for l in tb.lanes)
+        assert all(l.posted is None for l in tb.lanes)

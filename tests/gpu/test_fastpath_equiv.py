@@ -1,0 +1,404 @@
+"""Differential suite: fast round engine vs instrumented engine, bit for bit.
+
+The fast engine (``docs/PERF.md``) is only legal because it is
+*observationally identical* to the instrumented engine: same memory state,
+same :class:`~repro.gpu.counters.KernelCounters`, same errors with the same
+messages.  This suite proves that claim by running the same kernels under
+both engines — randomized programs mixing every event type plus directed
+kernels targeting the fast engine's migration seams (partial same-round
+arrivals, sub-mask groups, counted barriers, faulting accesses) — and
+comparing everything.
+
+Runs under every executor in the CI matrix via the ``executor`` fixture,
+so the parallel block-sharding engine's worker processes (which inherit
+the engine selection) get the same differential coverage.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MemoryFault
+from repro.gpu.costmodel import amd_mi100, nvidia_a100
+from repro.gpu.device import Device
+
+
+# ---------------------------------------------------------------------------
+# Random program generator.
+#
+# A program is a seeded list of generator closures; every lane runs the same
+# program, with divergence, masks, and addresses derived from lane/thread
+# ids.  Global stores stay inside a block-private slice of ``w`` so kernels
+# remain well-formed (race-free) under any block execution order.
+
+
+def _op_compute(rng):
+    kind = rng.choice(["alu", "fma", "sfu", "branch"])
+    ops = rng.randint(1, 4)
+
+    def op(tc, b, total):
+        yield from tc.compute(kind, ops)
+        return total + 1.0
+
+    return op
+
+
+def _op_divergent_compute(rng):
+    k1 = rng.choice(["alu", "fma"])
+    k2 = rng.choice(["sfu", "branch"])
+    mod = rng.choice([2, 3, 5])
+
+    def op(tc, b, total):
+        if tc.lane_id % mod == 0:
+            yield from tc.compute(k1, 2)
+        else:
+            yield from tc.compute(k2)
+        return total + 0.5
+
+    return op
+
+
+def _op_load(rng):
+    mult = rng.choice([1, 3, 5])
+    off = rng.randint(0, 63)
+
+    def op(tc, b, total):
+        v = yield from tc.load(b["x"], (tc.global_tid * mult + off) % b["n"])
+        return total + v
+
+    return op
+
+
+def _op_load_vec(rng):
+    off = rng.randint(0, 31)
+
+    def op(tc, b, total):
+        g = tc.global_tid * 2 + off
+        vs = yield from tc.load_vec(b["x"], [g % b["n"], (g + 1) % b["n"]])
+        return total + vs[0] - vs[1]
+
+    return op
+
+
+def _op_store(rng):
+    mult = rng.choice([1, 3, 5])  # odd: bijective over the pow-2 slice
+    off = rng.randint(0, 63)
+
+    def op(tc, b, total):
+        size = 2 * tc.block_dim
+        base = tc.block_id * size
+        yield from tc.store(b["w"], base + (tc.tid * mult + off) % size, total)
+        return total
+
+    return op
+
+
+def _op_store_vec(rng):
+    def op(tc, b, total):
+        base = tc.block_id * 2 * tc.block_dim
+        i = base + 2 * tc.tid
+        yield from tc.store_vec(b["w"], [i, i + 1], [total, -total])
+        return total
+
+    return op
+
+
+def _op_atomic(rng):
+    mode = rng.choice(["add", "max", "min", "exch"])
+    idx = rng.randint(0, 3)
+    val = rng.randint(1, 9)
+
+    def op(tc, b, total):
+        fn = getattr(tc, f"atomic_{mode}")
+        old = yield from fn(b["acc"], idx, val)
+        return total + float(old % 13)
+
+    return op
+
+
+def _op_shuffle(rng):
+    mode = rng.choice(["down", "up", "xor", "idx"])
+    delta = rng.randint(1, 7)
+
+    def op(tc, b, total):
+        if mode == "idx":
+            s = yield from tc.shfl(total, delta)
+        else:
+            fn = getattr(tc, f"shfl_{mode}")
+            s = yield from fn(total, delta)
+        return total + (0.0 if s is None else s * 0.125)
+
+    return op
+
+
+def _op_shuffle_submask(rng):
+    delta = rng.randint(1, 3)
+
+    def op(tc, b, total):
+        half = tc.warp_size // 2
+        m = (1 << half) - 1
+        if tc.lane_id < half:
+            s = yield from tc.shfl_down(total, delta, m)
+            return total + (0.0 if s is None else s)
+        yield from tc.compute("alu")
+        return total
+
+    return op
+
+
+def _op_vote(rng):
+    mode = rng.choice(["any", "all", "ballot"])
+    mod = rng.choice([2, 3, 7])
+
+    def op(tc, b, total):
+        pred = tc.lane_id % mod == 0
+        if mode == "ballot":
+            r = yield from tc.ballot(pred)
+            return total + (r % 97)
+        fn = getattr(tc, f"vote_{mode}")
+        r = yield from fn(pred)
+        return total + (1.0 if r else -1.0)
+
+    return op
+
+
+def _op_syncwarp(rng):
+    def op(tc, b, total):
+        yield from tc.syncwarp()
+        return total
+
+    return op
+
+
+def _op_syncwarp_submask(rng):
+    def op(tc, b, total):
+        half = tc.warp_size // 2
+        if tc.lane_id < half:
+            yield from tc.syncwarp((1 << half) - 1)
+        else:
+            yield from tc.compute("fma")
+        return total
+
+    return op
+
+
+def _op_bar(rng):
+    def op(tc, b, total):
+        yield from tc.syncthreads()
+        return total
+
+    return op
+
+
+def _op_counted_bar(rng):
+    def op(tc, b, total):
+        count = tc.block_dim // 2
+        if tc.tid < count:
+            yield from tc.syncthreads(bar_id=1, count=count)
+        else:
+            yield from tc.compute("alu", 2)
+        return total
+
+    return op
+
+
+def _op_skewed_collective(rng):
+    """Lanes reach a collective in different rounds: exercises the fast
+    engine's migration from inline same-round completion to the parked
+    waiter path."""
+    which = rng.choice(["bar", "syncwarp", "shfl"])
+    mod = rng.choice([2, 3])
+
+    def op(tc, b, total):
+        for _ in range(tc.lane_id % mod):
+            yield from tc.compute("alu")
+        if which == "bar":
+            yield from tc.syncthreads()
+        elif which == "syncwarp":
+            yield from tc.syncwarp()
+        else:
+            s = yield from tc.shfl_xor(total, 1)
+            total += 0.0 if s is None else s
+        return total
+
+    return op
+
+
+def _op_shared_tile(rng):
+    d = rng.randint(1, 5)
+
+    def op(tc, b, total):
+        sh = b["cells"].get(tc.block_id)
+        if sh is None:
+            yield from tc.compute("alu")
+            return total
+        yield from tc.store(sh, tc.tid, total)
+        yield from tc.syncthreads()
+        v = yield from tc.load(sh, (tc.tid + d) % tc.block_dim)
+        yield from tc.syncthreads()
+        return total + v * 0.5
+
+    return op
+
+
+_OP_MAKERS = [
+    _op_compute,
+    _op_divergent_compute,
+    _op_load,
+    _op_load_vec,
+    _op_store,
+    _op_store_vec,
+    _op_atomic,
+    _op_shuffle,
+    _op_shuffle_submask,
+    _op_vote,
+    _op_syncwarp,
+    _op_syncwarp_submask,
+    _op_bar,
+    _op_counted_bar,
+    _op_skewed_collective,
+    _op_shared_tile,
+]
+
+
+def _run_random_kernel(seed, executor, params, fastpath, blocks=2, threads=64):
+    """Build the seed's program on a fresh device and run it under one engine."""
+    rng = random.Random(seed)
+    prog = [rng.choice(_OP_MAKERS)(rng) for _ in range(rng.randint(10, 18))]
+    use_shared = rng.random() < 0.75
+
+    dev = Device(params, executor=executor)
+    t = blocks * threads
+    n = 2 * t
+    x = dev.from_array("x", np.arange(n, dtype=np.float64) * 0.25 - 7.0)
+    w = dev.from_array("w", np.zeros(n))
+    acc = dev.alloc("acc", 4, np.int64)
+    cells: dict = {}
+    bufs = {"x": x, "w": w, "acc": acc, "cells": cells, "n": n}
+
+    def k(tc, x, w, acc):
+        if use_shared:
+            if tc.tid == 0:
+                cells[tc.block_id] = tc.shared_alloc(
+                    "tile", tc.block_dim, np.float64
+                )
+            yield from tc.syncthreads()
+        total = float(tc.global_tid) * 0.25
+        for op in prog:
+            total = yield from op(tc, bufs, total)
+        size = 2 * tc.block_dim
+        yield from tc.store(w, tc.block_id * size + tc.tid, total)
+
+    kc = dev.launch(k, blocks, threads, args=(x, w, acc), fastpath=fastpath)
+    return kc, x.to_numpy(), w.to_numpy(), acc.data.copy()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_kernels_bit_identical(executor, seed):
+    """Random event soup: memory, counters, and atomics match bit-for-bit."""
+    kf, xf, wf, af = _run_random_kernel(seed, executor, nvidia_a100(), None)
+    ki, xi, wi, ai = _run_random_kernel(seed, executor, nvidia_a100(), False)
+    assert kf.identical(ki), f"seed {seed}: counters diverged"
+    assert np.array_equal(xf, xi)
+    assert np.array_equal(wf, wi)
+    assert np.array_equal(af, ai)
+
+
+@pytest.mark.parametrize("seed", range(10, 15))
+def test_random_kernels_bit_identical_amd(executor, seed):
+    """Same differential property on 64-wide wavefronts."""
+    kf, xf, wf, af = _run_random_kernel(seed, executor, amd_mi100(), None)
+    ki, xi, wi, ai = _run_random_kernel(seed, executor, amd_mi100(), False)
+    assert kf.identical(ki), f"seed {seed}: counters diverged"
+    assert np.array_equal(wf, wi)
+    assert np.array_equal(af, ai)
+
+
+# ---------------------------------------------------------------------------
+# Directed error-behaviour equivalence
+
+
+def _launch_expect(executor, build, exc, fastpath):
+    """Run ``build``'s kernel expecting ``exc``; return (type, message, mem)."""
+    dev = Device(nvidia_a100(), executor=executor)
+    k, blocks, threads, args, bufs = build(dev)
+    with pytest.raises(exc) as ei:
+        dev.launch(k, blocks, threads, args=args, fastpath=fastpath)
+    return type(ei.value), str(ei.value), [b.to_numpy().copy() for b in bufs]
+
+
+def _oob_load(dev):
+    x = dev.from_array("x", np.zeros(8))
+
+    def k(tc, x):
+        yield from tc.compute("alu")
+        if tc.tid == 5:
+            yield from tc.load(x, 64)
+        else:
+            yield from tc.compute("fma")
+
+    return k, 1, 32, (x,), [x]
+
+
+def _oob_store(dev):
+    x = dev.from_array("x", np.arange(16, dtype=np.float64))
+
+    def k(tc, x):
+        # Lanes before the faulting one commit their stores first — the
+        # partial memory state at the fault must match across engines.
+        yield from tc.store(x, tc.tid % 16, -1.0)
+        if tc.tid == 9:
+            yield from tc.store(x, 99, 0.0)
+
+    return k, 1, 32, (x,), [x]
+
+
+def _oob_vec_load(dev):
+    x = dev.from_array("x", np.zeros(8))
+
+    def k(tc, x):
+        yield from tc.load_vec(x, [tc.tid % 8, 8 + tc.tid])
+
+    return k, 1, 32, (x,), [x]
+
+
+@pytest.mark.parametrize("build", [_oob_load, _oob_store, _oob_vec_load])
+def test_memory_fault_identical(executor, build):
+    """Faults carry the same type/message and leave identical memory."""
+    tf, mf, bf = _launch_expect(executor, build, MemoryFault, None)
+    ti, mi, bi = _launch_expect(executor, build, MemoryFault, False)
+    assert (tf, mf) == (ti, mi)
+    for a, b in zip(bf, bi):
+        assert np.array_equal(a, b)
+
+
+def _retired_lane_deadlock(dev):
+    def k(tc):
+        if tc.lane_id < 16:
+            return  # retire: the full-mask group below can never complete
+            yield
+        yield from tc.syncwarp()
+
+    return k, 1, 32, (), []
+
+
+def _counted_bar_deadlock(dev):
+    def k(tc):
+        # Only 4 lanes arrive at a barrier demanding 8: never releases.
+        # (A classic barrier would release once the rest retire — counted
+        # barriers demand absolute arrivals.)
+        if tc.tid < 4:
+            yield from tc.syncthreads(bar_id=1, count=8)
+
+    return k, 1, 32, (), []
+
+
+@pytest.mark.parametrize("build", [_retired_lane_deadlock, _counted_bar_deadlock])
+def test_deadlock_identical(executor, build):
+    """Incomplete groups deadlock identically under both engines."""
+    tf, mf, _ = _launch_expect(executor, build, DeadlockError, None)
+    ti, mi, _ = _launch_expect(executor, build, DeadlockError, False)
+    assert (tf, mf) == (ti, mi)
