@@ -123,6 +123,13 @@ class LaunchPlan:
     #: instrumented engine — the differential suite's reference.  Hooks
     #: always force instrumented regardless of this field.
     fastpath: Optional[bool] = None
+    #: Resolved round-engine name (``"instrumented"``/``"fast"``/``"jit"``;
+    #: None falls back to ``fastpath``).  ``Device.launch`` resolves the
+    #: kwarg/env/hook ladder before building the plan.
+    engine: Optional[str] = None
+    #: Per-launch :class:`repro.jit.stats.JitCounters` when ``engine`` is
+    #: ``"jit"``; also rides ``side_state`` so worker deltas merge back.
+    jit_stats: object = None
 
 
 @dataclass
@@ -185,6 +192,8 @@ class SerialExecutor:
                 schedule_policy=plan.schedule_policy,
                 faults=plan.faults,
                 fastpath=plan.fastpath,
+                engine=plan.engine,
+                jit_stats=plan.jit_stats,
             )
             try:
                 blocks.append(block.run())
@@ -317,6 +326,8 @@ class ParallelExecutor:
                 recorder=rec,
                 faults=plan.faults,
                 fastpath=plan.fastpath,
+                engine=plan.engine,
+                jit_stats=plan.jit_stats,
             )
             record.counters = block.run()
             record.completed = True

@@ -179,6 +179,11 @@ class ResilienceReport:
 
     seed: int
     fork: bool
+    #: The process-wide round-engine preference (``REPRO_ENGINE``) the
+    #: campaign ran under — provenance for the report.  Fault-carrying
+    #: launches always *execute* instrumented (active plans are a hook),
+    #: so a ``jit``/``fast`` preference here documents the downgrade.
+    engine: str = "auto"
     rows: List[Dict] = field(default_factory=list)
 
     @property
@@ -197,6 +202,7 @@ class ResilienceReport:
         return {
             "seed": self.seed,
             "fork": self.fork,
+            "engine": self.engine,
             "ok": self.ok,
             "injected": self.injected,
             "recovered": self.recovered,
@@ -262,11 +268,12 @@ def run_campaign(
     """
     from repro.exec import ParallelExecutor, SerialExecutor, fork_available
     from repro.gpu.device import Device
+    from repro.jit import default_engine
 
     targets = (tuple(TARGETS) if kernels is None
                else tuple(_target_by_name(n) for n in kernels))
     use_fork = fork_available() and workers > 1
-    report = ResilienceReport(seed=seed, fork=use_fork)
+    report = ResilienceReport(seed=seed, fork=use_fork, engine=default_engine())
 
     for target in targets:
         baseline, base_checked = target.run(Device(executor=SerialExecutor()))

@@ -133,11 +133,14 @@ class ThreadBlock:
         recorder=None,
         faults=None,
         fastpath: Optional[bool] = None,
+        engine: Optional[str] = None,
+        jit_stats=None,
     ) -> None:
         if num_threads < 1:
             raise LaunchError("block must have at least one thread")
         self.block_id = block_id
         self.num_threads = num_threads
+        self.num_blocks = num_blocks
         self.params = params
         self.gmem = gmem
         self.shared = SharedMemory(params.shared_mem_per_block)
@@ -178,43 +181,66 @@ class ThreadBlock:
             max(1, params.l1_size_bytes // params.sector_bytes)
         )
         self._round_mem_stall = False
-        # Engine selection: the fast engine carries no hook points, so any
-        # attached tracer/monitor/policy/fault-plan forces the instrumented
-        # engine regardless of the caller's preference.  The exec-layer
-        # write recorder is compatible with the fast engine (see module
-        # docstring); ``fastpath=False`` forces the instrumented engine,
-        # which the differential suite uses as its reference.
+        #: Per-launch JIT telemetry (:class:`repro.jit.stats.JitCounters`),
+        #: shared across the launch's blocks; None outside the jit engine.
+        self.jit_stats = jit_stats
+        # Engine selection.  ``engine`` names a round engine preference
+        # ("auto" | "instrumented" | "fast" | "jit"); the legacy
+        # ``fastpath`` flag maps onto fast/instrumented.  Neither the fast
+        # engine nor the JIT carries hook points, so any attached
+        # tracer/monitor/policy/fault-plan forces the instrumented engine
+        # regardless of the caller's preference; the JIT additionally
+        # requires a read-blind recorder (the read-tracking recorder is a
+        # sanitizer hook), downgrading to the fast engine otherwise —
+        # both downgrades are the ``hook`` rung of the deopt ladder
+        # (docs/PERF.md).  ``fastpath=False`` / ``engine="instrumented"``
+        # force the reference engine, which the differential suite uses.
+        if engine is None:
+            if fastpath is None:
+                engine = "auto"
+            else:
+                engine = "fast" if fastpath else "instrumented"
+        elif engine not in ("auto", "instrumented", "fast", "jit"):
+            raise LaunchError(f"unknown engine {engine!r}")
         eligible = (
             self.tracer is None
             and self.monitor is None
             and self.schedule_policy is None
             and self.faults is None
         )
-        self.fastpath = eligible if fastpath is None else (bool(fastpath) and eligible)
+        if engine == "jit":
+            if not eligible:
+                if jit_stats is not None:
+                    jit_stats.note_deopt("hook")
+                engine = "instrumented"
+            elif recorder is not None and recorder.track_reads:
+                if jit_stats is not None:
+                    jit_stats.note_deopt("hook")
+                engine = "fast"
+        elif engine == "instrumented":
+            pass
+        elif not eligible:  # "auto" / "fast" with hooks attached
+            engine = "instrumented"
+        elif engine == "auto":
+            engine = "fast"
+        self.engine = engine
+        self.fastpath = engine != "instrumented"
         ws = params.warp_size
         self.num_warps = -(-num_threads // ws)
+        # The JIT tier re-instantiates the kernel as one vectorized
+        # generator per warp, so the entry/args pair must outlive
+        # construction (the scalar lane generators below stay untouched
+        # until an engine actually steps them).
+        self._entry = entry
+        self._args = tuple(args)
         self.lanes: List[Lane] = []
         self.ctxs: List[ThreadCtx] = []
-        for tid in range(num_threads):
-            tc = ThreadCtx(
-                tid=tid,
-                warp_size=ws,
-                block_id=block_id,
-                num_blocks=num_blocks,
-                block_dim=num_threads,
-                block=self,
-            )
-            gen = entry(tc, *args)
-            if not hasattr(gen, "send"):
-                raise LaunchError(
-                    "kernel entry must be a generator function "
-                    f"(got {type(gen).__name__} from {entry!r})"
-                )
-            self.ctxs.append(tc)
-            self.lanes.append(Lane(tid, tc.warp_id, tc.lane_id, gen))
-        self._warps: List[List[Lane]] = [
-            self.lanes[w * ws : (w + 1) * ws] for w in range(self.num_warps)
-        ]
+        self._warps: List[List[Lane]] = []
+        if engine != "jit":
+            # The JIT traces a vectorized re-instantiation of the kernel;
+            # scalar lane generators are built lazily, only if the block
+            # actually deoptimizes into an interpreter.
+            self._build_lanes()
         # -- fast-engine state ------------------------------------------
         # Pre-allocated per-warp event buffers, reused — cleared, never
         # reallocated — every round.  (Side effects apply inline while
@@ -267,8 +293,45 @@ class ThreadBlock:
         ]
 
     # ------------------------------------------------------------------
+    def _build_lanes(self) -> None:
+        """Instantiate the scalar lane generators (one per thread)."""
+        ws = self.params.warp_size
+        entry, args = self._entry, self._args
+        for tid in range(self.num_threads):
+            tc = ThreadCtx(
+                tid=tid,
+                warp_size=ws,
+                block_id=self.block_id,
+                num_blocks=self.num_blocks,
+                block_dim=self.num_threads,
+                block=self,
+            )
+            gen = entry(tc, *args)
+            if not hasattr(gen, "send"):
+                raise LaunchError(
+                    "kernel entry must be a generator function "
+                    f"(got {type(gen).__name__} from {entry!r})"
+                )
+            self.ctxs.append(tc)
+            self.lanes.append(Lane(tid, tc.warp_id, tc.lane_id, gen))
+        self._warps[:] = [
+            self.lanes[w * ws : (w + 1) * ws] for w in range(self.num_warps)
+        ]
+
+    # ------------------------------------------------------------------
     def run(self) -> BlockCounters:
         """Execute the block to completion; returns its counters."""
+        if self.engine == "jit":
+            from repro.jit.engine import try_run_jit
+
+            result = try_run_jit(self)
+            if result is not None:
+                return result
+            # Deopt: compilation committed nothing, and the scalar lane
+            # generators — built only now — replay the whole block
+            # bit-identically from round zero.
+            self._build_lanes()
+            return self._run_fast()
         if self.fastpath:
             return self._run_fast()
         return self._run_instrumented()
@@ -474,6 +537,10 @@ class ThreadBlock:
                         else:
                             lane.state = WAIT_WARP
                             lane.wait_key = mask
+                            # Invariant: only shuffle/vote waiters carry a
+                            # posted event; a lane migrating to a barrier
+                            # park must never drag a stale one along.
+                            lane.posted = None
                             grp = ww_waiters.get(mask)
                             if grp is None:
                                 ww_waiters[mask] = [lane]
@@ -496,6 +563,8 @@ class ThreadBlock:
                         else:
                             lane.state = WAIT_BLOCK
                             lane.wait_key = key
+                            # Same invariant as the syncwarp park above.
+                            lane.posted = None
                             grp = block_waiters.get(key)
                             if grp is None:
                                 block_waiters[key] = [lane]
@@ -559,6 +628,10 @@ class ThreadBlock:
                         for l in swg:
                             l.state = WAIT_WARP
                             l.wait_key = swk0
+                            # Barrier waiters never carry a posted event
+                            # (deopt-path hygiene: this lane may have come
+                            # off the inline same-round path mid-round).
+                            l.posted = None
                             grp.append(l)
                         nw += len(swg)
                 if sk0 is not None:
@@ -645,6 +718,8 @@ class ThreadBlock:
                     for l in bbg:
                         l.state = WAIT_BLOCK
                         l.wait_key = bbk
+                        # Barrier waiters never carry a posted event.
+                        l.posted = None
                         grp.append(l)
                     nw += len(bbg)
                 bbk = bbg = None

@@ -63,6 +63,9 @@ def shared_conflict_degree(
     return max(len(words) for words in per_bank.values())
 
 
+_ABSENT = object()
+
+
 class L1SectorCache:
     """Per-block L1 sector cache: LRU over sector ids with a batch API.
 
@@ -95,21 +98,22 @@ class L1SectorCache:
         insertion sequence.
         """
         entries = self._entries
+        pop = entries.pop
         hits = 0
         misses = 0
         for sec in sectors:
-            if sec in entries:
-                hits += 1
-                # LRU touch: move to the back.
-                del entries[sec]
-                entries[sec] = None
-            else:
+            # LRU touch: pop (if present) and re-insert at the back.
+            if pop(sec, _ABSENT) is _ABSENT:
                 misses += 1
-                entries[sec] = None
+            else:
+                hits += 1
+            entries[sec] = None
         over = len(entries) - self.cap
-        if over > 0:
-            for old in list(entries)[:over]:
-                del entries[old]
+        while over > 0:
+            # Pop the least-recently-used entry (the dict's first key)
+            # without materializing the whole key list.
+            del entries[next(iter(entries))]
+            over -= 1
         return hits, misses
 
     def __len__(self) -> int:

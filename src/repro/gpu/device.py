@@ -109,6 +109,7 @@ class Device:
         retries: int = 0,
         backoff: float = 0.05,
         fastpath: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> KernelCounters:
         """Run ``entry(tc, *args)`` over a grid and return kernel counters.
 
@@ -162,12 +163,24 @@ class Device:
           allocations freed, side-state counters rewound — and re-executed
           after capped exponential backoff, up to ``retries`` times.
 
-        ``fastpath`` selects the block round engine (``docs/PERF.md``):
-        None (the default) auto-selects the fast engine whenever the
-        launch is hook-free; ``False`` forces the instrumented reference
-        engine.  Results are bit-identical either way — hooks
-        (``tracer``/``sanitize``/``detect_races``/``schedule_policy``/
-        ``faults``) always force the instrumented engine.
+        ``engine`` selects the block round engine (``docs/PERF.md``):
+        ``"auto"`` picks the fast interpreter whenever the launch is
+        hook-free; ``"instrumented"`` forces the reference engine;
+        ``"fast"`` the fast interpreter; ``"jit"`` trace-compiles stable
+        warps into batched NumPy scripts and deoptimizes to the fast
+        interpreter per block otherwise.  Results are bit-identical
+        across all engines.  Passing ``engine="fast"``/``"jit"``
+        together with a hook (``tracer``/``sanitize``/``detect_races``/
+        ``schedule_policy``/an active fault plan) raises
+        :class:`~repro.errors.LaunchError`, since hooks require the
+        instrumented engine.  When ``engine`` is omitted the legacy
+        ``fastpath`` flag applies (``True`` → ``"fast"``, ``False`` →
+        ``"instrumented"``; incompatible with ``engine=``), then the
+        ``REPRO_ENGINE`` environment variable (which downgrades silently
+        under hooks so whole suites can be swept), then ``"auto"``.
+        JIT launches report the chosen engine and per-launch compile/
+        deopt telemetry in ``kc.extra`` (``engine``,
+        ``jit_warps_compiled``, ``jit_deopt_<reason>``).
         """
         if num_blocks < 1:
             raise LaunchError("grid must have at least one block")
@@ -222,12 +235,63 @@ class Device:
 
             faults_ = default_faults()
 
+        # Round-engine preference: explicit ``engine=`` kwarg, then the
+        # legacy ``fastpath`` flag, then REPRO_ENGINE, then ``auto``.
+        from repro.jit import JitCounters, coerce_engine, default_engine
+
+        if engine is not None and fastpath is not None:
+            raise LaunchError(
+                "pass either engine= or the legacy fastpath= flag, not both"
+            )
+        hook = None
+        if tracer is not None:
+            hook = "tracer"
+        elif config is not None:
+            hook = "sanitizer"
+        elif detect_races:
+            hook = "detect_races"
+        elif schedule_policy is not None:
+            hook = "schedule_policy"
+        elif faults_ is not None:
+            hook = "fault plan"
+        if engine is not None:
+            try:
+                requested = coerce_engine(engine)
+            except ValueError as err:
+                raise LaunchError(str(err)) from None
+            if requested in ("fast", "jit") and hook is not None:
+                raise LaunchError(
+                    f"engine={requested!r} is incompatible with an attached "
+                    f"{hook} hook (hooks need the instrumented engine); "
+                    "drop the hook or use engine='auto'"
+                )
+        elif fastpath is not None:
+            requested = "fast" if fastpath else "instrumented"
+        else:
+            # Environment-sourced preferences downgrade silently so whole
+            # test suites can be swept under e.g. REPRO_ENGINE=jit.
+            try:
+                requested = default_engine()
+            except ValueError as err:
+                raise LaunchError(str(err)) from None
+        if hook is not None:
+            resolved = "instrumented"
+        elif requested == "auto":
+            resolved = "fast"
+        else:
+            resolved = requested
+        jit_stats = JitCounters() if resolved == "jit" else None
+
         user_side = tuple(side_state)
         plan_side = user_side
         if faults_ is not None:
             # Ride the fault counters on the side-state merge so bumps made
             # inside forked workers travel back to the coordinator.
             plan_side = user_side + (faults_.counters,)
+        if jit_stats is not None:
+            # Same trick for JIT telemetry: per-block compile/deopt counts
+            # bumped inside forked workers merge back deterministically.
+            plan_side = plan_side + (jit_stats,)
         plan = LaunchPlan(
             entry=entry,
             args=tuple(args),
@@ -243,6 +307,8 @@ class Device:
             side_state=plan_side,
             faults=faults_,
             fastpath=fastpath,
+            engine=resolved,
+            jit_stats=jit_stats,
         )
 
         max_attempts = int(retries) + 1
@@ -321,6 +387,13 @@ class Device:
                 session.add(outcome.report)
         if outcome.cross_block_conflicts:
             kc.extra["cross_block_conflicts"] = float(outcome.cross_block_conflicts)
+        if jit_stats is not None:
+            # JIT launches only: hook-free launches without an engine
+            # preference carry no extra keys, so their counters stay
+            # bit-identical to every pre-JIT baseline.
+            kc.extra["engine"] = "jit"
+            for key, value in jit_stats.extra_items():
+                kc.extra[key] = value
         if outcome.recovery:
             for key, val in sorted(outcome.recovery.items()):
                 if val:

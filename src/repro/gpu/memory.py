@@ -141,6 +141,82 @@ class Buffer:
         """Byte address of element ``idx`` within this buffer's space."""
         return self.base + int(idx) * self.itemsize
 
+    # -- bulk access (JIT tier / vectorized engines) -----------------------
+    def _check_slice(self, idxs: slice) -> Tuple[int, int]:
+        """Validate a unit-stride ascending slice; returns ``(start, stop)``.
+
+        The faulting index matches what an elementwise ascending walk
+        would hit first, so the raised :class:`MemoryFault` is identical
+        to the scalar engines' per-element ``check_index`` fault.
+        """
+        if idxs.step not in (None, 1):
+            raise ValueError("bulk slices must be unit-stride ascending")
+        start = 0 if idxs.start is None else int(idxs.start)
+        stop = self.size if idxs.stop is None else int(idxs.stop)
+        if stop > start:
+            if start < 0 or start >= self.size:
+                self.check_index(start)
+            if stop > self.size:
+                # Ascending from an in-bounds start, the first bad element
+                # is exactly ``size``.
+                return start, self.size
+        return start, stop
+
+    @staticmethod
+    def _as_index_array(idxs) -> np.ndarray:
+        idx = np.asarray(idxs)
+        if idx.dtype != np.int64:
+            # Same truncation-toward-zero the scalar engines apply via
+            # ``int(idx)``.
+            idx = idx.astype(np.int64)
+        return idx
+
+    def gather(self, idxs) -> np.ndarray:
+        """Bulk read: ``idxs`` is a unit-stride slice or an integer array.
+
+        Returns a fresh array (never a view).  Out-of-bounds access raises
+        the canonical :class:`MemoryFault` for the first bad index in
+        ascending position order — bit-identical to an elementwise
+        ``read`` walk.
+        """
+        if type(idxs) is slice:
+            start, stop = self._check_slice(idxs)
+            out = self.data[start:stop].copy()
+            if stop - start < _slice_len(idxs, self.size):
+                self.check_index(self.size)
+            return out
+        idx = self._as_index_array(idxs)
+        if idx.size:
+            valid = (idx >= 0) & (idx < self.size)
+            if not valid.all():
+                self.check_index(int(idx[int(np.argmin(valid))]))
+        return self.data[idx]
+
+    def scatter(self, idxs, values) -> None:
+        """Bulk write with prefix-commit-then-fault semantics.
+
+        Elements strictly before the first out-of-bounds position commit
+        (in ascending position order, duplicates last-wins), then the
+        canonical :class:`MemoryFault` is raised — matching an
+        elementwise ``write`` walk exactly.
+        """
+        if type(idxs) is slice:
+            start, stop = self._check_slice(idxs)
+            want = _slice_len(idxs, self.size)
+            if stop - start < want:
+                self.data[start:stop] = _value_prefix(values, stop - start)
+                self.check_index(self.size)
+            self.data[start:stop] = values
+            return
+        idx = self._as_index_array(idxs)
+        if idx.size:
+            valid = (idx >= 0) & (idx < self.size)
+            if not valid.all():
+                bad = int(np.argmin(valid))
+                self.data[idx[:bad]] = _value_prefix(values, bad)
+                self.check_index(int(idx[bad]))
+        self.data[idx] = values
+
     @property
     def nbytes(self) -> int:
         return self.size * self.itemsize
@@ -177,6 +253,20 @@ class Buffer:
             f"Buffer({self.name!r}, {self.space}, size={self.size}, "
             f"dtype={self.dtype}, base={self.base:#x}, handle={self.handle})"
         )
+
+
+def _slice_len(idxs: slice, size: int) -> int:
+    """Requested element count of a validated unit-stride slice."""
+    start = 0 if idxs.start is None else int(idxs.start)
+    stop = size if idxs.stop is None else int(idxs.stop)
+    return max(0, stop - start)
+
+
+def _value_prefix(values, n: int):
+    """First ``n`` committed values (scalars broadcast as-is)."""
+    if np.ndim(values) == 0:
+        return values
+    return values[:n]
 
 
 def _align(value: int, align: int) -> int:

@@ -1,0 +1,87 @@
+"""Trace-compiled warp engine: the JIT tier above the round interpreters.
+
+The block scheduler (:mod:`repro.gpu.block`) owns two interpreter
+engines — instrumented and fast — that both pay one Python generator
+step per lane per event.  This package adds a third tier: it re-runs a
+warp's kernel as a *single vectorized generator* over all lanes at once
+(:mod:`repro.jit.vector`), records the resulting event trace into a
+per-warp script (:mod:`repro.jit.compile`), and then consumes the
+script with batched NumPy loads/stores and O(1) per-step accounting
+(:mod:`repro.jit.engine`) — one script step per warp per round instead
+of 32 (or 64) generator steps.
+
+The tier is *sound by construction*: compilation happens before any
+architectural side effect is committed, every stability guard
+(divergence, unsupported events, address dependences, cross-warp
+overlap) aborts compilation while the block's scalar lane generators
+are still untouched at round zero, and a failed compile simply falls
+back to the fast interpreter.  ``docs/PERF.md`` documents the guard
+ladder; ``tests/gpu/test_fastpath_equiv.py`` holds the three-engine
+differential proof obligation.
+
+Engine selection
+================
+
+:func:`default_engine` resolves the process-wide engine preference from
+the ``REPRO_ENGINE`` environment variable (re-read at each call, like
+``repro.exec.default_executor``):
+
+========================  ==================================================
+``REPRO_ENGINE``          Meaning
+========================  ==================================================
+unset / ``auto``          fast interpreter when hook-free (today's default)
+``instrumented``          always the instrumented reference engine
+``fast``                  the fast interpreter (hooks force instrumented)
+``jit``                   trace-compile stable warps; deopt to fast
+========================  ==================================================
+
+``Device.launch(engine=...)`` overrides the environment per launch; the
+legacy ``fastpath=`` flag maps onto ``fast``/``instrumented``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.jit.stats import GLOBAL_STATS, JitCounters, snapshot, reset
+
+#: Environment variable naming the round-engine preference.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Valid engine preference names.
+ENGINES = ("auto", "instrumented", "fast", "jit")
+
+
+def coerce_engine(spec: str) -> str:
+    """Validate an engine preference name; returns the canonical string."""
+    name = str(spec).strip().lower()
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {spec!r}: expected one of {', '.join(ENGINES)}"
+        )
+    return name
+
+
+def default_engine() -> str:
+    """The process-wide engine preference (``REPRO_ENGINE``, else ``auto``).
+
+    Re-reads the environment on every call so tests and harnesses can
+    flip the variable between launches, mirroring
+    :func:`repro.exec.default_executor`.
+    """
+    spec = os.environ.get(ENGINE_ENV, "").strip()
+    if not spec:
+        return "auto"
+    return coerce_engine(spec)
+
+
+__all__ = [
+    "ENGINE_ENV",
+    "ENGINES",
+    "GLOBAL_STATS",
+    "JitCounters",
+    "coerce_engine",
+    "default_engine",
+    "reset",
+    "snapshot",
+]

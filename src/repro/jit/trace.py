@@ -1,0 +1,87 @@
+"""Trace cache: memoized stability verdicts per (kernel, block shape).
+
+What is cached — and, deliberately, what is *not*
+=================================================
+
+A compiled warp script embeds concrete data: gathered load values, the
+store values computed from them, precomputed sector lists.  Those are
+valid only for the exact memory contents at compile time, so **scripts
+are never reused across launches** — every launch re-traces.  What *is*
+stable across launches is the **verdict**: whether this kernel code, at
+this block shape, traces cleanly or deopts (and why).  Negative
+verdicts are the valuable half: a kernel that aborts on, say, an atomic
+will abort the same way every launch, and replaying the recorded reason
+skips the doomed dry-run entirely.
+
+The key is ``(kernel code object, block_id, num_blocks, block_dim,
+warp_size)``.  Keying by *code object* (not function object) means
+repeated launches of a re-created closure hit; including ``block_id``
+keeps per-launch ``kc.extra`` deopt counts executor-independent (a
+serial run and a forked worker see the same per-block verdict
+history for a given launch sequence).
+
+Staleness is sound by construction: a stale *negative* verdict only
+costs speed (the warp falls back to the bit-identical interpreter); a
+positive verdict is re-validated by the fresh trace every launch.  One
+observable wrinkle, documented in docs/PERF.md: if the same code object
+is relaunched with a *different closure* whose deopt reason differs,
+the replayed ``jit_deopt_<reason>`` label reflects the first-seen
+reason.  Directed tests that assert specific reasons use distinct
+kernel definitions for exactly this reason.
+"""
+
+from __future__ import annotations
+
+_CACHE_CAP = 4096
+
+_MISS = object()
+
+
+class TraceCache:
+    """Bounded FIFO map from trace key to stability verdict.
+
+    A verdict is ``None`` (compiled cleanly) or a deopt reason string.
+    """
+
+    __slots__ = ("cap", "_entries")
+
+    def __init__(self, cap: int = _CACHE_CAP) -> None:
+        self.cap = cap
+        self._entries: dict = {}
+
+    def lookup(self, key):
+        """``(verdict, found)`` — ``found`` distinguishes a miss from a
+        cached-compiled verdict."""
+        v = self._entries.get(key, _MISS)
+        if v is _MISS:
+            return None, False
+        return v, True
+
+    def store(self, key, verdict) -> None:
+        entries = self._entries
+        if key not in entries and len(entries) >= self.cap:
+            # FIFO trim: drop the oldest entry (insertion-ordered dict).
+            entries.pop(next(iter(entries)))
+        entries[key] = verdict
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-global cache shared by all devices (forked workers inherit a
+#: copy-on-write snapshot; divergent temperature across processes is why
+#: hit/miss counts live in GLOBAL_STATS, never in ``kc.extra``).
+TRACE_CACHE = TraceCache()
+
+
+def trace_key(entry, block_id: int, num_blocks: int, block_dim: int, warp_size: int):
+    """Cache key for one block's trace; ``None`` if ``entry`` is unkeyable."""
+    code = getattr(entry, "__code__", entry)
+    try:
+        hash(code)
+    except TypeError:
+        return None
+    return (code, block_id, num_blocks, block_dim, warp_size)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RuntimeFault
-from repro.gpu.events import Compute
+from repro.gpu.events import intern_compute
 from repro.runtime.payload import PayloadLayout
 
 #: Issue-op cost of an indirect call (pointer load + setup + branch).
@@ -102,10 +102,10 @@ def invoke_microtask(tc, table: DispatchTable, fn_id: int, *call_args):
     """
     task = table.lookup(fn_id)
     if task.known:
-        yield Compute("alu", cascade_cost_ops(table, fn_id))
+        yield intern_compute("alu", cascade_cost_ops(table, fn_id))
     else:
-        yield Compute("alu", cascade_cost_ops(table, fn_id))
+        yield intern_compute("alu", cascade_cost_ops(table, fn_id))
         for _ in range(INDIRECT_CALL_ROUNDS):
-            yield Compute("branch", 1)
+            yield intern_compute("branch", 1)
     result = yield from task.fn(tc, *call_args)
     return result

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.gpu.events import Compute
+from repro.gpu.events import intern_compute
 from repro.runtime.dispatch import NULL_FN, invoke_microtask
 from repro.runtime.mapping import (
     get_simd_group,
@@ -54,7 +54,7 @@ def simd_loop(tc, rt: TeamRuntime, fn_id: int, trip_count: int, values: Dict):
     while omp_iv < trip_count:
         yield from invoke_microtask(tc, rt.table, fn_id, rt, omp_iv, values)
         omp_iv += cfg.simd_len
-        yield Compute("alu", 1)  # induction increment + bound check
+        yield intern_compute("alu", 1)  # induction increment + bound check
 
 
 def simd_reduce_loop(
@@ -76,11 +76,11 @@ def simd_reduce_loop(
         val = yield from invoke_microtask(tc, rt.table, fn_id, rt, omp_iv, values)
         acc = _combine(op, acc, val)
         omp_iv += cfg.simd_len
-        yield Compute("alu", 1)
+        yield intern_compute("alu", 1)
     delta = cfg.simd_len // 2
     while delta >= 1:
         other = yield from tc.shfl_xor(acc, delta, mask)
-        yield Compute("fma", 1)
+        yield intern_compute("fma", 1)
         acc = _combine(op, acc, other)
         delta //= 2
     return acc
@@ -94,7 +94,7 @@ def _sequential_loop(tc, rt: TeamRuntime, fn_id: int, trip_count: int, values: D
         val = yield from invoke_microtask(tc, rt.table, fn_id, rt, omp_iv, values)
         if reduction:
             acc = _combine(reduction, acc, val)
-        yield Compute("alu", 1)
+        yield intern_compute("alu", 1)
     return acc
 
 

@@ -402,3 +402,49 @@ class TestRetiredLaneState:
         tb.run()
         assert all(l.pending is None for l in tb.lanes)
         assert all(l.posted is None for l in tb.lanes)
+
+    @pytest.mark.parametrize("engine", ["instrumented", "fast", "jit"])
+    def test_posted_cleared_at_barrier_parks(self, engine):
+        """A lane migrating from a shuffle to a barrier park must not drag
+        its posted event along.
+
+        Only shuffle/vote waiters may carry ``lane.posted``; the fast
+        engine's barrier park sites clear it explicitly, otherwise a lane
+        whose shuffle resolved inline mid-round can retire still pinning
+        the stale event (and its payload).  The skewed arrivals below
+        drive lanes through every park site: inline same-round groups,
+        second-key same-round parks, and partial-arrival parks.  Under
+        ``engine="jit"`` the shuffle forces a deopt, so the same property
+        holds on the deopt replay path.
+        """
+        from repro.gpu.thread import DONE
+
+        def k(tc):
+            for _ in range(tc.lane_id % 3):
+                yield from tc.compute("alu")
+            s = yield from tc.shfl_xor(tc.lane_id * 1.0, 1)
+            for _ in range(tc.lane_id % 2):
+                yield from tc.compute("alu")
+            yield from tc.syncthreads()
+            if tc.tid < 16:
+                yield from tc.syncthreads(bar_id=1, count=16)
+            else:
+                yield from tc.compute("fma", 2)
+            yield from tc.syncwarp()
+            assert s is not None
+
+        tb = ThreadBlock(
+            block_id=0,
+            num_threads=64,
+            params=nvidia_a100(),
+            gmem=GlobalMemory(),
+            entry=k,
+            args=(),
+            engine=engine,
+        )
+        tb.run()
+        for lane in tb.lanes:
+            assert lane.state == DONE
+            assert lane.pending is None
+            assert lane.posted is None
+            assert lane.wait_key is None

@@ -1,13 +1,19 @@
-"""Differential suite: fast round engine vs instrumented engine, bit for bit.
+"""Differential suite: the three round engines, bit for bit.
 
-The fast engine (``docs/PERF.md``) is only legal because it is
-*observationally identical* to the instrumented engine: same memory state,
-same :class:`~repro.gpu.counters.KernelCounters`, same errors with the same
-messages.  This suite proves that claim by running the same kernels under
-both engines — randomized programs mixing every event type plus directed
-kernels targeting the fast engine's migration seams (partial same-round
-arrivals, sub-mask groups, counted barriers, faulting accesses) — and
-comparing everything.
+The fast interpreter and the trace-compiling JIT (``docs/PERF.md``) are
+only legal because they are *observationally identical* to the
+instrumented engine: same memory state, same
+:class:`~repro.gpu.counters.KernelCounters`, same errors with the same
+messages.  This suite proves that claim by running the same kernels
+under every engine — randomized programs mixing every event type plus
+directed kernels targeting each engine's seams (partial same-round
+arrivals, sub-mask groups, counted barriers, faulting accesses, and
+every JIT deoptimization reason) — and comparing everything.
+
+JIT launches additionally report ``engine``/``jit_*`` telemetry keys in
+``kc.extra``; :func:`_strip_jit_extras` removes exactly those before the
+``identical()`` oracle runs, so the comparison still covers every
+architectural counter.
 
 Runs under every executor in the CI matrix via the ``executor`` fixture,
 so the parallel block-sharding engine's worker processes (which inherit
@@ -21,9 +27,19 @@ import random
 import numpy as np
 import pytest
 
-from repro.errors import DeadlockError, MemoryFault
+from repro.errors import DeadlockError, LaunchError, MemoryFault
 from repro.gpu.costmodel import amd_mi100, nvidia_a100
 from repro.gpu.device import Device
+
+ENGINES = ["fast", "jit"]  # each diffed against the instrumented baseline
+
+
+def _strip_jit_extras(kc):
+    """Drop the JIT telemetry keys (and only those) from ``kc.extra``."""
+    kc.extra.pop("engine", None)
+    for key in [k for k in kc.extra if k.startswith("jit_")]:
+        del kc.extra[key]
+    return kc
 
 
 # ---------------------------------------------------------------------------
@@ -244,6 +260,22 @@ def _op_shared_tile(rng):
     return op
 
 
+def _op_coalesced_stream(rng):
+    """A straight-line vectorizable stretch — the shape the JIT compiles.
+    Mixed into the soup it exercises the boundary where a trace stays
+    stable for a while before another op forces a deopt."""
+    scale = rng.choice([0.5, 2.0, 4.0])
+
+    def op(tc, b, total):
+        v = yield from tc.load(b["x"], tc.global_tid)
+        yield from tc.compute("fma", 2)
+        base = tc.block_id * 2 * tc.block_dim
+        yield from tc.store(b["w"], base + tc.tid, v * scale + total)
+        return total + 0.25
+
+    return op
+
+
 _OP_MAKERS = [
     _op_compute,
     _op_divergent_compute,
@@ -261,10 +293,11 @@ _OP_MAKERS = [
     _op_counted_bar,
     _op_skewed_collective,
     _op_shared_tile,
+    _op_coalesced_stream,
 ]
 
 
-def _run_random_kernel(seed, executor, params, fastpath, blocks=2, threads=64):
+def _run_random_kernel(seed, executor, params, engine, blocks=2, threads=64):
     """Build the seed's program on a fresh device and run it under one engine."""
     rng = random.Random(seed)
     prog = [rng.choice(_OP_MAKERS)(rng) for _ in range(rng.randint(10, 18))]
@@ -292,41 +325,264 @@ def _run_random_kernel(seed, executor, params, fastpath, blocks=2, threads=64):
         size = 2 * tc.block_dim
         yield from tc.store(w, tc.block_id * size + tc.tid, total)
 
-    kc = dev.launch(k, blocks, threads, args=(x, w, acc), fastpath=fastpath)
+    kc = dev.launch(k, blocks, threads, args=(x, w, acc), engine=engine)
     return kc, x.to_numpy(), w.to_numpy(), acc.data.copy()
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("seed", range(10))
-def test_random_kernels_bit_identical(executor, seed):
+def test_random_kernels_bit_identical(executor, seed, engine):
     """Random event soup: memory, counters, and atomics match bit-for-bit."""
-    kf, xf, wf, af = _run_random_kernel(seed, executor, nvidia_a100(), None)
-    ki, xi, wi, ai = _run_random_kernel(seed, executor, nvidia_a100(), False)
-    assert kf.identical(ki), f"seed {seed}: counters diverged"
-    assert np.array_equal(xf, xi)
-    assert np.array_equal(wf, wi)
-    assert np.array_equal(af, ai)
+    ke, xe, we, ae = _run_random_kernel(seed, executor, nvidia_a100(), engine)
+    ki, xi, wi, ai = _run_random_kernel(seed, executor, nvidia_a100(), "instrumented")
+    assert _strip_jit_extras(ke).identical(ki), f"seed {seed}: counters diverged"
+    assert np.array_equal(xe, xi)
+    assert np.array_equal(we, wi)
+    assert np.array_equal(ae, ai)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("seed", range(10, 15))
-def test_random_kernels_bit_identical_amd(executor, seed):
+def test_random_kernels_bit_identical_amd(executor, seed, engine):
     """Same differential property on 64-wide wavefronts."""
-    kf, xf, wf, af = _run_random_kernel(seed, executor, amd_mi100(), None)
-    ki, xi, wi, ai = _run_random_kernel(seed, executor, amd_mi100(), False)
-    assert kf.identical(ki), f"seed {seed}: counters diverged"
-    assert np.array_equal(wf, wi)
-    assert np.array_equal(af, ai)
+    ke, xe, we, ae = _run_random_kernel(seed, executor, amd_mi100(), engine)
+    ki, xi, wi, ai = _run_random_kernel(seed, executor, amd_mi100(), "instrumented")
+    assert _strip_jit_extras(ke).identical(ki), f"seed {seed}: counters diverged"
+    assert np.array_equal(we, wi)
+    assert np.array_equal(ae, ai)
+
+
+# ---------------------------------------------------------------------------
+# Directed JIT compilation and deoptimization coverage
+
+
+def _run_streaming(executor, engine, threads=64):
+    dev = Device(nvidia_a100(), executor=executor)
+    n = 4 * threads
+    x = dev.from_array("x", np.arange(n, dtype=np.float32))
+    y = dev.alloc("y", n, np.float32)
+
+    def k(tc, x, y, n):
+        i = tc.global_tid
+        stride = tc.num_blocks * tc.block_dim
+        while i < n:
+            v = yield from tc.load(x, i)
+            yield from tc.compute("fma", 1)
+            yield from tc.store(y, i, v * 2.0 + 1.0)
+            i += stride
+
+    kc = dev.launch(k, 2, threads, args=(x, y, n), engine=engine)
+    return kc, y.to_numpy()
+
+
+def test_jit_compiles_streaming_kernel(executor):
+    """A convergent grid-stride stream compiles: every warp goes scripted,
+    the launch reports it, and the results stay bit-identical."""
+    kj, yj = _run_streaming(executor, "jit")
+    ki, yi = _run_streaming(executor, "instrumented")
+    assert kj.extra["engine"] == "jit"
+    assert kj.extra["jit_warps_compiled"] == 4.0  # 2 blocks x 2 warps
+    assert np.array_equal(yj, yi)
+    assert _strip_jit_extras(kj).identical(ki)
+
+
+def test_non_jit_launch_has_no_jit_extras(executor):
+    """Counters from instrumented/fast launches carry no engine telemetry —
+    they stay bit-identical to pre-JIT baselines."""
+    for engine in ("instrumented", "fast"):
+        kc, _ = _run_streaming(executor, engine)
+        assert "engine" not in kc.extra
+        assert not any(key.startswith("jit_") for key in kc.extra)
+
+
+# Each deopt reason gets its own kernel *function* below: the trace-verdict
+# cache keys on the entry's code object, so sharing one closure across
+# reasons would replay the first-seen verdict instead of exercising each
+# guard.
+
+
+def _deopt_divergence(dev):
+    x = dev.from_array("x", np.arange(128, dtype=np.float64))
+    w = dev.alloc("w", 128, np.float64)
+
+    def k(tc, x, w):
+        if tc.lane_id % 2 == 0:  # data-dependent branch: non-uniform
+            yield from tc.compute("alu")
+        else:
+            yield from tc.compute("fma")
+        v = yield from tc.load(x, tc.global_tid)
+        yield from tc.store(w, tc.global_tid, v + 1.0)
+
+    return k, (x, w), [w]
+
+
+def _deopt_event(dev):
+    x = dev.from_array("x", np.arange(128, dtype=np.float64))
+    w = dev.alloc("w", 128, np.float64)
+    acc = dev.alloc("acc", 4, np.int64)
+
+    def k(tc, x, w, acc):
+        old = yield from tc.atomic_add(acc, 0, 1)  # unsupported event kind
+        yield from tc.store(w, tc.global_tid, float(old % 7))
+
+    return k, (x, w, acc), [w, acc]
+
+
+def _deopt_alloc(dev):
+    w = dev.alloc("w", 128, np.float64)
+
+    def k(tc, w):
+        tmp = tc.alloca("tmp", 2, np.float64)  # dynamic allocation
+        yield from tc.store(tmp, 0, tc.tid * 1.0)
+        v = yield from tc.load(tmp, 0)
+        yield from tc.store(w, tc.global_tid, v * 2.0)
+
+    return k, (w,), [w]
+
+
+def _deopt_dependence(dev):
+    w = dev.alloc("w", 128, np.float64)
+
+    def k(tc, w):
+        yield from tc.store(w, tc.global_tid, 2.0)
+        v = yield from tc.load(w, tc.global_tid)  # reads own earlier store
+        yield from tc.store(w, tc.global_tid + 64, v + 1.0)
+
+    return k, (w,), [w]
+
+
+def _deopt_isolation(dev):
+    x = dev.from_array("x", np.arange(128, dtype=np.float64))
+
+    def k(tc, x):
+        # Warp 0 reads the cells warp 1 stores (all loads land a round
+        # before any store, so the interpreters see pre-launch values —
+        # but the dry-run cannot prove that and must refuse).
+        v = yield from tc.load(x, (tc.global_tid + tc.warp_size) % 128)
+        yield from tc.store(x, tc.global_tid, v + 1.0)
+
+    return k, (x,), [x]
+
+
+_DEOPT_CASES = {
+    "divergence": _deopt_divergence,
+    "event": _deopt_event,
+    "alloc": _deopt_alloc,
+    "dependence": _deopt_dependence,
+    "isolation": _deopt_isolation,
+}
+
+
+@pytest.mark.parametrize("reason", sorted(_DEOPT_CASES))
+def test_jit_deopt_bit_identical(executor, reason):
+    """Each guard fires, is reported, and the fallback stays bit-identical."""
+    build = _DEOPT_CASES[reason]
+
+    def run(engine):
+        dev = Device(nvidia_a100(), executor=executor)
+        k, args, bufs = build(dev)
+        kc = dev.launch(k, 1, 64, args=args, engine=engine)
+        return kc, [b.to_numpy().copy() for b in bufs]
+
+    kj, mj = run("jit")
+    ki, mi = run("instrumented")
+    assert kj.extra["engine"] == "jit"
+    assert kj.extra.get(f"jit_deopt_{reason}", 0) >= 1, (
+        f"expected a {reason} deopt, extras: {kj.extra}"
+    )
+    assert kj.extra.get("jit_warps_compiled", 0) == 0
+    for a, b in zip(mj, mi):
+        assert np.array_equal(a, b)
+    assert _strip_jit_extras(kj).identical(ki)
+
+
+# ---------------------------------------------------------------------------
+# Engine selection and validation
+
+
+def test_engine_rejects_unknown_name(executor):
+    dev = Device(nvidia_a100(), executor=executor)
+
+    def k(tc):
+        yield from tc.compute("alu")
+
+    with pytest.raises(LaunchError, match="engine"):
+        dev.launch(k, 1, 32, engine="turbo")
+
+
+def test_engine_and_fastpath_are_exclusive(executor):
+    dev = Device(nvidia_a100(), executor=executor)
+
+    def k(tc):
+        yield from tc.compute("alu")
+
+    with pytest.raises(LaunchError, match="fastpath"):
+        dev.launch(k, 1, 32, engine="fast", fastpath=True)
+
+
+def test_explicit_jit_with_hook_is_an_error(executor):
+    dev = Device(nvidia_a100(), executor=executor)
+
+    def k(tc):
+        yield from tc.compute("alu")
+
+    with pytest.raises(LaunchError, match="incompatible"):
+        dev.launch(k, 1, 32, detect_races=True, engine="jit")
+
+
+def test_env_engine_downgrades_silently_under_hook(executor, monkeypatch):
+    """A REPRO_ENGINE=jit sweep must not break hook-carrying launches: the
+    preference downgrades to instrumented and reports no jit telemetry."""
+    monkeypatch.setenv("REPRO_ENGINE", "jit")
+    dev = Device(nvidia_a100(), executor=executor)
+    w = dev.alloc("w", 32, np.float64)
+
+    def k(tc, w):
+        yield from tc.store(w, tc.tid, 1.0)
+
+    kc = dev.launch(k, 1, 32, args=(w,), detect_races=True)
+    assert "engine" not in kc.extra
+    assert not any(key.startswith("jit_") for key in kc.extra)
+    assert np.all(w.to_numpy() == 1.0)
+
+
+def test_legacy_fastpath_flag_still_selects_engines(executor):
+    """fastpath=True/False maps onto the fast/instrumented engines."""
+    kt, yt = _run_streaming_legacy(executor, True)
+    kf, yf = _run_streaming_legacy(executor, False)
+    assert np.array_equal(yt, yf)
+    assert kt.identical(kf)
+    assert "engine" not in kt.extra and "engine" not in kf.extra
+
+
+def _run_streaming_legacy(executor, fastpath):
+    dev = Device(nvidia_a100(), executor=executor)
+    n = 128
+    x = dev.from_array("x", np.arange(n, dtype=np.float32))
+    y = dev.alloc("y", n, np.float32)
+
+    def k(tc, x, y, n):
+        i = tc.global_tid
+        stride = tc.num_blocks * tc.block_dim
+        while i < n:
+            v = yield from tc.load(x, i)
+            yield from tc.store(y, i, v * 3.0)
+            i += stride
+
+    kc = dev.launch(k, 2, 64, args=(x, y, n), fastpath=fastpath)
+    return kc, y.to_numpy()
 
 
 # ---------------------------------------------------------------------------
 # Directed error-behaviour equivalence
 
 
-def _launch_expect(executor, build, exc, fastpath):
+def _launch_expect(executor, build, exc, engine):
     """Run ``build``'s kernel expecting ``exc``; return (type, message, mem)."""
     dev = Device(nvidia_a100(), executor=executor)
     k, blocks, threads, args, bufs = build(dev)
     with pytest.raises(exc) as ei:
-        dev.launch(k, blocks, threads, args=args, fastpath=fastpath)
+        dev.launch(k, blocks, threads, args=args, engine=engine)
     return type(ei.value), str(ei.value), [b.to_numpy().copy() for b in bufs]
 
 
@@ -360,18 +616,35 @@ def _oob_vec_load(dev):
     x = dev.from_array("x", np.zeros(8))
 
     def k(tc, x):
+        # Convergent: under the JIT this faults *inside* the compiled
+        # script (an 'F' step), not via deopt.
         yield from tc.load_vec(x, [tc.tid % 8, 8 + tc.tid])
 
     return k, 1, 32, (x,), [x]
 
 
-@pytest.mark.parametrize("build", [_oob_load, _oob_store, _oob_vec_load])
-def test_memory_fault_identical(executor, build):
+def _oob_jit_store(dev):
+    x = dev.from_array("x", np.arange(48, dtype=np.float64))
+
+    def k(tc, x):
+        # Convergent second store walks off the end: the JIT must commit
+        # the exact lane-major prefix before raising.
+        yield from tc.store(x, tc.tid, -1.0)
+        yield from tc.store(x, tc.tid + 32, -2.0)
+
+    return k, 1, 32, (x,), [x]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "build", [_oob_load, _oob_store, _oob_vec_load, _oob_jit_store]
+)
+def test_memory_fault_identical(executor, build, engine):
     """Faults carry the same type/message and leave identical memory."""
-    tf, mf, bf = _launch_expect(executor, build, MemoryFault, None)
-    ti, mi, bi = _launch_expect(executor, build, MemoryFault, False)
-    assert (tf, mf) == (ti, mi)
-    for a, b in zip(bf, bi):
+    te, me, be = _launch_expect(executor, build, MemoryFault, engine)
+    ti, mi, bi = _launch_expect(executor, build, MemoryFault, "instrumented")
+    assert (te, me) == (ti, mi)
+    for a, b in zip(be, bi):
         assert np.array_equal(a, b)
 
 
@@ -396,9 +669,10 @@ def _counted_bar_deadlock(dev):
     return k, 1, 32, (), []
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("build", [_retired_lane_deadlock, _counted_bar_deadlock])
-def test_deadlock_identical(executor, build):
-    """Incomplete groups deadlock identically under both engines."""
-    tf, mf, _ = _launch_expect(executor, build, DeadlockError, None)
-    ti, mi, _ = _launch_expect(executor, build, DeadlockError, False)
-    assert (tf, mf) == (ti, mi)
+def test_deadlock_identical(executor, build, engine):
+    """Incomplete groups deadlock identically under every engine."""
+    te, me, _ = _launch_expect(executor, build, DeadlockError, engine)
+    ti, mi, _ = _launch_expect(executor, build, DeadlockError, "instrumented")
+    assert (te, me) == (ti, mi)
