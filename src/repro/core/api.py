@@ -290,6 +290,7 @@ def launch(
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.05,
+    stream=None,
 ) -> LaunchResult:
     """Launch a compiled kernel (or compile a tree on the fly) on ``device``.
 
@@ -318,6 +319,14 @@ def launch(
     to :meth:`~repro.gpu.device.Device.launch` — fault-injection plan,
     wall-clock watchdog, and launch-level retry-with-rollback (see
     ``docs/RESILIENCE.md``).
+
+    ``stream`` (a :class:`repro.serve.Stream`) makes the call
+    asynchronous: the launch is queued behind the stream's earlier
+    launches and a :class:`repro.serve.LaunchHandle` is returned
+    immediately — ``handle.result()`` yields the
+    :class:`LaunchResult` (or re-raises the launch's error).  Launches
+    on independent streams proceed concurrently, serialized only at
+    the device (see ``docs/SERVE.md``).
     """
     args = dict(args or {})
     if isinstance(kernel, Target):
@@ -349,23 +358,31 @@ def launch(
         sharing_bytes=sharing_bytes,
         params=device.params,
     )
-    rc = RuntimeCounters()
-    entry = kernel.make_entry(cfg, device.gmem, rc, args)
-    kc = device.launch(
-        entry,
-        num_blocks=cfg.num_teams,
-        threads_per_block=cfg.block_dim,
-        regs_per_thread=regs_per_thread,
-        detect_races=detect_races,
-        sanitize=check,
-        schedule_policy=schedule_policy,
-        executor=executor,
-        side_state=(rc,),
-        faults=faults,
-        timeout=timeout,
-        retries=retries,
-        backoff=backoff,
-    )
-    kc.extra.update(rc.as_dict())
-    kc.extra["simd_len"] = float(cfg.simd_len)
-    return LaunchResult(kernel=kernel, cfg=cfg, counters=kc, runtime=rc)
+    def _run() -> LaunchResult:
+        # Entry binding happens inside the stream's turn so a queued
+        # launch observes buffer contents as of its ordered position,
+        # not submission time.
+        rc = RuntimeCounters()
+        entry = kernel.make_entry(cfg, device.gmem, rc, args)
+        kc = device.launch(
+            entry,
+            num_blocks=cfg.num_teams,
+            threads_per_block=cfg.block_dim,
+            regs_per_thread=regs_per_thread,
+            detect_races=detect_races,
+            sanitize=check,
+            schedule_policy=schedule_policy,
+            executor=executor,
+            side_state=(rc,),
+            faults=faults,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+        )
+        kc.extra.update(rc.as_dict())
+        kc.extra["simd_len"] = float(cfg.simd_len)
+        return LaunchResult(kernel=kernel, cfg=cfg, counters=kc, runtime=rc)
+
+    if stream is not None:
+        return stream.submit(_run)
+    return _run()

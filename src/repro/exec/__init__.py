@@ -34,15 +34,25 @@ Selection, most specific wins:
 from __future__ import annotations
 
 import os
+import threading
 from typing import Optional
 
 from repro.exec.engine import (
     ExecOutcome,
+    GridSegment,
     LaunchPlan,
     ParallelExecutor,
+    SegmentOutcome,
     SerialExecutor,
+    merge_records,
 )
-from repro.exec.pool import RetryPolicy, WorkerError, fork_available, fork_map
+from repro.exec.pool import (
+    RetryPolicy,
+    WorkerError,
+    WorkerPool,
+    fork_available,
+    fork_map,
+)
 from repro.exec.record import BlockRecord, ErrorCapsule, GlobalWriteRecorder
 
 __all__ = [
@@ -50,15 +60,19 @@ __all__ = [
     "ErrorCapsule",
     "ExecOutcome",
     "GlobalWriteRecorder",
+    "GridSegment",
     "LaunchPlan",
     "ParallelExecutor",
     "RetryPolicy",
+    "SegmentOutcome",
     "SerialExecutor",
     "WorkerError",
+    "WorkerPool",
     "coerce_executor",
     "default_executor",
     "fork_available",
     "fork_map",
+    "merge_records",
     "set_default_executor",
 ]
 
@@ -66,6 +80,10 @@ __all__ = [
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 
 _override = None
+#: The serve tier launches from multiple threads; the process-wide
+#: default must be read/written under a lock rather than relying on the
+#: GIL's per-op atomicity (a documented guarantee, not an accidental one).
+_override_lock = threading.Lock()
 
 
 def set_default_executor(executor) -> None:
@@ -73,9 +91,12 @@ def set_default_executor(executor) -> None:
 
     Takes precedence over :data:`EXECUTOR_ENV`; used by CLI entry points
     to honour a ``--workers`` flag for every launch a script performs.
+    Thread-safe: concurrent launches resolving the default and callers
+    flipping it serialize on an internal lock.
     """
     global _override
-    _override = executor
+    with _override_lock:
+        _override = executor
 
 
 def coerce_executor(spec: str):

@@ -55,7 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError, LaunchTimeout
+from repro.errors import DeadlockError, LaunchError, LaunchTimeout
 from repro.gpu.atomics import apply_atomic
 from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
 from repro.gpu.counters import BlockCounters
@@ -76,6 +76,41 @@ from repro.exec.state import (
 
 #: Default cap on auto-detected worker count.
 MAX_AUTO_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class GridSegment:
+    """One sub-launch of a segmented (batched) grid.
+
+    The serve tier's batcher coalesces compatible small launches into a
+    single grid by concatenating their block ranges: segment *i*
+    occupies global block ids ``[offset_i, offset_i + num_blocks)`` but
+    its blocks execute with **local** coordinates — ``block_id`` in
+    ``[0, num_blocks)`` and ``num_blocks`` equal to the segment's own
+    grid — so every lane observes exactly what a solo launch of that
+    request would have shown it.  That, plus the ascending-block-id
+    merge, is what makes batched results bit-identical to unbatched
+    runs (segments must touch disjoint buffers; the batcher enforces
+    that before merging requests).
+    """
+
+    entry: object
+    num_blocks: int
+    label: Optional[str] = None
+
+
+@dataclass
+class SegmentOutcome:
+    """Per-segment slice of a segmented launch's outcome.
+
+    ``error`` carries the :class:`~repro.exec.record.ErrorCapsule` a
+    solo launch of this segment would have *raised*; other segments are
+    unaffected (each segment has its own serial-cutoff semantics).
+    """
+
+    blocks: List[BlockCounters] = field(default_factory=list)
+    shared_used: int = 0
+    error: Optional[ErrorCapsule] = None
 
 
 @dataclass
@@ -130,6 +165,54 @@ class LaunchPlan:
     #: Per-launch :class:`repro.jit.stats.JitCounters` when ``engine`` is
     #: ``"jit"``; also rides ``side_state`` so worker deltas merge back.
     jit_stats: object = None
+    #: Segmented (batched) grid: one :class:`GridSegment` per coalesced
+    #: sub-launch, concatenated in ascending global block id.  When set,
+    #: ``entry`` is unused, ``num_blocks`` must equal the segment total,
+    #: and hooks (tracer/sanitizer/detect_races/schedule_policy) are
+    #: rejected — batched launches are hook-free by construction.
+    segments: Optional[Tuple[GridSegment, ...]] = None
+
+    # -- segmented-grid geometry ------------------------------------------
+    def segment_spans(self) -> List[Tuple[int, int]]:
+        """``(start, end)`` global block-id span per segment."""
+        spans = []
+        start = 0
+        for seg in self.segments or ():
+            spans.append((start, start + seg.num_blocks))
+            start += seg.num_blocks
+        return spans
+
+    def block_binding(self, block_id: int) -> Tuple[int, object, int, int]:
+        """``(segment_index, entry, local_block_id, local_num_blocks)``
+        for one global block id (identity for unsegmented plans)."""
+        if self.segments is None:
+            return 0, self.entry, block_id, self.num_blocks
+        offset = 0
+        for si, seg in enumerate(self.segments):
+            if block_id < offset + seg.num_blocks:
+                return si, seg.entry, block_id - offset, seg.num_blocks
+            offset += seg.num_blocks
+        raise LaunchError(
+            f"block id {block_id} outside segmented grid of {offset} blocks"
+        )
+
+    def validate_segments(self) -> None:
+        """Reject plan shapes the segmented executors do not support."""
+        if self.segments is None:
+            return
+        total = sum(s.num_blocks for s in self.segments)
+        if total != self.num_blocks:
+            raise LaunchError(
+                f"segmented plan covers {total} blocks but num_blocks is "
+                f"{self.num_blocks}"
+            )
+        if (self.tracer is not None or self.config is not None
+                or self.detect_races or self.schedule_policy is not None):
+            raise LaunchError(
+                "segmented (batched) launches are hook-free: tracer, "
+                "sanitizer, detect_races, and schedule_policy require solo "
+                "launches"
+            )
 
 
 @dataclass
@@ -143,6 +226,8 @@ class ExecOutcome:
     #: Worker-pool recovery stats (:data:`repro.exec.pool.STAT_KEYS`);
     #: None when execution never touched the pool.
     recovery: Optional[dict] = None
+    #: Per-segment outcomes for segmented (batched) plans; None otherwise.
+    segments: Optional[List[SegmentOutcome]] = None
 
 
 def _make_monitor(plan: LaunchPlan):
@@ -163,6 +248,8 @@ class SerialExecutor:
     """
 
     def execute(self, device, plan: LaunchPlan) -> ExecOutcome:
+        if plan.segments is not None:
+            return self._execute_segments(device, plan)
         monitor = _make_monitor(plan)
         blocks: List[BlockCounters] = []
         shared_used = 0
@@ -208,6 +295,63 @@ class SerialExecutor:
             shared_used = max(shared_used, block.shared.used)
         report = monitor.finalize() if monitor is not None else None
         return ExecOutcome(blocks=blocks, shared_used=shared_used, report=report)
+
+    def _execute_segments(self, device, plan: LaunchPlan) -> ExecOutcome:
+        """Sequential reference loop for a segmented (batched) grid.
+
+        Each segment runs its blocks in ascending *local* id against
+        live global memory — byte-for-byte what a solo launch of that
+        segment would do, because segments touch disjoint buffers.  An
+        error inside a segment is captured into its
+        :class:`SegmentOutcome` (the solo launch would have raised it
+        after committing the partial state, which is exactly the state
+        this loop leaves behind) and execution continues with the next
+        segment.
+        """
+        plan.validate_segments()
+        seg_outs = [SegmentOutcome() for _ in plan.segments]
+        done = 0
+        for out, seg in zip(seg_outs, plan.segments):
+            for local_id in range(seg.num_blocks):
+                if plan.deadline is not None and time.monotonic() >= plan.deadline:
+                    if plan.faults is not None:
+                        plan.faults.counters.timeouts += 1
+                    raise LaunchTimeout(
+                        f"launch watchdog expired after {done}/"
+                        f"{plan.num_blocks} blocks",
+                        blocks_done=done,
+                        num_blocks=plan.num_blocks,
+                    )
+                block = ThreadBlock(
+                    block_id=local_id,
+                    num_threads=plan.threads_per_block,
+                    params=device.params,
+                    gmem=device.gmem,
+                    entry=seg.entry,
+                    args=plan.args,
+                    num_blocks=seg.num_blocks,
+                    max_rounds=plan.max_rounds,
+                    faults=plan.faults,
+                    fastpath=plan.fastpath,
+                    engine=plan.engine,
+                    jit_stats=plan.jit_stats,
+                )
+                try:
+                    out.blocks.append(block.run())
+                except Exception as err:
+                    # The solo launch raises here; the batch demuxes the
+                    # error to its request and runs the other segments.
+                    out.blocks.append(block.counters)
+                    out.error = ErrorCapsule(err)
+                    done += seg.num_blocks - local_id
+                    break
+                out.shared_used = max(out.shared_used, block.shared.used)
+                done += 1
+        return ExecOutcome(
+            blocks=[b for o in seg_outs for b in o.blocks],
+            shared_used=max((o.shared_used for o in seg_outs), default=0),
+            segments=seg_outs,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -259,6 +403,7 @@ class ParallelExecutor:
             # Closure observation needs the kernel in-process and in the
             # serial interleaving.
             return SerialExecutor().execute(device, plan)
+        plan.validate_segments()
         n = plan.num_blocks
         workers = self.workers
         if workers is None:
@@ -302,22 +447,28 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------
     def _run_block(self, device, plan: LaunchPlan, watermark: int, block_id: int) -> BlockRecord:
-        """Run one block in isolation against the pre-launch snapshot."""
+        """Run one block in isolation against the pre-launch snapshot.
+
+        ``block_id`` is the *global* grid id (the merge key); for
+        segmented plans the block executes with its segment's local
+        coordinates so lanes observe exactly the solo-launch geometry.
+        """
         gmem = device.gmem
         rec = GlobalWriteRecorder(watermark, track_reads=plan.config is not None)
         monitor = _make_monitor(plan)
         side_base = snapshot_numeric(plan.side_state)
         record = BlockRecord(block_id)
         block = None
+        _, entry, local_id, local_blocks = plan.block_binding(block_id)
         try:
             block = ThreadBlock(
-                block_id=block_id,
+                block_id=local_id,
                 num_threads=plan.threads_per_block,
                 params=device.params,
                 gmem=gmem,
-                entry=plan.entry,
+                entry=entry,
                 args=plan.args,
-                num_blocks=plan.num_blocks,
+                num_blocks=local_blocks,
                 max_rounds=plan.max_rounds,
                 tracer=None,
                 detect_races=plan.detect_races and monitor is None,
@@ -349,64 +500,120 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------
     def _merge(self, device, plan: LaunchPlan, records: List[BlockRecord]) -> ExecOutcome:
-        """Fold per-block records into the serial outcome, ascending id."""
-        records.sort(key=lambda r: r.block_id)
-
-        # Deterministic cutoff: the lowest-id error is the one the serial
-        # loop would have hit; nothing past it ever ran serially.
-        error_rec: Optional[BlockRecord] = None
-        applied = records
-        for i, r in enumerate(records):
-            if r.error is not None:
-                error_rec = r
-                applied = records[: i + 1]
-                break
-
-        gmem = device.gmem
-        if plan.config is not None and _sanitized_cross_block_sharing(applied):
-            # The serial launch runs ONE monitor across all blocks, so its
-            # happens-before analysis flags cross-block races; per-block
-            # monitors cannot see them.  Whenever blocks share a tracked
-            # cell in a potentially racing way, re-run serially so the
-            # finding set matches ground truth exactly.  (No state was
-            # applied yet — the snapshot is intact.)
-            return SerialExecutor().execute(device, plan)
-        if _apply_records(gmem, applied):
-            # Read validation failed: some block observed an atomic old
-            # value that cross-block interleaving changes, so its whole
-            # execution is suspect.  The rollback restored the pre-launch
-            # snapshot; re-execute the ground truth.
-            return SerialExecutor().execute(device, plan)
-        apply_deltas(plan.side_state, [r.side_deltas for r in applied])
-
-        # An error that serial execution would have raised re-raises here,
-        # after the partial state landed — mirroring the serial loop, where
-        # every write before the raise is already committed.  A deadlock
-        # under a report-mode sanitizer instead truncates the launch.
-        if error_rec is not None and not (error_rec.deadlock and plan.report_mode):
-            error_rec.error.reraise()
-
-        blocks = [r.counters for r in applied]
-        shared_used = max((r.shared_used for r in applied), default=0)
-        conflicts = _find_cross_block_conflicts(gmem, applied)
-
-        report = None
-        if plan.config is not None:
-            report = _merge_reports(plan, applied)
-            for finding in conflicts:
-                report.add(finding)
-        return ExecOutcome(
-            blocks=blocks,
-            shared_used=shared_used,
-            report=report,
-            cross_block_conflicts=len(conflicts),
-        )
+        return merge_records(device, plan, records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ParallelExecutor(workers={self.workers}, "
             f"processes={self.processes}, shard_size={self.shard_size})"
         )
+
+
+def merge_records(device, plan: LaunchPlan, records: List[BlockRecord]) -> ExecOutcome:
+    """Fold per-block records into the serial outcome, ascending id.
+
+    Module-level (rather than a :class:`ParallelExecutor` method) so the
+    serve tier's warm-pool lease can feed records produced by persistent
+    remote workers through the *identical* merge the in-process engine
+    uses — one deterministic-merge implementation for every transport.
+    """
+    records.sort(key=lambda r: r.block_id)
+
+    if plan.segments is not None:
+        return _merge_segments(device, plan, records)
+
+    # Deterministic cutoff: the lowest-id error is the one the serial
+    # loop would have hit; nothing past it ever ran serially.
+    error_rec: Optional[BlockRecord] = None
+    applied = records
+    for i, r in enumerate(records):
+        if r.error is not None:
+            error_rec = r
+            applied = records[: i + 1]
+            break
+
+    gmem = device.gmem
+    if plan.config is not None and _sanitized_cross_block_sharing(applied):
+        # The serial launch runs ONE monitor across all blocks, so its
+        # happens-before analysis flags cross-block races; per-block
+        # monitors cannot see them.  Whenever blocks share a tracked
+        # cell in a potentially racing way, re-run serially so the
+        # finding set matches ground truth exactly.  (No state was
+        # applied yet — the snapshot is intact.)
+        return SerialExecutor().execute(device, plan)
+    if _apply_records(gmem, applied):
+        # Read validation failed: some block observed an atomic old
+        # value that cross-block interleaving changes, so its whole
+        # execution is suspect.  The rollback restored the pre-launch
+        # snapshot; re-execute the ground truth.
+        return SerialExecutor().execute(device, plan)
+    apply_deltas(plan.side_state, [r.side_deltas for r in applied])
+
+    # An error that serial execution would have raised re-raises here,
+    # after the partial state landed — mirroring the serial loop, where
+    # every write before the raise is already committed.  A deadlock
+    # under a report-mode sanitizer instead truncates the launch.
+    if error_rec is not None and not (error_rec.deadlock and plan.report_mode):
+        error_rec.error.reraise()
+
+    blocks = [r.counters for r in applied]
+    shared_used = max((r.shared_used for r in applied), default=0)
+    conflicts = _find_cross_block_conflicts(gmem, applied)
+
+    report = None
+    if plan.config is not None:
+        report = _merge_reports(plan, applied)
+        for finding in conflicts:
+            report.add(finding)
+    return ExecOutcome(
+        blocks=blocks,
+        shared_used=shared_used,
+        report=report,
+        cross_block_conflicts=len(conflicts),
+    )
+
+
+def _merge_segments(device, plan: LaunchPlan, records: List[BlockRecord]) -> ExecOutcome:
+    """Segmented merge: per-segment serial cutoff, one global apply pass.
+
+    Records arrive sorted by global block id.  Within each segment the
+    serial-cutoff rule applies independently — blocks past the segment's
+    lowest-id error never ran in the solo launch, so their records are
+    dropped — while *other* segments are untouched (solo launches of
+    unrelated requests cannot observe each other's failures).  The
+    surviving records then apply in one ascending-global-id pass, which
+    equals running the solo launches back-to-back because segments touch
+    disjoint buffers.
+    """
+    spans = plan.segment_spans()
+    seg_outs = [SegmentOutcome() for _ in spans]
+    applied: List[BlockRecord] = []
+    si = 0
+    cut = False
+    for r in records:
+        while r.block_id >= spans[si][1]:
+            si += 1
+            cut = False
+        if cut:
+            continue
+        out = seg_outs[si]
+        applied.append(r)
+        out.blocks.append(r.counters)
+        out.shared_used = max(out.shared_used, r.shared_used)
+        if r.error is not None:
+            out.error = r.error
+            cut = True
+
+    if _apply_records(device.gmem, applied):
+        return SerialExecutor().execute(device, plan)
+    apply_deltas(plan.side_state, [r.side_deltas for r in applied])
+    conflicts = _find_cross_block_conflicts(device.gmem, applied)
+    return ExecOutcome(
+        blocks=[r.counters for r in applied],
+        shared_used=max((o.shared_used for o in seg_outs), default=0),
+        cross_block_conflicts=len(conflicts),
+        segments=seg_outs,
+    )
 
 
 class _StaleAtomicRead(Exception):

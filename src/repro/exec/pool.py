@@ -38,6 +38,16 @@ On platforms without ``fork`` (or when ``workers <= 1``) the map runs
 in-process with identical semantics, so results never depend on the
 transport.
 
+:func:`fork_map` is the *per-launch* pool: children fork, run, and die
+with each call.  :class:`WorkerPool` is the *persistent warm* pool the
+serve tier (:mod:`repro.serve`) schedules onto: workers fork once,
+stay resident across launches, are health-checked and respawned on
+loss, and run picklable payloads through a runner fixed at spawn time.
+It reuses the same retry/redistribute/degrade ladder and the same
+``worker.crash``/``worker.hang`` fault sites.  Warm pools must be
+closed (``close()``, a ``with`` block, or the module's atexit sweep)
+so forked children never outlive the interpreter.
+
 Block shards inherit the scheduler's engine selection unchanged: a
 hook-free launch runs each shard on the fast round engine even inside a
 worker, because the exec-layer write recorder is fast-path-compatible
@@ -48,11 +58,14 @@ the instrumented engine in the worker exactly as it would serially.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import signal as _signal
 import sys
+import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -339,9 +352,24 @@ def fork_map(
                                   detail=describe_exit(proc.exitcode))
         return failed
 
+    def guarded_collect(children, attempt: int):
+        """Collect, reaping every child if the drain itself blows up.
+
+        The normal paths join each child as it is processed (and the
+        watchdog path reaps the tail), but an unexpected exception —
+        KeyboardInterrupt mid-``recv``, an unpicklable surprise — used
+        to leak live forked children.  ``reap`` is idempotent, so the
+        double-reap on the LaunchTimeout path is harmless.
+        """
+        try:
+            return collect(children, attempt)
+        except BaseException:
+            reap(children)
+            raise
+
     chunks: List[Sequence[int]] = list(_chunk(len(tasks), workers))
     attempt = 0
-    failed = collect(spawn(chunks, attempt), attempt)
+    failed = guarded_collect(spawn(chunks, attempt), attempt)
 
     while failed and attempt < policy.max_retries:
         delay = min(policy.backoff_cap, policy.backoff * (2 ** attempt))
@@ -358,7 +386,7 @@ def fork_map(
                 stats["redistributions"] += 1
         if faults is not None:
             faults.counters.chunk_retries += len(failed)
-        failed = collect(spawn(chunks, attempt), attempt)
+        failed = guarded_collect(spawn(chunks, attempt), attempt)
 
     if failed:
         if not recover:
@@ -384,3 +412,420 @@ def fork_map(
         for i, status, payload in _run_chunk(fn, tasks, remaining):
             outcomes[i] = (status, payload)
     return outcomes  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Persistent warm worker pool
+# ---------------------------------------------------------------------------
+
+#: Stats keys :meth:`WorkerPool.map` maintains in a caller-supplied dict
+#: (a superset of :data:`STAT_KEYS`).
+POOL_STAT_KEYS = STAT_KEYS + ("worker_respawns", "warm_dispatches")
+
+#: Live pools swept at interpreter exit so warm workers never outlive
+#: the parent (the per-launch ``fork_map`` children are daemons joined
+#: in-band; persistent pools need the explicit sweep).
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+_SWEEP_REGISTERED = False
+_SWEEP_LOCK = threading.Lock()
+
+
+def _sweep_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+def _register_sweep() -> None:
+    global _SWEEP_REGISTERED
+    with _SWEEP_LOCK:
+        if not _SWEEP_REGISTERED:
+            atexit.register(_sweep_pools)
+            _SWEEP_REGISTERED = True
+
+
+def _pool_worker_main(conn, runner: Callable, faults) -> None:
+    """Forked warm-worker entry: serve commands until told to stop.
+
+    Commands over the duplex pipe:
+
+    * ``("ping", nonce)`` — health check, answered ``("pong", nonce)``;
+    * ``("run", attempt, [(i, payload), ...])`` — run the chunk through
+      ``runner`` and answer ``("done", [(i, status, result), ...])``;
+    * ``("stop",)`` — exit cleanly.
+
+    Fault injection mirrors the per-launch pool: the ``worker.hang`` /
+    ``worker.crash`` sites are consulted per task with
+    ``{"chunk": task_index, "attempt": attempt}`` coordinates, so the
+    same seeded plans (and the parent's provenance re-evaluation) work
+    unchanged on the warm path.  Exits via ``os._exit`` for the same
+    reason :func:`_child_main` does: the child inherited the parent's
+    interpreter state and must not run its atexit/pytest machinery.
+    """
+    code = 0
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                conn.send(("pong", msg[1]))
+                continue
+            _, attempt, items = msg
+            out = []
+            for i, payload in items:
+                if faults is not None:
+                    coords = {"chunk": int(i), "attempt": int(attempt)}
+                    if faults.fires("worker.hang", **coords) is not None:
+                        time.sleep(_HANG_SLEEP)
+                    if faults.fires("worker.crash", **coords) is not None:
+                        os._exit(INJECTED_CRASH_EXIT)
+                try:
+                    out.append((i, "ok", runner(payload)))
+                except BaseException as exc:
+                    out.append((i, "err", ErrorCapsule(exc)))
+            try:
+                conn.send(("done", out))
+            except Exception as exc:  # an unpicklable result slipped through
+                conn.send(("done", [(i, "err", ErrorCapsule(exc))
+                                    for i, _ in items]))
+    except BaseException:
+        code = 1
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        os._exit(code)
+
+
+class _PoolWorker:
+    """Parent-side handle on one warm worker process."""
+
+    __slots__ = ("proc", "conn", "slot", "busy_since")
+
+    def __init__(self, proc, conn, slot: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.slot = slot
+        self.busy_since: Optional[float] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join()
+
+
+class WorkerPool:
+    """A persistent, health-checked pool of warm forked workers.
+
+    Unlike :func:`fork_map` — which forks a fresh set of children for
+    every call — a :class:`WorkerPool` forks its workers **once** and
+    reuses them across an arbitrary number of :meth:`map` calls: the
+    serve tier's "workers stay warm across launches" requirement.  The
+    trade-off is explicit: warm workers inherit the parent's state *at
+    spawn time*, so the ``runner`` callable (fixed at construction,
+    inherited by fork) must derive everything request-specific from the
+    **picklable payload** it receives — it cannot see parent state
+    created after the fork.
+
+    The PR 3 recovery ladder carries over intact:
+
+    1. a worker that dies or hangs mid-chunk is killed, its tasks are
+       retried with capped exponential backoff and **redistributed**
+       across the surviving (and freshly **respawned**) workers;
+    2. after ``retry.max_retries`` rounds the still-missing tasks
+       **degrade to in-process** execution of ``runner`` — the map
+       always completes;
+    3. the ``worker.crash``/``worker.hang`` fault sites fire exactly as
+       on the per-launch pool (coordinates ``chunk``/``attempt``), with
+       the plan captured at construction so forked children and parent
+       agree on the schedule.
+
+    Health-checked reuse: :meth:`ensure` (called before every dispatch)
+    respawns any worker whose process has died since the last call, so
+    a pool survives sporadic worker loss under sustained load without
+    ever being rebuilt wholesale.  Pools must be closed — ``close()``,
+    a ``with`` block, or the module's atexit sweep — so warm children
+    never outlive the interpreter.
+    """
+
+    def __init__(
+        self,
+        runner: Callable,
+        workers: Optional[int] = None,
+        *,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
+        processes: Optional[bool] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.runner = runner
+        self.workers = workers or min(os.cpu_count() or 1, 8)
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        if processes is None:
+            processes = fork_available()
+        self.processes = bool(processes) and fork_available()
+        self._ctx = multiprocessing.get_context("fork") if self.processes else None
+        self._slots: List[Optional[_PoolWorker]] = [None] * self.workers
+        self._spawned_once = [False] * self.workers
+        self._closed = False
+        self._lock = threading.Lock()
+        self.stats = {key: 0 for key in POOL_STAT_KEYS}
+        _register_sweep()
+        _LIVE_POOLS.add(self)
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop and reap every worker; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = [w for w in self._slots if w is not None]
+            self._slots = [None] * self.workers
+        for w in workers:
+            try:
+                w.conn.send(("stop",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 1.0
+        for w in workers:
+            w.proc.join(max(0.0, deadline - time.monotonic()))
+            w.kill()
+        _LIVE_POOLS.discard(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pids(self) -> List[Optional[int]]:
+        """PIDs of the live workers (test/observability surface)."""
+        return [w.pid for w in self._slots if w is not None and w.alive()]
+
+    # -- spawning ----------------------------------------------------------
+    def _spawn(self, slot: int) -> _PoolWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self.runner, self.faults),
+        )
+        proc.daemon = True
+        proc.start()
+        child_conn.close()
+        return _PoolWorker(proc, parent_conn, slot)
+
+    def ensure(self) -> List[_PoolWorker]:
+        """Spawn missing/dead workers; return the live roster."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if not self.processes:
+            return []
+        live = []
+        with self._lock:
+            for slot in range(self.workers):
+                w = self._slots[slot]
+                if w is not None and not w.alive():
+                    w.kill()
+                    w = None
+                    self._slots[slot] = None
+                if w is None:
+                    w = self._spawn(slot)
+                    self._slots[slot] = w
+                    if self._spawned_once[slot]:
+                        self.stats["worker_respawns"] += 1
+                    self._spawned_once[slot] = True
+                live.append(w)
+        return live
+
+    # -- dispatch ----------------------------------------------------------
+    def map(
+        self,
+        payloads: Sequence,
+        *,
+        deadline: Optional[float] = None,
+        stats: Optional[dict] = None,
+    ) -> List[Tuple[str, object]]:
+        """Run ``runner`` over ``payloads`` on the warm workers.
+
+        Returns ordered ``("ok", result)`` / ``("err", ErrorCapsule)``
+        pairs exactly like :func:`fork_map`.  ``stats`` (optional dict)
+        receives :data:`POOL_STAT_KEYS` increments; the pool's own
+        cumulative :attr:`stats` is always maintained.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        payloads = list(payloads)
+        sinks = [self.stats] + ([stats] if stats is not None else [])
+        if stats is not None:
+            for key in POOL_STAT_KEYS:
+                stats.setdefault(key, 0)
+        if not payloads:
+            return []
+
+        n = len(payloads)
+        outcomes: List[Optional[Tuple[str, object]]] = [None] * n
+        hang = self.retry.hang_timeout
+        if hang is None and self.faults is not None:
+            hang = DEFAULT_FAULT_HANG_TIMEOUT
+
+        def bump(key: str, inc: int = 1) -> None:
+            for sink in sinks:
+                sink[key] += inc
+
+        def run_local(indices: Sequence[int]) -> None:
+            for i in indices:
+                if deadline is not None and time.monotonic() >= deadline:
+                    if self.faults is not None:
+                        self.faults.counters.timeouts += 1
+                    done = sum(1 for o in outcomes if o is not None)
+                    raise _deadline_timeout(done, n)
+                try:
+                    outcomes[i] = ("ok", self.runner(payloads[i]))
+                except BaseException as exc:
+                    outcomes[i] = ("err", ErrorCapsule(exc))
+
+        pending = list(range(n))
+        attempt = 0
+        while pending and self.processes and not self._closed:
+            workers = self.ensure()
+            if not workers:
+                break
+            bump("warm_dispatches")
+            chunks = _chunk(len(pending), len(workers))
+            assignments = []  # (worker, [task indices])
+            for w, r in zip(workers, chunks):
+                if not len(r):
+                    continue
+                indices = [pending[p] for p in r]
+                try:
+                    w.conn.send(
+                        ("run", attempt, [(i, payloads[i]) for i in indices])
+                    )
+                    w.busy_since = time.monotonic()
+                    assignments.append((w, indices))
+                except Exception:
+                    # Died between health check and dispatch: retry round.
+                    w.kill()
+                    with self._lock:
+                        if self._slots[w.slot] is w:
+                            self._slots[w.slot] = None
+                    assignments.append((w, indices))
+                    w.busy_since = None
+
+            failed: List[List[int]] = []
+            for pos, (w, indices) in enumerate(assignments):
+                if w.busy_since is None:  # dispatch itself failed
+                    failed.append(indices)
+                    bump("worker_deaths")
+                    continue
+                why = None
+                rows = None
+                while rows is None and why is None:
+                    budgets = []
+                    if hang is not None:
+                        budgets.append(hang - (time.monotonic() - w.busy_since))
+                    if deadline is not None:
+                        budgets.append(deadline - time.monotonic())
+                    try:
+                        if not budgets:
+                            rows = w.conn.recv()
+                        elif w.conn.poll(max(0.0, min(budgets))):
+                            rows = w.conn.recv()
+                    except EOFError:
+                        why = "died"
+                        break
+                    if rows is not None or why is not None:
+                        break
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        for ww, _ in assignments[pos:]:
+                            ww.kill()
+                            with self._lock:
+                                if self._slots[ww.slot] is ww:
+                                    self._slots[ww.slot] = None
+                        if self.faults is not None:
+                            self.faults.counters.timeouts += 1
+                        done = sum(1 for o in outcomes if o is not None)
+                        raise _deadline_timeout(done, n)
+                    if hang is not None and now - w.busy_since >= hang:
+                        why = "hung"
+                if rows is not None:
+                    w.busy_since = None
+                    for i, status, payload in rows[1]:
+                        outcomes[i] = (status, payload)
+                    continue
+                # Worker died or hung mid-chunk: reap it, queue a retry.
+                exitcode = w.proc.exitcode
+                w.kill()
+                with self._lock:
+                    if self._slots[w.slot] is w:
+                        self._slots[w.slot] = None
+                failed.append(indices)
+                bump("worker_deaths" if why == "died" else "worker_hangs")
+                if self.faults is not None:
+                    site = "worker.crash" if why == "died" else "worker.hang"
+                    coords = {"chunk": int(indices[0]), "attempt": attempt}
+                    if self.faults.fires(site, **coords) is not None:
+                        self.faults.record(
+                            site, coords, recovered=True,
+                            detail=describe_exit(exitcode),
+                        )
+
+            pending = sorted(i for indices in failed for i in indices)
+            if not pending:
+                return outcomes  # type: ignore[return-value]
+            if attempt >= self.retry.max_retries:
+                break
+            bump("chunk_retries", len(failed))
+            bump("retry_rounds")
+            bump("redistributions")
+            if self.faults is not None:
+                self.faults.counters.chunk_retries += len(failed)
+            delay = min(self.retry.backoff_cap,
+                        self.retry.backoff * (2 ** attempt))
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+
+        if pending:
+            # Degradation floor: in-process execution cannot suffer worker
+            # faults, so the map always completes.
+            if self.processes and not self._closed:
+                bump("degraded_chunks")
+                bump("degraded_tasks", len(pending))
+                if self.faults is not None:
+                    self.faults.counters.degradations += 1
+            run_local(pending)
+        return outcomes  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerPool(workers={self.workers}, processes={self.processes}, "
+            f"live={len(self.pids())}, closed={self._closed})"
+        )

@@ -38,6 +38,7 @@ Selection, most specific wins (mirroring the executor knob):
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.errors import FaultInjectionError
 from repro.faults.plan import (
@@ -67,16 +68,20 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 _override = None
 _OFF = object()  # sentinel: override explicitly set to "no faults"
+#: Serve-tier launches resolve the default from multiple threads; guard
+#: the override like the executor default (see ``repro.exec``).
+_override_lock = threading.Lock()
 
 
 def set_default_faults(plan) -> None:
     """Install (or clear, with None) a process-wide default fault plan.
 
     Takes precedence over :data:`FAULTS_ENV`; pass ``False`` to force
-    faults *off* even when the environment variable is set.
+    faults *off* even when the environment variable is set.  Thread-safe.
     """
     global _override
-    _override = _OFF if plan is False else plan
+    with _override_lock:
+        _override = _OFF if plan is False else plan
 
 
 def coerce_faults(spec: str):

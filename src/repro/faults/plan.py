@@ -24,6 +24,10 @@ Hook sites (coordinates each site supplies):
                        :meth:`FaultPlan.rng`)
 ``sharing.overflow``   ``block``, ``group``, ``kind`` (currently "simd")
 ``atomic.transient``   ``block``, ``round``, ``lane``, ``attempt``
+``serve.reject``       ``tenant``, ``seq`` (admission control in
+                       :mod:`repro.serve.scheduler` — forces a typed
+                       backpressure reject so clients' retry paths get
+                       exercised deterministically)
 =====================  =====================================================
 
 Every spec carries an ``attempts`` bound: it only fires while the
@@ -50,6 +54,7 @@ SITES = (
     "memory.bitflip",
     "sharing.overflow",
     "atomic.transient",
+    "serve.reject",
 )
 
 #: Cap on retained provenance entries (counters keep exact totals).
@@ -114,6 +119,7 @@ class FaultCounters:
     bitflips: int = 0
     forced_overflows: int = 0
     atomic_transients: int = 0
+    forced_rejects: int = 0
     #: Detection/recovery outcomes.
     detected: int = 0
     recovered: int = 0
@@ -129,7 +135,8 @@ class FaultCounters:
     @property
     def injected(self) -> int:
         return (self.worker_crashes + self.worker_hangs + self.bitflips
-                + self.forced_overflows + self.atomic_transients)
+                + self.forced_overflows + self.atomic_transients
+                + self.forced_rejects)
 
     def as_dict(self) -> Dict[str, int]:
         out = dict(vars(self))
@@ -143,6 +150,7 @@ _SITE_COUNTER = {
     "memory.bitflip": "bitflips",
     "sharing.overflow": "forced_overflows",
     "atomic.transient": "atomic_transients",
+    "serve.reject": "forced_rejects",
 }
 
 

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional, Sequence
 
@@ -69,22 +70,34 @@ class Device:
         #: Updated only after a launch fully completes and merges — a
         #: failed launch leaves it untouched.
         self.last_launch: Optional[KernelCounters] = None
+        #: Serializes launches: one simulated GPU runs one grid at a time,
+        #: so concurrent callers (the serve tier's streams) queue here
+        #: instead of interleaving global-memory mutations.  Reentrant so
+        #: serve-side helpers holding it may call :meth:`launch`.
+        self.lock = threading.RLock()
 
     # -- memory facade -------------------------------------------------
+    # Allocation takes the device lock: handle assignment is a compound
+    # read-modify-write on the allocator, and serve-tier threads
+    # allocate concurrently with launches in flight.
     def alloc(self, name: str, size: int, dtype) -> Buffer:
         """Allocate ``size`` elements of ``dtype`` in global memory."""
-        return self.gmem.alloc(name, size, dtype)
+        with self.lock:
+            return self.gmem.alloc(name, size, dtype)
 
     def from_array(self, name: str, array) -> Buffer:
         """Allocate and initialise a global buffer from host data."""
-        return self.gmem.from_array(name, array)
+        with self.lock:
+            return self.gmem.from_array(name, array)
 
     def scalar(self, name: str, value, dtype=None) -> Buffer:
         """Allocate a 1-element global buffer (a boxed scalar)."""
-        return self.gmem.scalar(name, value, dtype)
+        with self.lock:
+            return self.gmem.scalar(name, value, dtype)
 
     def free(self, buf: Buffer) -> None:
-        self.gmem.free(buf)
+        with self.lock:
+            self.gmem.free(buf)
 
     def to_numpy(self, buf: Buffer) -> np.ndarray:
         return buf.to_numpy()
@@ -182,245 +195,246 @@ class Device:
         deopt telemetry in ``kc.extra`` (``engine``,
         ``jit_warps_compiled``, ``jit_deopt_<reason>``).
         """
-        if num_blocks < 1:
-            raise LaunchError("grid must have at least one block")
-        if not 1 <= threads_per_block <= MAX_THREADS_PER_BLOCK:
-            raise LaunchError(
-                f"threads_per_block must be in [1, {MAX_THREADS_PER_BLOCK}], "
-                f"got {threads_per_block}"
-            )
-        config = None
-        label = None
-        session = None
-        report_mode = False
-        if sanitize in (None, False, "off"):
-            if sanitize is None and _GLOBAL_SANITIZER is not None and not detect_races:
-                session = _GLOBAL_SANITIZER
-                config = session.config
-                label = getattr(entry, "__qualname__", None) or repr(entry)
-                report_mode = True
-        else:
-            from repro.sanitizer.monitor import SanitizerConfig
-
-            config = SanitizerConfig.coerce(sanitize)
-            label = getattr(entry, "__qualname__", None) or repr(entry)
-            report_mode = config.mode == "report"
-
-        # Imported lazily: repro.exec pulls in the sanitizer package, which
-        # imports this module.
-        from repro.exec import default_executor
-        from repro.exec.engine import LaunchPlan, SerialExecutor
-        from repro.exec.state import (
-            delta_numeric,
-            restore_numeric,
-            snapshot_numeric,
-        )
-
-        exec_ = executor if executor is not None else self.executor
-        if exec_ is None:
-            exec_ = default_executor()
-        if tracer is not None and not isinstance(exec_, SerialExecutor):
-            # Tracing observes live generators through a host closure,
-            # which only the in-process serial interleaving supports.
-            exec_ = SerialExecutor()
-
-        if faults is False:
-            faults_ = None
-        elif faults is not None:
-            faults_ = faults
-        elif self.faults is not None:
-            faults_ = self.faults
-        else:
-            from repro.faults import default_faults
-
-            faults_ = default_faults()
-
-        # Round-engine preference: explicit ``engine=`` kwarg, then the
-        # legacy ``fastpath`` flag, then REPRO_ENGINE, then ``auto``.
-        from repro.jit import JitCounters, coerce_engine, default_engine
-
-        if engine is not None and fastpath is not None:
-            raise LaunchError(
-                "pass either engine= or the legacy fastpath= flag, not both"
-            )
-        hook = None
-        if tracer is not None:
-            hook = "tracer"
-        elif config is not None:
-            hook = "sanitizer"
-        elif detect_races:
-            hook = "detect_races"
-        elif schedule_policy is not None:
-            hook = "schedule_policy"
-        elif faults_ is not None:
-            hook = "fault plan"
-        if engine is not None:
-            try:
-                requested = coerce_engine(engine)
-            except ValueError as err:
-                raise LaunchError(str(err)) from None
-            if requested in ("fast", "jit") and hook is not None:
+        with self.lock:
+            if num_blocks < 1:
+                raise LaunchError("grid must have at least one block")
+            if not 1 <= threads_per_block <= MAX_THREADS_PER_BLOCK:
                 raise LaunchError(
-                    f"engine={requested!r} is incompatible with an attached "
-                    f"{hook} hook (hooks need the instrumented engine); "
-                    "drop the hook or use engine='auto'"
+                    f"threads_per_block must be in [1, {MAX_THREADS_PER_BLOCK}], "
+                    f"got {threads_per_block}"
                 )
-        elif fastpath is not None:
-            requested = "fast" if fastpath else "instrumented"
-        else:
-            # Environment-sourced preferences downgrade silently so whole
-            # test suites can be swept under e.g. REPRO_ENGINE=jit.
-            try:
-                requested = default_engine()
-            except ValueError as err:
-                raise LaunchError(str(err)) from None
-        if hook is not None:
-            resolved = "instrumented"
-        elif requested == "auto":
-            resolved = "fast"
-        else:
-            resolved = requested
-        jit_stats = JitCounters() if resolved == "jit" else None
+            config = None
+            label = None
+            session = None
+            report_mode = False
+            if sanitize in (None, False, "off"):
+                if sanitize is None and _GLOBAL_SANITIZER is not None and not detect_races:
+                    session = _GLOBAL_SANITIZER
+                    config = session.config
+                    label = getattr(entry, "__qualname__", None) or repr(entry)
+                    report_mode = True
+            else:
+                from repro.sanitizer.monitor import SanitizerConfig
 
-        user_side = tuple(side_state)
-        plan_side = user_side
-        if faults_ is not None:
-            # Ride the fault counters on the side-state merge so bumps made
-            # inside forked workers travel back to the coordinator.
-            plan_side = user_side + (faults_.counters,)
-        if jit_stats is not None:
-            # Same trick for JIT telemetry: per-block compile/deopt counts
-            # bumped inside forked workers merge back deterministically.
-            plan_side = plan_side + (jit_stats,)
-        plan = LaunchPlan(
-            entry=entry,
-            args=tuple(args),
-            num_blocks=num_blocks,
-            threads_per_block=threads_per_block,
-            max_rounds=max_rounds,
-            detect_races=detect_races,
-            config=config,
-            label=label,
-            report_mode=report_mode,
-            schedule_policy=schedule_policy,
-            tracer=tracer,
-            side_state=plan_side,
-            faults=faults_,
-            fastpath=fastpath,
-            engine=resolved,
-            jit_stats=jit_stats,
-        )
+                config = SanitizerConfig.coerce(sanitize)
+                label = getattr(entry, "__qualname__", None) or repr(entry)
+                report_mode = config.mode == "report"
 
-        max_attempts = int(retries) + 1
-        need_snapshot = max_attempts > 1 or (
-            faults_ is not None
-            and any(s.site == "memory.bitflip" for s in faults_.specs)
-        )
-        fc_base = None
-        if faults_ is not None:
-            faults_.launch_index += 1
-            fc_base = snapshot_numeric((faults_.counters,))
-        side_base = snapshot_numeric(user_side) if max_attempts > 1 else None
+            # Imported lazily: repro.exec pulls in the sanitizer package, which
+            # imports this module.
+            from repro.exec import default_executor
+            from repro.exec.engine import LaunchPlan, SerialExecutor
+            from repro.exec.state import (
+                delta_numeric,
+                restore_numeric,
+                snapshot_numeric,
+            )
 
-        # Executors raise before any coordinator-side bookkeeping happens,
-        # so a failed launch leaves last_launch and the sanitizer session
-        # exactly as they were.  With retries armed, a SimulationError
-        # (timeout, unrepaired memory fault, worker failure, injected
-        # breakage) rolls global memory and side state back to the
-        # pre-launch snapshot and re-executes after capped backoff.
-        attempt = 0
-        leak_mark = self.gmem.mark()
-        while True:
-            snapshot = None
-            if need_snapshot:
-                from repro.faults.scrub import MemorySnapshot
+            exec_ = executor if executor is not None else self.executor
+            if exec_ is None:
+                exec_ = default_executor()
+            if tracer is not None and not isinstance(exec_, SerialExecutor):
+                # Tracing observes live generators through a host closure,
+                # which only the in-process serial interleaving supports.
+                exec_ = SerialExecutor()
 
-                snapshot = MemorySnapshot(self.gmem)
+            if faults is False:
+                faults_ = None
+            elif faults is not None:
+                faults_ = faults
+            elif self.faults is not None:
+                faults_ = self.faults
+            else:
+                from repro.faults import default_faults
+
+                faults_ = default_faults()
+
+            # Round-engine preference: explicit ``engine=`` kwarg, then the
+            # legacy ``fastpath`` flag, then REPRO_ENGINE, then ``auto``.
+            from repro.jit import JitCounters, coerce_engine, default_engine
+
+            if engine is not None and fastpath is not None:
+                raise LaunchError(
+                    "pass either engine= or the legacy fastpath= flag, not both"
+                )
+            hook = None
+            if tracer is not None:
+                hook = "tracer"
+            elif config is not None:
+                hook = "sanitizer"
+            elif detect_races:
+                hook = "detect_races"
+            elif schedule_policy is not None:
+                hook = "schedule_policy"
+            elif faults_ is not None:
+                hook = "fault plan"
+            if engine is not None:
+                try:
+                    requested = coerce_engine(engine)
+                except ValueError as err:
+                    raise LaunchError(str(err)) from None
+                if requested in ("fast", "jit") and hook is not None:
+                    raise LaunchError(
+                        f"engine={requested!r} is incompatible with an attached "
+                        f"{hook} hook (hooks need the instrumented engine); "
+                        "drop the hook or use engine='auto'"
+                    )
+            elif fastpath is not None:
+                requested = "fast" if fastpath else "instrumented"
+            else:
+                # Environment-sourced preferences downgrade silently so whole
+                # test suites can be swept under e.g. REPRO_ENGINE=jit.
+                try:
+                    requested = default_engine()
+                except ValueError as err:
+                    raise LaunchError(str(err)) from None
+            if hook is not None:
+                resolved = "instrumented"
+            elif requested == "auto":
+                resolved = "fast"
+            else:
+                resolved = requested
+            jit_stats = JitCounters() if resolved == "jit" else None
+
+            user_side = tuple(side_state)
+            plan_side = user_side
             if faults_ is not None:
-                faults_.launch_attempt = attempt
-            plan.deadline = (
-                time.monotonic() + timeout if timeout is not None else None
+                # Ride the fault counters on the side-state merge so bumps made
+                # inside forked workers travel back to the coordinator.
+                plan_side = user_side + (faults_.counters,)
+            if jit_stats is not None:
+                # Same trick for JIT telemetry: per-block compile/deopt counts
+                # bumped inside forked workers merge back deterministically.
+                plan_side = plan_side + (jit_stats,)
+            plan = LaunchPlan(
+                entry=entry,
+                args=tuple(args),
+                num_blocks=num_blocks,
+                threads_per_block=threads_per_block,
+                max_rounds=max_rounds,
+                detect_races=detect_races,
+                config=config,
+                label=label,
+                report_mode=report_mode,
+                schedule_policy=schedule_policy,
+                tracer=tracer,
+                side_state=plan_side,
+                faults=faults_,
+                fastpath=fastpath,
+                engine=resolved,
+                jit_stats=jit_stats,
             )
-            try:
-                if faults_ is not None:
-                    self._inject_memory_faults(faults_, snapshot, attempt)
-                outcome = exec_.execute(self, plan)
-                break
-            except SimulationError as err:
-                if isinstance(err, LaunchTimeout) and err.timeout is None:
-                    err.timeout = timeout
-                if attempt + 1 >= max_attempts:
-                    # Terminal failure: reclaim sharing-space overflow
-                    # allocations the dying kernel could not release
-                    # in-band (the lockstep loop stopped resuming lanes).
-                    from repro.runtime.sharing import release_leaked_overflow
 
-                    release_leaked_overflow(self.gmem, leak_mark)
-                    raise
-                if snapshot is not None:
-                    snapshot.restore()
-                if side_base is not None:
-                    restore_numeric(user_side, side_base)
-                if faults_ is not None:
-                    faults_.counters.launch_retries += 1
-                    faults_.counters.rollbacks += 1
-                time.sleep(min(1.0, backoff * (2 ** attempt)))
-                attempt += 1
-
-        kc = KernelCounters(
-            num_blocks=num_blocks, threads_per_block=threads_per_block
-        )
-        kc.blocks = outcome.blocks
-        cycles, resident, waves = compose_kernel_cycles(
-            self.params, kc.blocks, threads_per_block,
-            outcome.shared_used, regs_per_thread,
-        )
-        kc.cycles = cycles
-        kc.blocks_per_sm = resident
-        kc.waves = waves
-        kc.extra["shared_bytes_per_block"] = float(outcome.shared_used)
-        kc.extra["regs_per_thread"] = float(regs_per_thread)
-        if outcome.report is not None:
-            kc.sanitizer = outcome.report
-            kc.extra["sanitizer_findings"] = float(len(outcome.report.findings))
-            if session is not None:
-                session.add(outcome.report)
-        if outcome.cross_block_conflicts:
-            kc.extra["cross_block_conflicts"] = float(outcome.cross_block_conflicts)
-        if jit_stats is not None:
-            # JIT launches only: hook-free launches without an engine
-            # preference carry no extra keys, so their counters stay
-            # bit-identical to every pre-JIT baseline.
-            kc.extra["engine"] = "jit"
-            for key, value in jit_stats.extra_items():
-                kc.extra[key] = value
-        if outcome.recovery:
-            for key, val in sorted(outcome.recovery.items()):
-                if val:
-                    kc.extra[f"pool_{key}"] = float(val)
-        if faults_ is not None:
-            # Per-launch deltas only: a plan under which nothing fired adds
-            # no keys, keeping counters bit-identical to a plane-less run.
-            delta = delta_numeric((faults_.counters,), fc_base)[0]
-            injected = sum(
-                delta.get(k, 0)
-                for k in ("worker_crashes", "worker_hangs", "bitflips",
-                          "forced_overflows", "atomic_transients")
+            max_attempts = int(retries) + 1
+            need_snapshot = max_attempts > 1 or (
+                faults_ is not None
+                and any(s.site == "memory.bitflip" for s in faults_.specs)
             )
-            for key, value in (
-                ("faults", injected),
-                ("faults_detected", delta.get("detected", 0)),
-                ("faults_recovered", delta.get("recovered", 0)),
-                ("faults_unrecovered", delta.get("unrecovered", 0)),
-                ("faults_retries",
-                 delta.get("chunk_retries", 0) + delta.get("launch_retries", 0)),
-                ("faults_degradations", delta.get("degradations", 0)),
-                ("faults_timeouts", delta.get("timeouts", 0)),
-            ):
-                if value:
-                    kc.extra[key] = float(value)
-        self.last_launch = kc
-        return kc
+            fc_base = None
+            if faults_ is not None:
+                faults_.launch_index += 1
+                fc_base = snapshot_numeric((faults_.counters,))
+            side_base = snapshot_numeric(user_side) if max_attempts > 1 else None
+
+            # Executors raise before any coordinator-side bookkeeping happens,
+            # so a failed launch leaves last_launch and the sanitizer session
+            # exactly as they were.  With retries armed, a SimulationError
+            # (timeout, unrepaired memory fault, worker failure, injected
+            # breakage) rolls global memory and side state back to the
+            # pre-launch snapshot and re-executes after capped backoff.
+            attempt = 0
+            leak_mark = self.gmem.mark()
+            while True:
+                snapshot = None
+                if need_snapshot:
+                    from repro.faults.scrub import MemorySnapshot
+
+                    snapshot = MemorySnapshot(self.gmem)
+                if faults_ is not None:
+                    faults_.launch_attempt = attempt
+                plan.deadline = (
+                    time.monotonic() + timeout if timeout is not None else None
+                )
+                try:
+                    if faults_ is not None:
+                        self._inject_memory_faults(faults_, snapshot, attempt)
+                    outcome = exec_.execute(self, plan)
+                    break
+                except SimulationError as err:
+                    if isinstance(err, LaunchTimeout) and err.timeout is None:
+                        err.timeout = timeout
+                    if attempt + 1 >= max_attempts:
+                        # Terminal failure: reclaim sharing-space overflow
+                        # allocations the dying kernel could not release
+                        # in-band (the lockstep loop stopped resuming lanes).
+                        from repro.runtime.sharing import release_leaked_overflow
+
+                        release_leaked_overflow(self.gmem, leak_mark)
+                        raise
+                    if snapshot is not None:
+                        snapshot.restore()
+                    if side_base is not None:
+                        restore_numeric(user_side, side_base)
+                    if faults_ is not None:
+                        faults_.counters.launch_retries += 1
+                        faults_.counters.rollbacks += 1
+                    time.sleep(min(1.0, backoff * (2 ** attempt)))
+                    attempt += 1
+
+            kc = KernelCounters(
+                num_blocks=num_blocks, threads_per_block=threads_per_block
+            )
+            kc.blocks = outcome.blocks
+            cycles, resident, waves = compose_kernel_cycles(
+                self.params, kc.blocks, threads_per_block,
+                outcome.shared_used, regs_per_thread,
+            )
+            kc.cycles = cycles
+            kc.blocks_per_sm = resident
+            kc.waves = waves
+            kc.extra["shared_bytes_per_block"] = float(outcome.shared_used)
+            kc.extra["regs_per_thread"] = float(regs_per_thread)
+            if outcome.report is not None:
+                kc.sanitizer = outcome.report
+                kc.extra["sanitizer_findings"] = float(len(outcome.report.findings))
+                if session is not None:
+                    session.add(outcome.report)
+            if outcome.cross_block_conflicts:
+                kc.extra["cross_block_conflicts"] = float(outcome.cross_block_conflicts)
+            if jit_stats is not None:
+                # JIT launches only: hook-free launches without an engine
+                # preference carry no extra keys, so their counters stay
+                # bit-identical to every pre-JIT baseline.
+                kc.extra["engine"] = "jit"
+                for key, value in jit_stats.extra_items():
+                    kc.extra[key] = value
+            if outcome.recovery:
+                for key, val in sorted(outcome.recovery.items()):
+                    if val:
+                        kc.extra[f"pool_{key}"] = float(val)
+            if faults_ is not None:
+                # Per-launch deltas only: a plan under which nothing fired adds
+                # no keys, keeping counters bit-identical to a plane-less run.
+                delta = delta_numeric((faults_.counters,), fc_base)[0]
+                injected = sum(
+                    delta.get(k, 0)
+                    for k in ("worker_crashes", "worker_hangs", "bitflips",
+                              "forced_overflows", "atomic_transients")
+                )
+                for key, value in (
+                    ("faults", injected),
+                    ("faults_detected", delta.get("detected", 0)),
+                    ("faults_recovered", delta.get("recovered", 0)),
+                    ("faults_unrecovered", delta.get("unrecovered", 0)),
+                    ("faults_retries",
+                     delta.get("chunk_retries", 0) + delta.get("launch_retries", 0)),
+                    ("faults_degradations", delta.get("degradations", 0)),
+                    ("faults_timeouts", delta.get("timeouts", 0)),
+                ):
+                    if value:
+                        kc.extra[key] = float(value)
+            self.last_launch = kc
+            return kc
 
     def _inject_memory_faults(self, plan, snapshot, attempt: int) -> None:
         """Fire the ``memory.bitflip`` site, then run the ECC-style scrub.

@@ -32,6 +32,8 @@ kernel definitions for exactly this reason.
 
 from __future__ import annotations
 
+import threading
+
 _CACHE_CAP = 4096
 
 _MISS = object()
@@ -41,34 +43,42 @@ class TraceCache:
     """Bounded FIFO map from trace key to stability verdict.
 
     A verdict is ``None`` (compiled cleanly) or a deopt reason string.
+    Thread-safe: the serve tier runs launches from multiple threads, and
+    the FIFO trim in :meth:`store` is a compound read-modify-write that
+    would corrupt the dict under interleaving without the lock.
     """
 
-    __slots__ = ("cap", "_entries")
+    __slots__ = ("cap", "_entries", "_lock")
 
     def __init__(self, cap: int = _CACHE_CAP) -> None:
         self.cap = cap
         self._entries: dict = {}
+        self._lock = threading.Lock()
 
     def lookup(self, key):
         """``(verdict, found)`` — ``found`` distinguishes a miss from a
         cached-compiled verdict."""
-        v = self._entries.get(key, _MISS)
+        with self._lock:
+            v = self._entries.get(key, _MISS)
         if v is _MISS:
             return None, False
         return v, True
 
     def store(self, key, verdict) -> None:
-        entries = self._entries
-        if key not in entries and len(entries) >= self.cap:
-            # FIFO trim: drop the oldest entry (insertion-ordered dict).
-            entries.pop(next(iter(entries)))
-        entries[key] = verdict
+        with self._lock:
+            entries = self._entries
+            if key not in entries and len(entries) >= self.cap:
+                # FIFO trim: drop the oldest entry (insertion-ordered dict).
+                entries.pop(next(iter(entries)))
+            entries[key] = verdict
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: Process-global cache shared by all devices (forked workers inherit a

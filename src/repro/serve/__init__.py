@@ -1,0 +1,50 @@
+"""repro.serve — async launch-stream service over the simulated GPU.
+
+The serving tier turns ``omp.launch``'s synchronous, device-owning call
+into a multi-tenant request path (the ROADMAP's "serve heavy traffic"
+north star), reusing the executor substrate rather than reinventing it:
+
+* :class:`~repro.serve.stream.Stream` — CUDA-style streams: launches
+  within a stream run in submission order, independent streams proceed
+  concurrently (``omp.launch(..., stream=s)`` returns a
+  :class:`~repro.serve.stream.LaunchHandle`);
+* :mod:`repro.serve.batch` — coalesces compatible small launches into
+  one segmented grid (:class:`repro.exec.GridSegment`) and demuxes
+  per-request results, bit-identical to running each launch alone;
+* :class:`~repro.serve.lease.PoolLease` — executes batches on a
+  persistent warm :class:`repro.exec.WorkerPool` (no fork-per-launch),
+  keeping the crash/hang retry → redistribute → degrade recovery ladder;
+* :class:`~repro.serve.scheduler.FairScheduler` — deficit-round-robin
+  weighted fairness across tenants with admission control and typed
+  :class:`~repro.serve.scheduler.Backpressure` rejects;
+* :class:`~repro.serve.server.LaunchService` — the asyncio front door
+  (``python -m repro.serve``), JSON-lines over TCP, driven by
+  :mod:`repro.serve.loadgen` for benchmarks and CI smoke.
+
+See ``docs/SERVE.md`` for the full design: batching eligibility rules,
+fairness/backpressure semantics, and the warm-pool lifecycle.
+"""
+
+from __future__ import annotations
+
+from repro.serve.batch import LaunchOutcome, PreparedLaunch, prepare, run_batch
+from repro.serve.catalog import KernelCatalog
+from repro.serve.lease import PoolLease
+from repro.serve.scheduler import Backpressure, FairScheduler
+from repro.serve.server import LaunchRequest, LaunchService
+from repro.serve.stream import LaunchHandle, Stream
+
+__all__ = [
+    "Backpressure",
+    "FairScheduler",
+    "KernelCatalog",
+    "LaunchHandle",
+    "LaunchOutcome",
+    "LaunchRequest",
+    "LaunchService",
+    "PoolLease",
+    "PreparedLaunch",
+    "Stream",
+    "prepare",
+    "run_batch",
+]

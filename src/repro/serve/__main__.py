@@ -1,0 +1,133 @@
+"""CLI: boot the launch service, optionally drive it with load.
+
+Modes::
+
+    python -m repro.serve                     # serve the demo catalog on TCP
+    python -m repro.serve --port 9000 --pool 4
+    python -m repro.serve --selftest          # boot + TCP loadgen + verify,
+                                              # print metrics JSON, exit
+    python -m repro.serve --selftest --faults 42:worker.crash=0.3
+
+``--pool N`` attaches a persistent warm worker pool (N forked workers)
+so block execution survives across launches with zero fork-per-launch;
+without it, batches run on the in-process serial engine.  ``--faults``
+takes the ``REPRO_FAULTS`` grammar and wires the plan into both the
+pool (``worker.crash``/``worker.hang``) and admission
+(``serve.reject``) — the selftest must still return verified-correct
+results, which is exactly what the CI fault leg asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.faults import coerce_faults
+from repro.gpu.device import Device
+from repro.serve.demo import demo_catalog
+from repro.serve.lease import PoolLease
+from repro.serve.loadgen import drive_tcp
+from repro.serve.scheduler import FairScheduler
+from repro.serve.server import LaunchService
+
+
+def build_service(args) -> LaunchService:
+    """Wire device, catalog, scheduler, and (optionally) the warm pool."""
+    device = Device()
+    catalog = demo_catalog()
+    faults = coerce_faults(args.faults) if args.faults else None
+    lease = None
+    if args.pool:
+        lease = PoolLease(catalog, device.params, workers=args.pool,
+                          faults=faults)
+    scheduler = FairScheduler(max_queue=args.max_queue, faults=faults)
+    return LaunchService(
+        device, catalog,
+        scheduler=scheduler,
+        lease=lease,
+        engine=args.engine,
+        faults=None if lease is not None else faults,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+    )
+
+
+async def _serve(args) -> int:
+    service = build_service(args)
+    server = await service.serve_tcp(args.host, args.port)
+    addr = server.sockets[0].getsockname()
+    print(f"repro.serve listening on {addr[0]}:{addr[1]} "
+          f"(kernels: {', '.join(service.catalog.names())})", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+        if service.lease is not None:
+            service.lease.close()
+    return 0
+
+
+async def _selftest(args) -> int:
+    service = build_service(args)
+    server = await service.serve_tcp(args.host, 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    try:
+        metrics = await drive_tcp(
+            host, port,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+        )
+    finally:
+        await service.stop()
+        if service.lease is not None:
+            metrics["pool_warm_dispatches"] = float(
+                service.lease.stats.get("warm_dispatches", 0))
+            metrics["pool_worker_deaths"] = float(
+                service.lease.stats.get("worker_deaths", 0))
+            service.lease.close()
+    metrics["batches"] = float(service.stats["batches"])
+    metrics["batched_requests"] = float(service.stats["batched_requests"])
+    metrics["max_batch_size"] = float(service.stats["max_batch_size"])
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    if metrics["errors"]:
+        print(f"selftest FAILED: {int(metrics['errors'])} errors",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="async launch-stream service over the simulated GPU",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8473)
+    parser.add_argument("--pool", type=int, default=0, metavar="N",
+                        help="attach a warm worker pool with N forked workers")
+    parser.add_argument("--engine", default=None,
+                        help="round engine for batches (fast/jit/instrumented)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault plan, REPRO_FAULTS grammar "
+                             "(e.g. 42:worker.crash=0.3)")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-queue", type=int, default=2048)
+    parser.add_argument("--max-inflight", type=int, default=4096)
+    parser.add_argument("--selftest", action="store_true",
+                        help="boot, drive TCP load, verify outputs, exit")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return asyncio.run(_selftest(args))
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Demo kernel catalog for the serve CLI, benchmarks, and CI smoke.
+
+Kernels compile against a fixed trip count (canonical loops are static
+by design), so each servable kernel bakes in its problem size — the
+serving analogue of a compiled model artifact.  ``REFERENCE`` holds the
+NumPy oracle per kernel; the load generator uses it to verify every
+response against ground truth, which is what turns the CI smoke job
+into a correctness gate rather than a liveness ping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro import omp
+from repro.serve.catalog import KernelCatalog
+
+__all__ = ["DEMO_N", "REFERENCE", "demo_catalog"]
+
+#: Element count every demo kernel is compiled for.
+DEMO_N = 256
+
+
+def _axpy_body(tc, ivs, view):
+    (i,) = ivs
+    x = yield from tc.load(view["x"], i)
+    y = yield from tc.load(view["y"], i)
+    yield from tc.store(view["y"], i, 2.0 * x + y)
+
+
+def _square_body(tc, ivs, view):
+    (i,) = ivs
+    x = yield from tc.load(view["x"], i)
+    yield from tc.compute("mul")
+    yield from tc.store(view["y"], i, x * x)
+
+
+def _scale_sum_body(tc, ivs, view):
+    (i,) = ivs
+    x = yield from tc.load(view["x"], i)
+    yield from tc.store(view["y"], i, 0.5 * x)
+    yield from tc.atomic_add(view["acc"], 0, x)
+
+
+def demo_catalog() -> KernelCatalog:
+    """Compile and register the demo kernels ('axpy', 'square',
+    'scale_sum' — the last exercises cross-block atomics through the
+    merge)."""
+    catalog = KernelCatalog()
+    catalog.register("axpy", omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(DEMO_N, body=_axpy_body)),
+        ("x", "y"), name="axpy",
+    ))
+    catalog.register("square", omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(DEMO_N, body=_square_body)),
+        ("x", "y"), name="square",
+    ))
+    catalog.register("scale_sum", omp.compile(
+        omp.target(omp.teams_distribute_parallel_for(
+            DEMO_N, body=_scale_sum_body)),
+        ("acc", "x", "y"), name="scale_sum",
+    ))
+    return catalog
+
+
+def _ref_axpy(args: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"y": 2.0 * args["x"] + args["y"]}
+
+
+def _ref_square(args: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"y": args["x"] * args["x"]}
+
+
+def _ref_scale_sum(args: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"y": 0.5 * args["x"],
+            "acc": args["acc"] + np.sum(args["x"], keepdims=True)}
+
+
+#: NumPy ground truth per kernel: ``fn(args) -> expected outputs``.
+REFERENCE: Dict[str, Callable] = {
+    "axpy": _ref_axpy,
+    "square": _ref_square,
+    "scale_sum": _ref_scale_sum,
+}

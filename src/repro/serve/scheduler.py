@@ -1,0 +1,242 @@
+"""Multi-tenant admission and weighted fair scheduling.
+
+Two concerns, one small module:
+
+*Admission control* — the scheduler owns bounded queues.  A submit that
+would exceed the global or per-tenant depth cap is rejected
+**immediately** with a typed :class:`Backpressure` carrying a
+machine-readable reason and a ``retry_after`` hint, instead of queueing
+unboundedly and letting latency collapse.  The ``serve.reject`` fault
+site (:mod:`repro.faults.plan`) hooks the same point, so clients'
+retry paths can be exercised deterministically under a seeded plan.
+
+*Weighted fairness* — deficit round robin (DRR) across tenants.  Each
+tenant accrues ``weight × quantum`` deficit per scheduling round and
+dispatches queued work while its deficit covers the work's cost (cost =
+the request's block count, the unit the device actually spends).  A
+tenant flooding the queue therefore cannot starve a light tenant: over
+any window, dispatched block-cost converges to the weight ratio
+(asserted by the skewed-load fairness test).
+
+The scheduler is synchronous and lock-protected; the asyncio server
+drives it from its batching loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Backpressure", "FairScheduler", "TenantQueue"]
+
+#: Default deficit replenished per tenant per round, in block-cost units.
+DEFAULT_QUANTUM = 8
+#: Default bound on queued entries across all tenants.
+DEFAULT_MAX_QUEUE = 2048
+
+
+class Backpressure(Exception):
+    """Typed reject: the service cannot accept this request right now.
+
+    ``reason`` is machine-readable (``"queue_full"``,
+    ``"tenant_queue_full"``, ``"injected"``); ``retry_after`` is the
+    client's backoff hint in seconds.  The TCP protocol maps this to a
+    structured error response rather than a dropped connection.
+    """
+
+    def __init__(self, reason: str, *, retry_after: float = 0.05,
+                 tenant: Optional[str] = None, detail: str = "") -> None:
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        self.tenant = tenant
+        self.detail = detail
+        msg = f"backpressure: {reason}"
+        if tenant is not None:
+            msg += f" (tenant {tenant!r})"
+        if detail:
+            msg += f" — {detail}"
+        super().__init__(msg)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "reason": self.reason,
+            "retry_after": self.retry_after,
+            "tenant": self.tenant,
+        }
+
+
+@dataclass
+class TenantQueue:
+    """Per-tenant scheduling state (DRR deficit + FIFO of entries)."""
+
+    name: str
+    weight: float = 1.0
+    deficit: float = 0.0
+    entries: Deque[Tuple[float, object]] = field(default_factory=deque)
+    #: Cumulative dispatched block-cost (observability / fairness tests).
+    dispatched_cost: float = 0.0
+
+    @property
+    def depth(self) -> int:
+        return len(self.entries)
+
+
+class FairScheduler:
+    """Deficit-round-robin scheduler with bounded admission.
+
+    ``submit`` enqueues (or raises :class:`Backpressure`);
+    ``next_batch`` pops up to ``max_items``/``max_cost`` of work in DRR
+    order for the server's batching loop.  Tenants are created on
+    first submit with weight 1.0 unless :meth:`set_weight` configured
+    them; an idle tenant's deficit resets so bursts cannot bank
+    unbounded credit.
+    """
+
+    def __init__(
+        self,
+        *,
+        quantum: float = DEFAULT_QUANTUM,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_tenant_queue: Optional[int] = None,
+        faults=None,
+    ) -> None:
+        self.quantum = float(quantum)
+        self.max_queue = int(max_queue)
+        self.max_tenant_queue = (
+            int(max_tenant_queue) if max_tenant_queue is not None else None
+        )
+        self.faults = faults
+        self._tenants: "OrderedDict[str, TenantQueue]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._seq = itertools.count()
+        #: Rejects by reason (observability surface).
+        self.rejects: Dict[str, int] = {}
+
+    # -- configuration ------------------------------------------------------
+    def set_weight(self, tenant: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        with self._lock:
+            self._queue_for(tenant).weight = float(weight)
+
+    def _queue_for(self, tenant: str) -> TenantQueue:
+        tq = self._tenants.get(tenant)
+        if tq is None:
+            tq = TenantQueue(tenant)
+            self._tenants[tenant] = tq
+        return tq
+
+    # -- admission ----------------------------------------------------------
+    def submit(self, item, *, tenant: str = "default",
+               cost: float = 1.0) -> None:
+        """Enqueue ``item`` for ``tenant`` or raise :class:`Backpressure`."""
+        seq = next(self._seq)
+        if self.faults is not None:
+            coords = {"tenant": tenant, "seq": seq}
+            if self.faults.fires("serve.reject", **coords) is not None:
+                self.faults.record("serve.reject", coords, recovered=True,
+                                   detail="admission reject injected")
+                self._count_reject("injected")
+                raise Backpressure("injected", tenant=tenant,
+                                   detail="fault-plan forced reject")
+        with self._lock:
+            if self._depth >= self.max_queue:
+                self._count_reject_locked("queue_full")
+                raise Backpressure(
+                    "queue_full", tenant=tenant,
+                    retry_after=self._retry_hint(),
+                    detail=f"{self._depth} entries queued (cap "
+                           f"{self.max_queue})",
+                )
+            tq = self._queue_for(tenant)
+            if (self.max_tenant_queue is not None
+                    and tq.depth >= self.max_tenant_queue):
+                self._count_reject_locked("tenant_queue_full")
+                raise Backpressure(
+                    "tenant_queue_full", tenant=tenant,
+                    retry_after=self._retry_hint(),
+                    detail=f"tenant has {tq.depth} queued (cap "
+                           f"{self.max_tenant_queue})",
+                )
+            tq.entries.append((float(cost), item))
+            self._depth += 1
+
+    def _retry_hint(self) -> float:
+        # Crude but honest: deeper backlog, longer hint (50ms per 1k).
+        return 0.05 * (1 + self._depth / 1000.0)
+
+    def _count_reject(self, reason: str) -> None:
+        with self._lock:
+            self._count_reject_locked(reason)
+
+    def _count_reject_locked(self, reason: str) -> None:
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+
+    # -- dispatch -----------------------------------------------------------
+    def next_batch(
+        self,
+        max_items: int = 64,
+        max_cost: Optional[float] = None,
+    ) -> List[object]:
+        """Pop up to ``max_items`` entries in weighted DRR order.
+
+        One call is one scheduling *round*: every backlogged tenant is
+        offered ``weight × quantum`` fresh deficit, then tenants are
+        visited round-robin, each dispatching entries while its deficit
+        covers their cost.  Entries from different tenants interleave
+        into one list — the server's batcher decides how they group
+        into grids.
+        """
+        out: List[object] = []
+        budget = float("inf") if max_cost is None else float(max_cost)
+        with self._lock:
+            active = [tq for tq in self._tenants.values() if tq.entries]
+            if not active:
+                return out
+            for tq in active:
+                tq.deficit += tq.weight * self.quantum
+            progress = True
+            while progress and len(out) < max_items and budget > 0:
+                progress = False
+                for tq in active:
+                    if len(out) >= max_items or budget <= 0:
+                        break
+                    if not tq.entries:
+                        continue
+                    cost, item = tq.entries[0]
+                    if cost > tq.deficit:
+                        continue
+                    tq.entries.popleft()
+                    tq.deficit -= cost
+                    tq.dispatched_cost += cost
+                    self._depth -= 1
+                    budget -= cost
+                    out.append(item)
+                    progress = True
+            for tq in active:
+                if not tq.entries:
+                    # No backlog: credit does not bank across idleness.
+                    tq.deficit = 0.0
+        return out
+
+    # -- observability ------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant queue depth / weight / dispatched-cost snapshot."""
+        with self._lock:
+            return {
+                name: {
+                    "depth": float(tq.depth),
+                    "weight": tq.weight,
+                    "dispatched_cost": tq.dispatched_cost,
+                }
+                for name, tq in self._tenants.items()
+            }

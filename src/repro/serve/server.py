@@ -1,0 +1,485 @@
+"""The asyncio launch service: socket → scheduler → batcher → device.
+
+:class:`LaunchService` is the serving front door.  Thousands of
+concurrent :meth:`LaunchService.submit` calls (or JSON-lines TCP
+requests) flow through:
+
+1. **per-stream lanes** — requests naming a stream are chained so a
+   stream's request *n+1* enters the scheduler only after *n*
+   completes (ordered within a stream; different streams interleave
+   freely, which also means same-stream requests never share a batch);
+2. **admission** — :class:`~repro.serve.scheduler.FairScheduler`
+   either queues the request or rejects it with typed
+   :class:`~repro.serve.scheduler.Backpressure` (also the service's
+   in-flight cap, and the ``serve.reject`` fault site);
+3. **the batching pump** — an asyncio task drains the scheduler in
+   weighted DRR order, groups compatible requests (same block shape)
+   up to ``max_batch``, and hands each group to the dispatch thread;
+4. **dispatch** — the group is prepared (buffers bound), executed as
+   one segmented grid via :func:`repro.serve.batch.run_batch` — on the
+   warm :class:`~repro.serve.lease.PoolLease` when one is attached —
+   demuxed, and each request's future resolved with its own
+   bit-identical :class:`~repro.serve.batch.LaunchOutcome`.
+
+A single dispatch thread feeds the device: the device lock serializes
+grids anyway, so extra dispatch threads would only add contention.
+Concurrency lives in front (the event loop holds thousands of pending
+futures) and below (the pool's warm workers run a grid's blocks in
+parallel).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.icv import DEFAULT_SHARING_BYTES, LaunchConfig
+from repro.serve import batch as batchmod
+from repro.serve.scheduler import Backpressure, FairScheduler
+
+__all__ = ["LaunchRequest", "LaunchService"]
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class LaunchRequest:
+    """One kernel-launch request as the service sees it."""
+
+    kernel: str
+    args: Dict[str, np.ndarray]
+    num_teams: int
+    team_size: int
+    simd_len: Optional[int] = None
+    out: Optional[Sequence[str]] = None
+    tenant: str = "default"
+    stream: Optional[str] = None
+    rid: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def cost(self) -> float:
+        """Scheduling cost: block count — what the device spends."""
+        return float(self.num_teams)
+
+
+class _Pending:
+    """A request riding through the service with its future."""
+
+    __slots__ = ("request", "future", "submitted", "prepared")
+
+    def __init__(self, request: LaunchRequest, future) -> None:
+        self.request = request
+        self.future = future
+        self.submitted = time.monotonic()
+        self.prepared = None
+
+
+class LaunchService:
+    """Async multi-tenant launch service over one simulated device.
+
+    Parameters mirror the layers they configure: ``lease`` (warm pool)
+    or ``executor`` (in-process) pick the execution substrate,
+    ``scheduler`` the fairness/admission policy, ``engine`` the round
+    engine, ``faults`` the fault plan consulted by admission
+    (``serve.reject``) and in-process batch execution.  ``max_batch``
+    bounds requests per merged grid; ``batch_window`` is the pump's
+    idle poll interval; ``max_inflight`` caps accepted-but-unfinished
+    requests (typed backpressure beyond it).
+    """
+
+    def __init__(
+        self,
+        device,
+        catalog,
+        *,
+        scheduler: Optional[FairScheduler] = None,
+        lease=None,
+        executor=None,
+        engine: Optional[str] = None,
+        faults=None,
+        max_batch: int = 16,
+        batch_window: float = 0.002,
+        max_inflight: int = 4096,
+        sharing_bytes: int = DEFAULT_SHARING_BYTES,
+    ) -> None:
+        self.device = device
+        self.catalog = catalog
+        self.scheduler = scheduler or FairScheduler(faults=faults)
+        self.lease = lease
+        self.executor = executor
+        self.engine = engine
+        self.faults = faults
+        self.max_batch = int(max_batch)
+        self.batch_window = float(batch_window)
+        self.max_inflight = int(max_inflight)
+        self.sharing_bytes = sharing_bytes
+        self._lanes: Dict[Tuple[str, Optional[str]], Deque[_Pending]] = {}
+        self._inflight = 0
+        self._pump_task: Optional[asyncio.Task] = None
+        self._tcp_server = None
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-dispatch"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.stats = {
+            "accepted": 0,
+            "completed": 0,
+            "errors": 0,
+            "rejected": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "max_batch_size": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Start the batching pump (idempotent)."""
+        if self._pump_task is None or self._pump_task.done():
+            self._loop = asyncio.get_running_loop()
+            self._pump_task = asyncio.create_task(
+                self._pump(), name="serve-pump"
+            )
+
+    async def stop(self) -> None:
+        """Stop the pump and TCP listener; leave lease/device to owner."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        self._dispatch.shutdown(wait=True)
+
+    async def __aenter__(self) -> "LaunchService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    # -- submission ---------------------------------------------------------
+    async def submit(self, request: LaunchRequest):
+        """Accept one request; resolves to its
+        :class:`~repro.serve.batch.LaunchOutcome`.
+
+        Raises :class:`Backpressure` synchronously when admission
+        rejects — the caller never gets a future that was doomed at
+        submit time.
+        """
+        await self.start()
+        if self._inflight >= self.max_inflight:
+            self.stats["rejected"] += 1
+            raise Backpressure(
+                "inflight_limit", tenant=request.tenant,
+                retry_after=0.05,
+                detail=f"{self._inflight} in flight (cap "
+                       f"{self.max_inflight})",
+            )
+        future = self._loop.create_future()
+        pending = _Pending(request, future)
+        lane_key = (request.tenant, request.stream)
+        if request.stream is not None:
+            lane = self._lanes.setdefault(lane_key, deque())
+            if lane:
+                # An earlier launch of this stream is still in flight:
+                # chain behind it (scheduler admission happens when it
+                # reaches the head).
+                lane.append(pending)
+                self._inflight += 1
+                self.stats["accepted"] += 1
+                return await future
+            lane.append(pending)
+        try:
+            self.scheduler.submit(
+                pending, tenant=request.tenant, cost=request.cost
+            )
+        except Backpressure:
+            if request.stream is not None:
+                self._lanes[lane_key].remove(pending)
+            self.stats["rejected"] += 1
+            raise
+        self._inflight += 1
+        self.stats["accepted"] += 1
+        return await future
+
+    # -- the batching pump --------------------------------------------------
+    async def _pump(self) -> None:
+        while True:
+            items: List[_Pending] = self.scheduler.next_batch(self.max_batch)
+            if not items:
+                await asyncio.sleep(self.batch_window)
+                continue
+            for group in self._group(items):
+                outcomes = await self._loop.run_in_executor(
+                    self._dispatch, self._run_group, group
+                )
+                self._resolve_group(group, outcomes)
+
+    def _block_dim(self, request: LaunchRequest) -> int:
+        kernel = self.catalog.get(request.kernel)
+        simd_len = request.simd_len
+        if simd_len is None:
+            simd_len = kernel.simdlen_hint or 1
+        if not kernel.has_simd:
+            simd_len = 1
+        cfg = LaunchConfig(
+            num_teams=request.num_teams,
+            team_size=request.team_size,
+            simd_len=simd_len,
+            teams_mode=kernel.teams_mode,
+            parallel_mode=kernel.parallel_mode,
+            sharing_bytes=self.sharing_bytes,
+            params=self.device.params,
+        )
+        return cfg.block_dim
+
+    def _group(self, items: List[_Pending]) -> List[List[_Pending]]:
+        """Split a scheduling round into batchable groups (same block
+        shape), preserving DRR order within each group."""
+        groups: "dict[int, List[_Pending]]" = {}
+        order: List[int] = []
+        for p in items:
+            try:
+                key = self._block_dim(p.request)
+            except Exception as err:
+                # Bad geometry/kernel name: fail this request alone.
+                self._reject_pending(p, err)
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(p)
+        return [groups[k] for k in order]
+
+    def _reject_pending(self, pending: _Pending, err: Exception) -> None:
+        self._finish(pending, error=err)
+
+    # -- dispatch thread ----------------------------------------------------
+    def _run_group(self, group: List[_Pending]) -> List:
+        """Prepare, execute as one segmented grid, read back, release.
+
+        Runs on the dispatch thread; returns one item per pending —
+        either a LaunchOutcome or the exception that doomed it.
+        """
+        prepared = []
+        live = []
+        for p in group:
+            req = p.request
+            try:
+                p.prepared = batchmod.prepare(
+                    self.device, self.catalog, req.kernel, req.args,
+                    num_teams=req.num_teams, team_size=req.team_size,
+                    simd_len=req.simd_len, out=req.out,
+                    sharing_bytes=self.sharing_bytes,
+                    tag=f"r{req.rid}",
+                )
+            except Exception as err:
+                prepared.append(err)
+                continue
+            prepared.append(p.prepared)
+            live.append(p)
+        results: List = list(prepared)
+        try:
+            if live:
+                outcomes = batchmod.run_batch(
+                    self.device,
+                    [p.prepared for p in live],
+                    engine=self.engine,
+                    executor=self.executor,
+                    faults=self.faults,
+                    lease=self.lease,
+                )
+                it = iter(outcomes)
+                results = [
+                    next(it) if not isinstance(r, Exception) else r
+                    for r in results
+                ]
+        except Exception as err:
+            results = [
+                err if not isinstance(r, Exception) else r for r in results
+            ]
+        finally:
+            for p in live:
+                batchmod.release(self.device, p.prepared)
+            if live:
+                self.stats["batches"] += 1
+                self.stats["batched_requests"] += len(live)
+                self.stats["max_batch_size"] = max(
+                    self.stats["max_batch_size"], len(live)
+                )
+        return results
+
+    # -- completion ---------------------------------------------------------
+    def _resolve_group(self, group: List[_Pending], results: List) -> None:
+        for pending, result in zip(group, results):
+            if isinstance(result, Exception):
+                self._finish(pending, error=result)
+            else:
+                self._finish(pending, outcome=result)
+
+    def _finish(self, pending: _Pending, *, outcome=None, error=None) -> None:
+        request = pending.request
+        if not pending.future.done():
+            if error is not None:
+                self.stats["errors"] += 1
+                pending.future.set_exception(error)
+            else:
+                if outcome.error is not None:
+                    self.stats["errors"] += 1
+                else:
+                    self.stats["completed"] += 1
+                pending.future.set_result(outcome)
+        self._inflight -= 1
+        if request.stream is None:
+            return
+        # Advance the stream lane: this request was the lane head.
+        lane_key = (request.tenant, request.stream)
+        lane = self._lanes.get(lane_key)
+        if not lane:
+            return
+        if lane and lane[0] is pending:
+            lane.popleft()
+        while lane:
+            nxt = lane[0]
+            try:
+                self.scheduler.submit(
+                    nxt, tenant=nxt.request.tenant, cost=nxt.request.cost
+                )
+                break
+            except Backpressure as bp:
+                # The waiter was accepted at submit time but the queue
+                # filled meanwhile: structured reject, try the next.
+                lane.popleft()
+                self.stats["rejected"] += 1
+                self._inflight -= 1
+                if not nxt.future.done():
+                    nxt.future.set_exception(bp)
+        if not lane:
+            self._lanes.pop(lane_key, None)
+
+    # -- TCP front door -----------------------------------------------------
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 8473):
+        """Listen for JSON-lines launch requests; returns the server.
+
+        One request per line::
+
+            {"id": 7, "kernel": "axpy", "args": {"x": [...], "y": [...]},
+             "num_teams": 2, "team_size": 64, "out": ["y"],
+             "tenant": "acme", "stream": "s0"}
+
+        Responses echo ``id`` and carry either ``outputs`` (+ per-launch
+        ``cycles``) or a structured ``error`` /``backpressure`` object.
+        ``{"op": "stats"}`` returns service statistics, ``{"op":
+        "kernels"}`` the catalog names.
+        """
+        await self.start()
+        self._tcp_server = await asyncio.start_server(
+            self._handle_conn, host, port
+        )
+        return self._tcp_server
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = json.loads(line)
+                except json.JSONDecodeError as err:
+                    await self._send(writer, {"ok": False,
+                                              "error": f"bad json: {err}"})
+                    continue
+                if msg.get("op") == "stats":
+                    await self._send(writer, {
+                        "ok": True,
+                        "stats": dict(self.stats),
+                        "inflight": self._inflight,
+                        "tenants": self.scheduler.snapshot(),
+                        "rejects": dict(self.scheduler.rejects),
+                        "pool": dict(self.lease.stats) if self.lease else None,
+                    })
+                    continue
+                if msg.get("op") == "kernels":
+                    await self._send(writer, {
+                        "ok": True, "kernels": list(self.catalog.names()),
+                    })
+                    continue
+                asyncio.ensure_future(self._handle_request(writer, msg))
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Listener shut down mid-read; end the handler task cleanly.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_request(self, writer: asyncio.StreamWriter,
+                              msg: dict) -> None:
+        rid = msg.get("id")
+        try:
+            request = LaunchRequest(
+                kernel=msg["kernel"],
+                args={k: np.asarray(v, dtype=np.float64)
+                      for k, v in msg.get("args", {}).items()},
+                num_teams=int(msg["num_teams"]),
+                team_size=int(msg["team_size"]),
+                simd_len=msg.get("simd_len"),
+                out=msg.get("out"),
+                tenant=msg.get("tenant", "default"),
+                stream=msg.get("stream"),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            await self._send(writer, {"id": rid, "ok": False,
+                                      "error": f"bad request: {err}"})
+            return
+        try:
+            outcome = await self.submit(request)
+        except Backpressure as bp:
+            await self._send(writer, {
+                "id": rid, "ok": False, "backpressure": bp.as_dict(),
+            })
+            return
+        except Exception as err:
+            await self._send(writer, {"id": rid, "ok": False,
+                                      "error": repr(err)})
+            return
+        if outcome.error is not None:
+            await self._send(writer, {
+                "id": rid, "ok": False,
+                "error": repr(outcome.error.rebuild()),
+            })
+            return
+        await self._send(writer, {
+            "id": rid,
+            "ok": True,
+            "outputs": {k: v.tolist() for k, v in outcome.outputs.items()},
+            "cycles": outcome.counters.cycles,
+        })
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()

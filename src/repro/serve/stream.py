@@ -1,0 +1,155 @@
+"""CUDA-style launch streams: ordered within, concurrent across.
+
+A :class:`Stream` owns one worker thread and an ordered queue: work
+submitted to the stream runs strictly in submission order, while
+independent streams make progress concurrently.  Actual device
+execution still serializes on ``Device.lock`` — one simulated GPU runs
+one grid at a time — so what streams buy is *pipeline* concurrency
+(building entries, allocating buffers, waiting on handles) plus the
+ordering contract the serve tier's per-stream lanes build on.
+
+``omp.launch(..., stream=s)`` submits the launch and returns a
+:class:`LaunchHandle` immediately; ``handle.result()`` blocks until the
+launch completes and returns the usual
+:class:`~repro.core.api.LaunchResult` (or re-raises the launch's
+error — same exception a synchronous call would have raised).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Callable, Optional
+
+__all__ = ["LaunchHandle", "Stream"]
+
+_stream_ids = itertools.count()
+
+
+class LaunchHandle:
+    """Future for one stream-submitted launch."""
+
+    __slots__ = ("_event", "_result", "_error", "stream", "seq")
+
+    def __init__(self, stream: "Stream", seq: int) -> None:
+        self._event = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+        self.stream = stream
+        self.seq = seq
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the launch completes; return its result or
+        re-raise its error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"launch {self.seq} on {self.stream!r} still pending "
+                f"after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"launch {self.seq} still pending")
+        return self._error
+
+    # -- producer side (stream worker only) ---------------------------------
+    def _resolve(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class Stream:
+    """An ordered launch queue with its own worker thread.
+
+    Work items are plain callables; :meth:`submit` enqueues and returns
+    a :class:`LaunchHandle`.  Items run one at a time in FIFO order — a
+    failed item rejects its own handle and the stream continues with
+    the next (matching CUDA streams, where an error poisons the
+    erroring launch, not the stream).  :meth:`synchronize` blocks until
+    everything submitted so far has completed.  Streams are context
+    managers; :meth:`close` drains the queue and joins the worker.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or f"stream-{next(_stream_ids)}"
+        self._queue: "queue.Queue" = queue.Queue()
+        self._seq = itertools.count()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._worker = threading.Thread(
+            target=self._run, name=self.name, daemon=True
+        )
+        self._worker.start()
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Finish queued work, then stop the worker; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, fn: Callable[[], object]) -> LaunchHandle:
+        """Enqueue ``fn`` for in-order execution; returns its handle."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is closed")
+            handle = LaunchHandle(self, next(self._seq))
+            self._inflight += 1
+        self._queue.put((fn, handle))
+        return handle
+
+    def synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block until every launch submitted so far has completed."""
+        with self._idle:
+            if not self._idle.wait_for(lambda: self._inflight == 0, timeout):
+                raise TimeoutError(
+                    f"{self.name}: {self._inflight} launches still "
+                    f"in flight after {timeout}s"
+                )
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # -- worker -------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            fn, handle = item
+            try:
+                handle._resolve(fn())
+            except BaseException as err:
+                handle._reject(err)
+            finally:
+                with self._idle:
+                    self._inflight -= 1
+                    self._idle.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream({self.name!r}, pending={self.pending})"

@@ -1,0 +1,13 @@
+"""Shared fixtures for the serve-tier test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.demo import demo_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """One compiled demo catalog for the whole session (compile once)."""
+    return demo_catalog()

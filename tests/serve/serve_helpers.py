@@ -1,0 +1,18 @@
+"""Helpers shared by the serve-tier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.demo import DEMO_N
+
+
+def make_args(kernel: str, rng: np.random.Generator) -> dict:
+    """Fresh argument arrays for a demo kernel."""
+    args = {"x": rng.standard_normal(DEMO_N)}
+    if kernel == "scale_sum":
+        args["y"] = np.zeros(DEMO_N)
+        args["acc"] = np.zeros(1)
+    else:
+        args["y"] = rng.standard_normal(DEMO_N)
+    return args

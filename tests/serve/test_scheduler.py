@@ -1,0 +1,160 @@
+"""FairScheduler: DRR weighted fairness, admission control, fault hook.
+
+The fairness assertion is the real contract: under sustained skewed
+load (one tenant flooding, one trickling), dispatched block-cost must
+converge to the configured weight ratio — a flood cannot starve a
+light tenant.  Admission tests pin the typed-reject surface
+(``Backpressure.reason``, ``retry_after``) and the deterministic
+``serve.reject`` fault site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import coerce_faults
+from repro.serve.scheduler import Backpressure, FairScheduler
+
+
+def _drain(sched, rounds=10**6, **kw):
+    out = []
+    for _ in range(rounds):
+        batch = sched.next_batch(**kw)
+        if not batch:
+            break
+        out.extend(batch)
+    return out
+
+
+class TestFairness:
+    def test_equal_weights_interleave(self):
+        s = FairScheduler(quantum=4)
+        for i in range(8):
+            s.submit(("a", i), tenant="a", cost=1.0)
+        for i in range(8):
+            s.submit(("b", i), tenant="b", cost=1.0)
+        batch = s.next_batch(max_items=8)
+        # One round offers both tenants equal deficit: 4 items each.
+        assert sum(1 for t, _ in batch if t == "a") == 4
+        assert sum(1 for t, _ in batch if t == "b") == 4
+
+    def test_weighted_share_under_skew(self):
+        """Tenant 'heavy' floods; 'light' trickles with 3x weight.
+        Dispatched cost per round must track the 3:1 weight ratio."""
+        s = FairScheduler(quantum=4)
+        s.set_weight("light", 3.0)
+        s.set_weight("heavy", 1.0)
+        for i in range(300):
+            s.submit(("heavy", i), tenant="heavy", cost=1.0)
+        for i in range(100):
+            s.submit(("light", i), tenant="light", cost=1.0)
+        # Drain while both are backlogged; stop once light runs dry.
+        taken = {"heavy": 0, "light": 0}
+        while True:
+            batch = s.next_batch(max_items=16)
+            if not batch:
+                break
+            for t, _ in batch:
+                taken[t] += 1
+            if taken["light"] >= 100:
+                break
+        # While contended, light got ~3x heavy's share.
+        assert taken["light"] == 100
+        ratio = taken["light"] / max(taken["heavy"], 1)
+        assert 2.0 <= ratio <= 4.0, (taken, ratio)
+
+    def test_flood_cannot_starve_light_tenant(self):
+        s = FairScheduler(quantum=2)
+        for i in range(500):
+            s.submit(("flood", i), tenant="flood", cost=1.0)
+        s.submit(("light", 0), tenant="light", cost=1.0)
+        batch = s.next_batch(max_items=4)
+        assert ("light", 0) in batch
+
+    def test_expensive_request_waits_for_deficit(self):
+        """A request costing more than one round's deficit dispatches
+        only after enough rounds accrue — cheap tenants keep flowing."""
+        s = FairScheduler(quantum=2)
+        s.submit("big", tenant="big", cost=5.0)
+        s.submit("small", tenant="small", cost=1.0)
+        first = s.next_batch(max_items=8)
+        assert first == ["small"]  # big's deficit (2) < cost (5)
+        # Keep big backlogged; rounds 2 and 3 accrue 4 and 6.
+        assert s.next_batch(max_items=8) == []
+        assert s.next_batch(max_items=8) == ["big"]
+
+    def test_idle_tenant_does_not_bank_credit(self):
+        s = FairScheduler(quantum=4)
+        s.submit("x", tenant="bursty", cost=1.0)
+        assert s.next_batch() == ["x"]  # queue empties -> deficit reset
+        snap_before = s.snapshot()["bursty"]
+        for i in range(10):
+            s.submit(i, tenant="bursty", cost=1.0)
+        s.submit("y", tenant="other", cost=1.0)
+        batch = s.next_batch(max_items=8)
+        # bursty gets exactly one fresh quantum (4), not banked credit.
+        assert sum(1 for b in batch if b != "y") == 4
+        assert snap_before["depth"] == 0.0
+
+
+class TestAdmission:
+    def test_queue_full_reject(self):
+        s = FairScheduler(max_queue=2)
+        s.submit(1)
+        s.submit(2)
+        with pytest.raises(Backpressure) as exc:
+            s.submit(3)
+        assert exc.value.reason == "queue_full"
+        assert exc.value.retry_after > 0
+        assert s.rejects["queue_full"] == 1
+        d = exc.value.as_dict()
+        assert d["reason"] == "queue_full"
+
+    def test_tenant_queue_full_reject(self):
+        s = FairScheduler(max_queue=100, max_tenant_queue=1)
+        s.submit(1, tenant="a")
+        with pytest.raises(Backpressure) as exc:
+            s.submit(2, tenant="a")
+        assert exc.value.reason == "tenant_queue_full"
+        assert exc.value.tenant == "a"
+        s.submit(3, tenant="b")  # other tenants unaffected
+
+    def test_depth_tracks_submit_and_dispatch(self):
+        s = FairScheduler()
+        for i in range(5):
+            s.submit(i)
+        assert s.depth == 5
+        got = _drain(s)
+        assert sorted(got) == list(range(5))
+        assert s.depth == 0
+
+    def test_invalid_weight_rejected(self):
+        s = FairScheduler()
+        with pytest.raises(ValueError):
+            s.set_weight("t", 0.0)
+
+
+class TestFaultInjection:
+    def test_serve_reject_site_fires_deterministically(self):
+        plan = coerce_faults("11:serve.reject=0.5")
+        s1 = FairScheduler(faults=plan)
+        s2 = FairScheduler(faults=coerce_faults("11:serve.reject=0.5"))
+        outcomes1, outcomes2 = [], []
+        for sched, outcomes in ((s1, outcomes1), (s2, outcomes2)):
+            for i in range(40):
+                try:
+                    sched.submit(i, tenant=f"t{i % 3}")
+                    outcomes.append("ok")
+                except Backpressure as bp:
+                    assert bp.reason == "injected"
+                    outcomes.append("reject")
+        assert outcomes1 == outcomes2  # same seed -> same draw sequence
+        assert "reject" in outcomes1 and "ok" in outcomes1
+        assert s1.rejects["injected"] == outcomes1.count("reject")
+        assert plan.counters.forced_rejects == outcomes1.count("reject")
+
+    def test_no_plan_means_no_injection(self):
+        s = FairScheduler()
+        for i in range(100):
+            s.submit(i)
+        assert s.rejects == {}

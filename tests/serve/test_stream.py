@@ -1,0 +1,135 @@
+"""Stream primitive: ordered within a stream, concurrent across streams.
+
+Covers the ordering contract, handle semantics (result/exception/
+timeout), error isolation (a failed launch poisons its handle, not the
+stream), synchronize, close, and the ``omp.launch(..., stream=)``
+integration that the serve tier's per-stream lanes mirror.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import omp
+from repro.gpu.device import Device
+from repro.serve import Stream
+from repro.serve.demo import DEMO_N
+
+from serve_helpers import make_args
+
+
+class TestOrdering:
+    def test_submissions_run_in_fifo_order(self):
+        order = []
+        with Stream("s") as s:
+            handles = [s.submit(lambda i=i: order.append(i) or i)
+                       for i in range(32)]
+            assert [h.result(5) for h in handles] == list(range(32))
+        assert order == list(range(32))
+
+    def test_streams_progress_concurrently(self):
+        """A blocked stream must not stall an independent stream."""
+        gate = threading.Event()
+        with Stream("slow") as slow, Stream("fast") as fast:
+            blocked = slow.submit(lambda: gate.wait(10))
+            quick = fast.submit(lambda: "done")
+            assert quick.result(5) == "done"
+            assert not blocked.done()
+            gate.set()
+            assert blocked.result(5) is True
+
+    def test_dependent_state_observed_in_order(self):
+        """Launch N+1 sees launch N's writes (the CUDA stream contract)."""
+        cell = {"v": 0}
+
+        def bump():
+            v = cell["v"]
+            time.sleep(0.001)
+            cell["v"] = v + 1
+            return cell["v"]
+
+        with Stream() as s:
+            handles = [s.submit(bump) for _ in range(16)]
+            assert [h.result(5) for h in handles] == list(range(1, 17))
+
+
+class TestHandles:
+    def test_error_rejects_handle_not_stream(self):
+        with Stream() as s:
+            bad = s.submit(lambda: 1 / 0)
+            good = s.submit(lambda: 42)
+            with pytest.raises(ZeroDivisionError):
+                bad.result(5)
+            assert bad.exception(5) is not None
+            assert good.result(5) == 42
+            assert good.exception(5) is None
+
+    def test_result_timeout(self):
+        gate = threading.Event()
+        with Stream() as s:
+            h = s.submit(lambda: gate.wait(10))
+            with pytest.raises(TimeoutError):
+                h.result(0.01)
+            gate.set()
+            h.result(5)
+
+    def test_synchronize_waits_for_all(self):
+        done = []
+        with Stream() as s:
+            for i in range(8):
+                s.submit(lambda i=i: (time.sleep(0.002), done.append(i)))
+            s.synchronize(5)
+            assert done == list(range(8))
+            assert s.pending == 0
+
+    def test_submit_after_close_raises(self):
+        s = Stream()
+        s.close()
+        with pytest.raises(RuntimeError):
+            s.submit(lambda: 1)
+        s.close()  # idempotent
+
+
+class TestLaunchIntegration:
+    def test_launch_stream_returns_handle(self, catalog):
+        dev = Device()
+        rng = np.random.default_rng(0)
+        args = make_args("axpy", rng)
+        bufs = {n: dev.from_array(n, v.copy()) for n, v in args.items()}
+        with Stream() as s:
+            handle = omp.launch(dev, catalog.get("axpy"), num_teams=2,
+                                team_size=64, args=bufs, stream=s)
+            res = handle.result(30)
+        assert res.counters.cycles > 0
+        np.testing.assert_array_equal(
+            bufs["y"].to_numpy(), 2.0 * args["x"] + args["y"])
+
+    def test_streamed_launches_match_sync_launches(self, catalog):
+        rng = np.random.default_rng(1)
+        specs = [make_args("axpy", rng) for _ in range(4)]
+
+        def run(stream):
+            dev = Device()
+            handles = []
+            bufs_all = []
+            for i, args in enumerate(specs):
+                bufs = {n: dev.from_array(f"{i}:{n}", v.copy())
+                        for n, v in args.items()}
+                bufs_all.append(bufs)
+                handles.append(omp.launch(
+                    dev, catalog.get("axpy"), num_teams=1 + i % 3,
+                    team_size=64, args=bufs, stream=stream))
+            results = [h.result(30) if stream else h for h in handles]
+            return ([b["y"].to_numpy() for b in bufs_all],
+                    [r.counters.cycles for r in results])
+
+        with Stream() as s:
+            ys_stream, cyc_stream = run(s)
+        ys_sync, cyc_sync = run(None)
+        for a, b in zip(ys_stream, ys_sync):
+            assert np.array_equal(a, b)
+        assert cyc_stream == cyc_sync
