@@ -286,6 +286,7 @@ def launch(
     check=None,
     schedule_policy=None,
     executor=None,
+    engine: Optional[str] = None,
     faults=None,
     timeout: Optional[float] = None,
     retries: int = 0,
@@ -312,6 +313,11 @@ def launch(
     ``executor`` selects the launch engine for this call (e.g. a
     :class:`repro.exec.ParallelExecutor`); by default the device's
     executor, then the ``REPRO_EXECUTOR`` environment default, applies.
+    ``engine`` selects the round engine
+    (``"auto"``/``"instrumented"``/``"fast"``/``"jit"``) exactly like
+    :meth:`Device.launch` — explicit fast/jit on a hooked launch is a
+    :class:`~repro.errors.LaunchError`; the fuzz harness uses this to
+    pin each differential leg.
     The runtime counters are registered as launch side state so the
     parallel engine merges their per-team deltas deterministically.
 
@@ -373,6 +379,7 @@ def launch(
             sanitize=check,
             schedule_policy=schedule_policy,
             executor=executor,
+            engine=engine,
             side_state=(rc,),
             faults=faults,
             timeout=timeout,

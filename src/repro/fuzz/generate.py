@@ -1,0 +1,473 @@
+"""Constrained-random kernel generation from discrete seeded test plans.
+
+The generator never emits an *invalid* program: every plan drawn from
+:func:`plan_from_seed` lowers to a well-formed directive tree whose leaf
+body is **race-free by construction** — stores index a bijection of the
+flattened iteration space, atomics are commutative (add/max only), and
+cross-lane operations (shuffles, votes, warp barriers) are emitted only
+under the ``sync`` structure, whose geometry guarantees every warp is
+full and every lane executes exactly one leaf iteration.  Expected
+values therefore exist and are computed by :func:`oracle`, a trivially
+serial vectorized interpreter of the same statement list.
+
+Exactness discipline (what makes bit-for-bit diffing sound):
+
+* all values are **integer-valued float64** — inputs are small integers,
+  the only arithmetic is multiply-add with small integer coefficients,
+  and magnitudes stay far below 2**53, so float addition is exact and
+  therefore associative: atomic accumulation order cannot change the
+  result;
+* every store statement owns a private *slot* of the ``out`` buffer
+  (element ``slot * total + f(flat)`` with ``f`` a bijection), so no
+  element is ever written by two different iterations — two unslotted
+  store statements would race: iteration ``i``'s second store and
+  iteration ``j``'s first store could target the same element, making
+  the final value depend on iteration interleaving;
+* atomics are limited to ``add``/``max`` (commutative) **on disjoint
+  cell ranges** — add owns cells 0..1, max owns cells 2..3, because a
+  mixed add/max sequence on one cell does not commute across
+  iterations; ``exch``/``cas`` are excluded because their result is
+  genuinely order-dependent;
+* reduction plans combine with ``add`` and finalize by atomically adding
+  the region total into one cell, so the expected value is independent
+  of how iterations were grouped into teams/groups.
+
+Plans are plain data (:meth:`KernelPlan.to_dict` /
+:func:`plan_from_dict`), so a failure replays from its seed *or* its
+serialized plan — the minimizer mutates plans directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import api as omp
+from repro.runtime.icv import ExecMode
+
+__all__ = [
+    "CAMPAIGN_SEED",
+    "ATOMIC_CELLS",
+    "KernelPlan",
+    "build_program",
+    "make_inputs",
+    "oracle",
+    "plan_from_dict",
+    "plan_from_seed",
+    "total_iterations",
+]
+
+#: The documented standing campaign seed (mirrors the fault campaign's
+#: seed-2023 convention — ``python -m repro.faults --seed 2023``).
+CAMPAIGN_SEED = 2023
+
+#: Number of atomic accumulator cells in the ``acc`` buffer.
+ATOMIC_CELLS = 4
+
+#: Structure shapes the grammar can emit.
+STRUCTURES = ("flat", "simd", "simd_reduce", "pf_reduce", "split", "sync")
+
+# Discrete plan-field domains (every field is drawn from a closed set so
+# plans serialize exactly and the minimizer can walk toward the smallest
+# member of each domain).
+_NUM_TEAMS = (1, 2, 3)
+_TEAM_SIZES = (32, 64)
+_SIMD_LENS = (1, 2, 4, 8)
+_SCHEDULES = ("static_cyclic", "dynamic", "guided")
+_CHUNKS = (1, 2)
+_DIST_SCHEDULES = ("static", "static_cyclic")
+_MODES = ("auto", "spmd", "generic")
+_FLAT_TRIPS = (33, 64, 100, 128)
+_OUTER_TRIPS = (4, 8, 16)
+_MID_TRIPS = (8, 16)
+_INNER_TRIPS = (4, 8, 16, 17)
+_SHUFFLE_DELTAS = (1, 2, 4, 8, 16)
+
+_MODE_MAP = {
+    "auto": ExecMode.AUTO,
+    "spmd": ExecMode.SPMD,
+    "generic": ExecMode.GENERIC,
+}
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """One discrete, seeded, self-checking test program.
+
+    ``statements`` is the leaf-body program over the flattened iteration
+    index; ``bug`` injects a deliberate device-side deviation from the
+    oracle (used to prove the harness detects and the minimizer shrinks
+    real failures — never drawn by :func:`plan_from_seed`).
+    """
+
+    seed: int
+    structure: str = "flat"
+    num_teams: int = 1
+    team_size: int = 32
+    simd_len: int = 1
+    mode: str = "auto"
+    schedule: str = "static_cyclic"
+    chunk: int = 1
+    dist_schedule: str = "static"
+    dist_chunk: int = 1
+    outer: int = 64
+    mid: int = 8
+    inner: int = 8
+    statements: Tuple[tuple, ...] = field(default_factory=tuple)
+    bug: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "structure": self.structure,
+            "num_teams": self.num_teams,
+            "team_size": self.team_size,
+            "simd_len": self.simd_len,
+            "mode": self.mode,
+            "schedule": self.schedule,
+            "chunk": self.chunk,
+            "dist_schedule": self.dist_schedule,
+            "dist_chunk": self.dist_chunk,
+            "outer": self.outer,
+            "mid": self.mid,
+            "inner": self.inner,
+            "statements": [list(s) for s in self.statements],
+            "bug": self.bug,
+        }
+
+    def describe(self) -> str:
+        stmts = ",".join(s[0] for s in self.statements)
+        return (
+            f"seed={self.seed} {self.structure} teams={self.num_teams} "
+            f"tsz={self.team_size} simd={self.simd_len} mode={self.mode} "
+            f"trips={self._trips()} stmts=[{stmts}]"
+        )
+
+    def _trips(self) -> Tuple[int, ...]:
+        if self.structure in ("flat", "pf_reduce", "sync"):
+            return (self.outer,)
+        if self.structure == "split":
+            return (self.outer, self.mid, self.inner)
+        return (self.outer, self.inner)
+
+
+def plan_from_dict(data: Dict[str, object]) -> KernelPlan:
+    data = dict(data)
+    data["statements"] = tuple(tuple(s) for s in data.get("statements", ()))
+    return KernelPlan(**data)
+
+
+def total_iterations(plan: KernelPlan) -> int:
+    total = 1
+    for t in plan._trips():
+        total *= t
+    return total
+
+
+def plan_from_seed(seed: int) -> KernelPlan:
+    """Draw one valid plan.  String-seeded (SHA-512), so the same seed
+    yields the same plan in every process and under every
+    ``PYTHONHASHSEED``."""
+    rng = random.Random(f"repro.fuzz:{seed}")
+    structure = rng.choice(STRUCTURES)
+    num_teams = rng.choice(_NUM_TEAMS)
+    team_size = rng.choice(_TEAM_SIZES)
+    plan = KernelPlan(
+        seed=seed,
+        structure=structure,
+        num_teams=num_teams,
+        team_size=team_size,
+        simd_len=rng.choice(_SIMD_LENS),
+        mode=rng.choice(_MODES) if structure in ("flat", "simd") else "auto",
+        schedule=rng.choice(_SCHEDULES),
+        chunk=rng.choice(_CHUNKS),
+        dist_schedule=rng.choice(_DIST_SCHEDULES),
+        dist_chunk=rng.choice(_CHUNKS),
+        outer=rng.choice(_FLAT_TRIPS if structure in ("flat", "pf_reduce")
+                         else _OUTER_TRIPS),
+        mid=rng.choice(_MID_TRIPS),
+        inner=rng.choice(_INNER_TRIPS),
+    )
+    if structure == "sync":
+        # Exactly one leaf iteration per thread, full warps, SPMD: the
+        # geometry under which cross-lane statements are uniform.
+        plan = replace(plan, outer=num_teams * team_size, mode="spmd",
+                       schedule="static_cyclic", chunk=1,
+                       dist_schedule="static", dist_chunk=1, simd_len=1)
+    n_stmts = rng.randint(1, 8)
+    stmts = []
+    for _ in range(n_stmts):
+        stmts.append(_draw_statement(rng, plan))
+    if not any(s[0] in ("store", "store_rot", "atomic_add", "atomic_max")
+               for s in stmts):
+        stmts.append(("store", 0))  # every program observes something
+    return replace(plan, statements=_assign_store_slots(stmts))
+
+
+def _assign_store_slots(stmts) -> Tuple[tuple, ...]:
+    """Give each store statement a private ``out`` slot (race freedom)."""
+    out, slot = [], 0
+    for s in stmts:
+        if s[0] == "store":
+            out.append(("store", slot))
+            slot += 1
+        elif s[0] == "store_rot":
+            out.append(("store_rot", slot, s[-1]))
+            slot += 1
+        else:
+            out.append(tuple(s))
+    return tuple(out)
+
+
+def _draw_statement(rng: random.Random, plan: KernelPlan) -> tuple:
+    kinds = ["load", "muladd", "store", "store_rot", "atomic_add",
+             "atomic_max", "compute"]
+    if plan.structure == "sync":
+        kinds += ["shfl_xor", "vote", "ballot", "syncwarp", "syncthreads"]
+    kind = rng.choice(kinds)
+    if kind == "load":
+        return ("load", rng.choice((1, 2, 3, 5)), rng.randrange(8))
+    if kind == "muladd":
+        return ("muladd", rng.choice((1, 2, 3)), rng.randrange(-2, 6))
+    if kind == "store":
+        return ("store",)  # slot assigned by _assign_store_slots
+    if kind == "store_rot":
+        return ("store_rot", rng.randrange(1, 17))
+    if kind == "atomic_add":
+        # add owns cells 0..1, max owns 2..3: mixed ops on one cell
+        # would not commute across iterations.
+        return ("atomic_add", rng.randrange(2), rng.choice((3, 5, 7)))
+    if kind == "atomic_max":
+        return ("atomic_max", 2 + rng.randrange(2), rng.choice((5, 9, 13)))
+    if kind == "compute":
+        return ("compute", rng.choice(("alu", "fma", "sfu")), rng.randrange(1, 4))
+    if kind == "shfl_xor":
+        return ("shfl_xor", rng.choice(_SHUFFLE_DELTAS))
+    return (kind,)
+
+
+# ---------------------------------------------------------------------------
+# Inputs and oracle
+# ---------------------------------------------------------------------------
+
+
+def store_slots(plan: KernelPlan) -> int:
+    """Number of private ``out`` slots the plan's statements use."""
+    slots = [s[1] for s in plan.statements if s[0] in ("store", "store_rot")]
+    return (max(slots) + 1) if slots else 1
+
+
+def make_inputs(plan: KernelPlan) -> Dict[str, np.ndarray]:
+    """Host-side initial arrays: seeded small-integer float64 data."""
+    total = total_iterations(plan)
+    rng = np.random.default_rng(plan.seed)
+    n_in = max(total, 32)
+    return {
+        "x": rng.integers(0, 10, size=n_in).astype(np.float64),
+        "out": np.zeros(total * store_slots(plan), dtype=np.float64),
+        "acc": np.zeros(ATOMIC_CELLS, dtype=np.float64),
+        "red": np.zeros(1, dtype=np.float64),
+    }
+
+
+def _is_reduce(plan: KernelPlan) -> bool:
+    return plan.structure in ("simd_reduce", "pf_reduce")
+
+
+def oracle(plan: KernelPlan, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Expected final memory: vectorized serial interpretation.
+
+    Every statement is evaluated for *all* flattened iterations at once
+    — legal because the device program is race-free, so per-iteration
+    dataflow is independent (shuffles read the deterministic partner
+    iteration ``i ^ delta``, see the ``sync`` geometry argument in
+    :func:`plan_from_seed`).
+    """
+    total = total_iterations(plan)
+    x = inputs["x"]
+    n = len(x)
+    out = inputs["out"].copy()
+    acc_cells = inputs["acc"].copy()
+    red = inputs["red"].copy()
+    flat = np.arange(total, dtype=np.int64)
+    acc = np.zeros(total, dtype=np.float64)
+    for stmt in plan.statements:
+        op = stmt[0]
+        if op == "load":
+            _, stride, offset = stmt
+            acc = x[(flat * stride + offset) % n].astype(np.float64)
+        elif op == "muladd":
+            _, a, b = stmt
+            acc = acc * a + b
+        elif op == "store":
+            out[stmt[1] * total + flat] = acc
+        elif op == "store_rot":
+            out[stmt[1] * total + (flat + stmt[2]) % total] = acc
+        elif op == "atomic_add":
+            _, cell, m = stmt
+            acc_cells[cell] += float((flat % m + 1).sum())
+        elif op == "atomic_max":
+            _, cell, m = stmt
+            acc_cells[cell] = max(acc_cells[cell], float((flat % m).max()))
+        elif op == "shfl_xor":
+            acc = acc[flat ^ stmt[1]]
+        elif op == "vote":
+            acc = acc + 1.0
+        elif op == "ballot":
+            acc = acc + 32.0
+        # compute / syncwarp / syncthreads: no memory effect
+    if _is_reduce(plan):
+        red[0] += float(acc.sum())
+    return {"x": x.copy(), "out": out, "acc": acc_cells, "red": red}
+
+
+# ---------------------------------------------------------------------------
+# Device program
+# ---------------------------------------------------------------------------
+
+
+def _flattener(plan: KernelPlan):
+    """Map the directive tree's ``ivs`` tuple to the flat index."""
+    if plan.structure == "split":
+        mid, inner = plan.mid, plan.inner
+
+        def flatten(ivs):
+            i, j, k = ivs
+            return (int(i) * mid + int(j)) * inner + int(k)
+    elif plan.structure in ("simd", "simd_reduce"):
+        inner = plan.inner
+
+        def flatten(ivs):
+            i, j = ivs
+            return int(i) * inner + int(j)
+    else:
+
+        def flatten(ivs):
+            return int(ivs[-1])
+
+    return flatten
+
+
+def _make_body(plan: KernelPlan):
+    statements = plan.statements
+    flatten = _flattener(plan)
+    total = total_iterations(plan)
+    n_in = max(total, 32)
+    returns_value = _is_reduce(plan)
+    bug = plan.bug
+
+    def body(tc, ivs, view):
+        flat = flatten(ivs)
+        acc = 0.0
+        for stmt in statements:
+            op = stmt[0]
+            if op == "load":
+                _, stride, offset = stmt
+                acc = yield from tc.load(view["x"], (flat * stride + offset) % n_in)
+                acc = float(acc)
+            elif op == "muladd":
+                _, a, b = stmt
+                yield from tc.compute("fma")
+                acc = acc * a + b
+            elif op == "store":
+                if bug == "drop_last" and flat == total - 1:
+                    continue  # deliberately injected deviation
+                value = acc + 1.0 if bug == "off_by_one" and flat == 0 else acc
+                yield from tc.store(view["out"], stmt[1] * total + flat, value)
+            elif op == "store_rot":
+                yield from tc.store(
+                    view["out"], stmt[1] * total + (flat + stmt[2]) % total, acc)
+            elif op == "atomic_add":
+                _, cell, m = stmt
+                yield from tc.atomic_add(view["acc"], cell, float(flat % m + 1))
+            elif op == "atomic_max":
+                _, cell, m = stmt
+                yield from tc.atomic_max(view["acc"], cell, float(flat % m))
+            elif op == "compute":
+                _, kind, ops = stmt
+                yield from tc.compute(kind, ops)
+            elif op == "shfl_xor":
+                res = yield from tc.shfl_xor(acc, stmt[1])
+                acc = float(res)
+            elif op == "vote":
+                ok = yield from tc.vote_all(True)
+                acc = acc + (1.0 if ok else 0.0)
+            elif op == "ballot":
+                mask = yield from tc.ballot(True)
+                acc = acc + float(bin(mask).count("1"))
+            elif op == "syncwarp":
+                yield from tc.syncwarp()
+            elif op == "syncthreads":
+                yield from tc.syncthreads()
+        if returns_value:
+            return float(acc)
+
+    return body
+
+
+def _reduce_finalize(tc, ivs_outer, view, total):
+    yield from tc.atomic_add(view["red"], 0, total)
+
+
+#: Kernel argument names, in the sorted order ``omp.launch`` binds them.
+ARG_NAMES = ("acc", "out", "red", "x")
+
+
+def build_program(plan: KernelPlan):
+    """Lower a plan to its directive tree.
+
+    Returns ``(tree, launch_kwargs)`` — launch with
+    ``omp.launch(dev, tree, args=buffers, **launch_kwargs)``.
+    """
+    body = _make_body(plan)
+    mode = _MODE_MAP[plan.mode]
+    uses = ARG_NAMES
+    if plan.structure in ("flat", "sync"):
+        tree = omp.target(omp.teams_distribute_parallel_for(
+            omp.loop(plan.outer, body=body, uses=uses),
+            mode=mode, schedule=plan.schedule, chunk=plan.chunk,
+            dist_schedule=plan.dist_schedule, dist_chunk=plan.dist_chunk,
+        ))
+    elif plan.structure == "pf_reduce":
+        tree = omp.target(omp.teams_distribute_parallel_for(
+            omp.loop(plan.outer, body=body, uses=uses),
+            schedule=plan.schedule, chunk=plan.chunk,
+            dist_schedule=plan.dist_schedule, dist_chunk=plan.dist_chunk,
+            reduction=("add", _reduce_finalize),
+        ))
+    elif plan.structure == "simd":
+        tree = omp.target(omp.teams_distribute_parallel_for(
+            omp.loop(plan.outer,
+                     nested=omp.simd(plan.inner, body=body, uses=uses)),
+            mode=mode, schedule=plan.schedule, chunk=plan.chunk,
+            dist_schedule=plan.dist_schedule, dist_chunk=plan.dist_chunk,
+        ))
+    elif plan.structure == "simd_reduce":
+        tree = omp.target(omp.teams_distribute_parallel_for(
+            omp.loop(plan.outer,
+                     nested=omp.simd(plan.inner, body=body, uses=uses,
+                                     reduction=("add", _reduce_finalize))),
+            schedule=plan.schedule, chunk=plan.chunk,
+            dist_schedule=plan.dist_schedule, dist_chunk=plan.dist_chunk,
+        ))
+    elif plan.structure == "split":
+        inner = omp.parallel_for(
+            omp.loop(plan.mid,
+                     nested=omp.simd(plan.inner, body=body, uses=uses)),
+            schedule=plan.schedule, chunk=plan.chunk,
+        )
+        tree = omp.target(omp.teams_distribute(
+            plan.outer, nested=inner, uses=(),
+            schedule=plan.dist_schedule, dist_chunk=plan.dist_chunk,
+        ))
+    else:
+        raise ValueError(f"unknown structure {plan.structure!r}")
+    launch_kwargs = {
+        "num_teams": plan.num_teams,
+        "team_size": plan.team_size,
+        "simd_len": plan.simd_len,
+    }
+    return tree, launch_kwargs

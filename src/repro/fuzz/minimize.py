@@ -1,0 +1,139 @@
+"""Plan-field shrinking of a failing fuzz program.
+
+``riescue``-style test plans are plain discrete data, so minimization is
+*plan-field reduction*, not token-level delta debugging: each pass
+proposes a strictly simpler plan (fewer statements, smaller trips,
+smaller geometry, flatter structure), re-runs the failure predicate, and
+keeps the proposal only if it still fails.  Passes repeat to a fixpoint,
+so the result is 1-minimal with respect to the proposal set: no single
+remaining simplification preserves the failure.
+
+The predicate is arbitrary (``lambda plan: not run_program(plan).ok`` is
+the usual one), so the minimizer works for harness mismatches, injected
+bugs, and engine crashes alike.  Because plans cap at 8 drawn statements
+and the minimizer only removes them, any repro it emits is ≤ 10
+statements by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List
+
+from repro.fuzz.generate import KernelPlan, total_iterations
+
+__all__ = ["minimize", "simpler_plans"]
+
+#: Shrink targets per field, in preference order (first = simplest).
+_TRIP_LADDER = (4, 8, 16, 32, 33, 64, 100, 128)
+
+
+def _shrunk_values(current: int, ladder=_TRIP_LADDER) -> List[int]:
+    return [v for v in ladder if v < current]
+
+
+def simpler_plans(plan: KernelPlan) -> Iterator[KernelPlan]:
+    """Yield candidate simplifications, simplest-first within each axis.
+
+    Geometry invariants are preserved: the ``sync`` structure keeps
+    ``outer == num_teams * team_size`` (its cross-lane statements are
+    only uniform under that shape), and structure flattening drops the
+    cross-lane statements that only ``sync`` may carry.
+    """
+    stmts = plan.statements
+    # 1. Drop one statement at a time (largest index first so stores
+    #    that feed the failure tend to survive until truly needed).
+    for i in range(len(stmts) - 1, -1, -1):
+        if len(stmts) > 1:
+            yield replace(plan, statements=stmts[:i] + stmts[i + 1:])
+    # 2. Shrink geometry.
+    if plan.num_teams > 1:
+        yield _with_geometry(plan, num_teams=1)
+    if plan.team_size > 32:
+        yield _with_geometry(plan, team_size=32)
+    if plan.simd_len > 1 and plan.structure != "sync":
+        yield replace(plan, simd_len=1)
+    # 3. Shrink trip counts.
+    if plan.structure == "sync":
+        pass  # outer is pinned to num_teams * team_size
+    else:
+        for v in _shrunk_values(plan.outer):
+            yield replace(plan, outer=v)
+    if plan.structure == "split":
+        for v in _shrunk_values(plan.mid):
+            yield replace(plan, mid=v)
+    if plan.structure in ("simd", "simd_reduce", "split"):
+        for v in _shrunk_values(plan.inner):
+            yield replace(plan, inner=v)
+    # 4. Flatten the structure (drop statements only "sync" may carry).
+    if plan.structure != "flat":
+        scalar = tuple(s for s in stmts if s[0] not in (
+            "shfl_xor", "vote", "ballot", "syncwarp", "syncthreads"))
+        if scalar:
+            yield replace(plan, structure="flat", mode="auto",
+                          statements=scalar,
+                          outer=min(plan.outer, 64))
+    # 5. Default the scheduling clauses.
+    if plan.schedule != "static_cyclic":
+        yield replace(plan, schedule="static_cyclic")
+    if plan.chunk != 1:
+        yield replace(plan, chunk=1)
+    if plan.dist_schedule != "static":
+        yield replace(plan, dist_schedule="static")
+    if plan.dist_chunk != 1:
+        yield replace(plan, dist_chunk=1)
+    if plan.mode != "auto" and plan.structure != "sync":
+        yield replace(plan, mode="auto")
+
+
+def _with_geometry(plan: KernelPlan, **kw) -> KernelPlan:
+    new = replace(plan, **kw)
+    if plan.structure == "sync":
+        new = replace(new, outer=new.num_teams * new.team_size)
+    return new
+
+
+def minimize(plan: KernelPlan,
+             failing: Callable[[KernelPlan], bool],
+             max_checks: int = 400) -> KernelPlan:
+    """Shrink ``plan`` while ``failing(plan)`` stays true.
+
+    ``failing`` must already hold for ``plan`` (raises ``ValueError``
+    otherwise — minimizing a passing plan silently would hide harness
+    bugs).  ``max_checks`` bounds predicate evaluations; the current
+    best plan is returned when the budget runs out.
+    """
+    if not failing(plan):
+        raise ValueError(
+            "minimize() needs a failing plan; the predicate passed on the "
+            "input — nothing to shrink"
+        )
+    checks = 0
+    best = plan
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in simpler_plans(best):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                still_failing = failing(candidate)
+            except Exception:
+                # A candidate that *crashes the checker* is not evidence
+                # of the original failure — skip it.
+                continue
+            if still_failing:
+                best = candidate
+                progress = True
+                break  # restart the pass from the simpler plan
+    return best
+
+
+def shrink_summary(original: KernelPlan, minimized: KernelPlan) -> str:
+    return (
+        f"minimized seed {original.seed}: "
+        f"{len(original.statements)} → {len(minimized.statements)} statements, "
+        f"{total_iterations(original)} → {total_iterations(minimized)} iterations, "
+        f"structure {original.structure} → {minimized.structure}"
+    )

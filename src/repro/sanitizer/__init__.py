@@ -35,15 +35,30 @@ from repro.gpu import device as _device_mod
 from repro.sanitizer.monitor import SanitizerConfig, SanitizerMonitor
 from repro.sanitizer.report import Finding, SanitizerReport
 from repro.sanitizer.schedule import (
+    BacktrackPoint,
+    BoundedPreemptionSchedule,
+    DirectedSchedule,
+    DporResult,
     ExplorationResult,
+    LoopController,
+    RunStats,
     ShuffleSchedule,
     explore_schedules,
+    explore_schedules_dpor,
+    replay_directed,
     replay_schedule,
+    strip_launch_telemetry,
 )
 
 __all__ = [
+    "BacktrackPoint",
+    "BoundedPreemptionSchedule",
+    "DirectedSchedule",
+    "DporResult",
     "ExplorationResult",
     "Finding",
+    "LoopController",
+    "RunStats",
     "SanitizerConfig",
     "SanitizerMonitor",
     "SanitizerReport",
@@ -52,8 +67,11 @@ __all__ = [
     "activate",
     "deactivate",
     "explore_schedules",
+    "explore_schedules_dpor",
+    "replay_directed",
     "replay_schedule",
     "session",
+    "strip_launch_telemetry",
 ]
 
 

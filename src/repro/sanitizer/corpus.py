@@ -14,8 +14,9 @@ for it.  The corpus is the sanitizer's negative test set — run it with
   lane (stale mask);
 * one sharing-space bug: an overflowing staging episode whose global
   fallback allocation is never released (leak);
-* one order-dependent kernel with *no* default-schedule symptom — only
-  the schedule explorer reproduces it.
+* one order-dependent kernel with *no* default-schedule symptom — the
+  DPOR schedule explorer finds its divergent interleaving
+  deterministically from the racing pair (no seed lottery).
 """
 
 from __future__ import annotations
@@ -28,7 +29,11 @@ import numpy as np
 from repro.gpu.device import Device
 from repro.sanitizer.monitor import SanitizerConfig
 from repro.sanitizer.report import SanitizerReport
-from repro.sanitizer.schedule import ShuffleSchedule, explore_schedules
+from repro.sanitizer.schedule import (
+    ShuffleSchedule,
+    explore_schedules,
+    explore_schedules_dpor,
+)
 
 #: Sanitize in report mode so a case can carry several findings.
 _REPORT = SanitizerConfig(mode="report")
@@ -250,12 +255,22 @@ def order_dependent_run(policy):
 
 
 def _order_dependent(workers=None) -> CaseResult:
-    result = explore_schedules(order_dependent_run, schedules=64,
-                               workers=workers)
+    """Directed DPOR regression (promoted from blind seed sampling).
+
+    The explorer must find the divergent interleaving *deterministically*
+    — no seed lottery: the race detector reports the warp-0/warp-1 store
+    pair on ``a[0]``, the backtracking point reverses exactly that pair,
+    and the reversed schedule flips the result.  ``workers`` is accepted
+    for CLI symmetry; directed exploration is sequential.
+    """
+    result = explore_schedules_dpor(order_dependent_run, workers=workers)
     got = result.report.categories() if result.order_dependent else []
+    detail = result.text()
+    if result.divergent_backtrack is not None:
+        detail += "\n  " + result.divergent_backtrack.describe()
     return CaseResult(name="order-dependent",
                       expect=("schedule-divergence",), got=got,
-                      detail=result.text())
+                      detail=detail)
 
 
 # ---------------------------------------------------------------------------

@@ -115,7 +115,8 @@ class SanitizerMonitor:
         site = yield_site(lane.gen)
         if self.races is not None:
             before = len(self.report.findings)
-            self.races.on_event(block.block_id, rnd, lane.tid, ev, site)
+            self.races.on_event(block.block_id, rnd, lane.tid, ev, site,
+                                warp=lane.warp_id)
             if self.config.mode == "raise" and len(self.report.findings) > before:
                 f = self.report.findings[-1]
                 raise DataRaceError(

@@ -53,14 +53,18 @@ READ, WRITE, ATOMIC = "read", "write", "atomic"
 class Access:
     """One recorded access epoch with provenance."""
 
-    __slots__ = ("key", "clock", "round", "site", "kind")
+    __slots__ = ("key", "clock", "round", "site", "kind", "warp")
 
-    def __init__(self, key: LaneKey, clock: int, rnd: int, site: str, kind: str):
+    def __init__(self, key: LaneKey, clock: int, rnd: int, site: str, kind: str,
+                 warp: Optional[int] = None):
         self.key = key
         self.clock = clock
         self.round = rnd
         self.site = site
         self.kind = kind
+        #: Warp id of the accessing lane (schedule-exploration provenance:
+        #: the DPOR explorer reverses racing pairs by warp/commit order).
+        self.warp = warp
 
     def describe(self) -> str:
         block, tid = self.key
@@ -110,22 +114,23 @@ class RaceDetector:
             self._clocks[key] = clock
 
     # -- access processing -------------------------------------------------
-    def on_event(self, block_id: int, rnd: int, tid: int, ev, site: str) -> None:
+    def on_event(self, block_id: int, rnd: int, tid: int, ev, site: str,
+                 warp: Optional[int] = None) -> None:
         tag = ev.tag
         if tag == T_LOAD:
             if ev.buf.space == "local":
                 return
             for idx in ev.idxs:
-                self._access(block_id, rnd, tid, ev.buf, int(idx), READ, site)
+                self._access(block_id, rnd, tid, ev.buf, int(idx), READ, site, warp)
         elif tag == T_STORE:
             if ev.buf.space == "local":
                 return
             for idx in ev.idxs:
-                self._access(block_id, rnd, tid, ev.buf, int(idx), WRITE, site)
+                self._access(block_id, rnd, tid, ev.buf, int(idx), WRITE, site, warp)
         elif tag == T_ATOMIC:
             if ev.buf.space == "local":
                 return
-            self._access(block_id, rnd, tid, ev.buf, int(ev.idx), ATOMIC, site)
+            self._access(block_id, rnd, tid, ev.buf, int(ev.idx), ATOMIC, site, warp)
 
     def _cell(self, buf, idx: int) -> _Cell:
         self._buffers[id(buf)] = buf
@@ -136,13 +141,14 @@ class RaceDetector:
         return cell
 
     def _access(
-        self, block_id: int, rnd: int, tid: int, buf, idx: int, kind: str, site: str
+        self, block_id: int, rnd: int, tid: int, buf, idx: int, kind: str,
+        site: str, warp: Optional[int] = None,
     ) -> None:
         key = (block_id, tid)
         clock = self.clock_of(key)
         cell = self._cell(buf, idx)
         self.report.bump("race_checked_accesses")
-        me = Access(key, clock.get(key, 0), rnd, site, kind)
+        me = Access(key, clock.get(key, 0), rnd, site, kind, warp)
 
         if kind == ATOMIC:
             # Acquire the location's atomic clock, then check against any
@@ -204,9 +210,11 @@ class RaceDetector:
             sites=(second.site, first.site),
             extra={
                 "first": {"block": first.key[0], "tid": first.key[1],
-                          "kind": first.kind, "round": first.round},
+                          "kind": first.kind, "round": first.round,
+                          "warp": first.warp},
                 "second": {"block": block, "tid": tid,
-                           "kind": second.kind, "round": second.round},
+                           "kind": second.kind, "round": second.round,
+                           "warp": second.warp},
             },
         )
         self.report.add(finding)

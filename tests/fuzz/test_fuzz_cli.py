@@ -1,0 +1,78 @@
+"""``python -m repro.fuzz`` CLI: campaign, replay, minimize, artifacts."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fuzz.generate import KernelPlan
+
+
+def _run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.fuzz", *argv],
+        capture_output=True, text=True, env=env, cwd=cwd,
+    )
+
+
+BUGGY = KernelPlan(seed=9, structure="flat", outer=33,
+                   statements=(("muladd", 1, 3), ("store", 0)),
+                   bug="drop_last")
+
+
+class TestCampaignCommand:
+    def test_smoke_campaign_passes_with_artifacts(self, tmp_path):
+        art = tmp_path / "artifacts"
+        proc = _run_cli("campaign", "--count", "3", "--smoke",
+                        "--artifacts", str(art))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
+        summary = json.loads((art / "campaign.json").read_text())
+        assert summary["ok"] is True
+        assert summary["programs"] == 3
+        assert summary["seed"] == 2023  # the documented campaign seed
+        assert summary["failing_seeds"] == []
+
+    def test_no_command_prints_usage(self):
+        proc = _run_cli()
+        assert proc.returncode == 2
+        assert "campaign" in proc.stdout
+
+
+class TestReplayCommand:
+    def test_replay_by_seed(self):
+        proc = _run_cli("replay", "--seed", "2023", "--smoke")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
+        assert "seed=2023" in proc.stdout
+
+    def test_replay_failing_plan_file(self, tmp_path):
+        plan_file = tmp_path / "repro.json"
+        plan_file.write_text(json.dumps({"plan": BUGGY.to_dict()}))
+        proc = _run_cli("replay", "--plan", str(plan_file), "--smoke")
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout
+        assert "output:out" in proc.stdout
+
+
+class TestMinimizeCommand:
+    def test_minimize_failing_plan_writes_output(self, tmp_path):
+        plan_file = tmp_path / "repro.json"
+        out_file = tmp_path / "min.json"
+        plan_file.write_text(json.dumps({"plan": BUGGY.to_dict()}))
+        proc = _run_cli("minimize", "--plan", str(plan_file), "--smoke",
+                        "--out", str(out_file))
+        assert proc.returncode == 1  # input was a real failure
+        assert "minimized" in proc.stdout
+        small = json.loads(out_file.read_text())["plan"]
+        assert len(small["statements"]) <= 10
+        assert small["bug"] == "drop_last"
+
+    def test_minimize_passing_plan_is_a_noop(self):
+        proc = _run_cli("minimize", "--seed", "2023", "--smoke")
+        assert proc.returncode == 0
+        assert "nothing to minimize" in proc.stdout

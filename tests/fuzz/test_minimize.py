@@ -1,0 +1,94 @@
+"""Plan-field reduction: failures shrink to tiny, still-failing repros."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fuzz.generate import KernelPlan, plan_from_seed, total_iterations
+from repro.fuzz.harness import default_legs, run_program
+from repro.fuzz.minimize import minimize, simpler_plans, shrink_summary
+
+SMOKE = default_legs(smoke=True)
+
+
+def _failing(plan):
+    return not run_program(plan, legs=SMOKE).ok
+
+
+class TestSimplerPlans:
+    def test_candidates_are_strictly_simpler(self):
+        plan = plan_from_seed(2023)
+        for cand in simpler_plans(plan):
+            assert (len(cand.statements) < len(plan.statements)
+                    or total_iterations(cand) <= total_iterations(plan)
+                    or cand.structure != plan.structure
+                    or (cand.schedule, cand.chunk, cand.dist_schedule,
+                        cand.dist_chunk, cand.mode, cand.num_teams,
+                        cand.team_size, cand.simd_len)
+                    != (plan.schedule, plan.chunk, plan.dist_schedule,
+                        plan.dist_chunk, plan.mode, plan.num_teams,
+                        plan.team_size, plan.simd_len))
+
+    def test_sync_geometry_stays_pinned(self):
+        for seed in range(200):
+            plan = plan_from_seed(seed)
+            if plan.structure == "sync":
+                break
+        else:
+            pytest.skip("no sync plan in range")
+        for cand in simpler_plans(plan):
+            if cand.structure == "sync":
+                assert cand.outer == cand.num_teams * cand.team_size
+
+    def test_bug_field_survives_shrinking(self):
+        plan = replace(plan_from_seed(2023), bug="off_by_one")
+        assert all(c.bug == "off_by_one" for c in simpler_plans(plan))
+
+
+class TestMinimize:
+    def test_passing_plan_is_rejected(self):
+        with pytest.raises(ValueError, match="failing plan"):
+            minimize(plan_from_seed(2023), _failing)
+
+    def test_injected_failure_shrinks_to_tiny_repro(self):
+        plan = KernelPlan(
+            seed=42, structure="split", num_teams=3, team_size=64,
+            simd_len=4, schedule="guided", chunk=2,
+            dist_schedule="static_cyclic", outer=16, mid=16, inner=17,
+            statements=(("load", 2, 3), ("compute", "alu", 2),
+                        ("muladd", 3, 1), ("atomic_add", 0, 5),
+                        ("store", 0), ("store_rot", 1, 4)),
+            bug="off_by_one",
+        )
+        assert _failing(plan)
+        small = minimize(plan, _failing)
+        assert _failing(small)
+        # The acceptance bar: a repro of at most 10 statements — here the
+        # off-by-one needs only the store it perturbs.
+        assert len(small.statements) <= 10
+        assert len(small.statements) <= 2
+        assert total_iterations(small) < total_iterations(plan)
+        assert small.num_teams == 1 and small.team_size == 32
+        summary = shrink_summary(plan, small)
+        assert "6 →" in summary or "statements" in summary
+
+    def test_drop_last_failure_shrinks(self):
+        plan = KernelPlan(
+            seed=43, structure="flat", outer=100, num_teams=2, team_size=64,
+            statements=(("muladd", 1, 3), ("store", 0), ("atomic_add", 1, 7)),
+            bug="drop_last",
+        )
+        assert _failing(plan)
+        small = minimize(plan, _failing)
+        assert _failing(small)
+        assert len(small.statements) <= 2  # muladd + the dropped store
+        assert any(s[0] == "store" for s in small.statements)
+
+    def test_budget_returns_best_so_far(self):
+        plan = KernelPlan(
+            seed=44, structure="flat", outer=64,
+            statements=(("muladd", 1, 3), ("store", 0)),
+            bug="drop_last",
+        )
+        small = minimize(plan, _failing, max_checks=1)
+        assert _failing(small)  # never returns a passing plan

@@ -1,6 +1,15 @@
-"""Schedule exploration: seeded permutations, divergence, replay."""
+"""Schedule exploration: seeded permutations, divergence, replay.
+
+The exploration tests run under every round engine via the ``engine``
+fixture (``REPRO_ENGINE`` sweep).  Schedule policies are launch hooks,
+so policy-carrying launches deopt to the instrumented engine silently
+while the policy-free baseline really runs fast/jit — the divergence
+verdicts must be identical either way, and the deopt must be clean
+(no jit telemetry on hooked launches, no error).
+"""
 
 import numpy as np
+import pytest
 
 from repro.gpu.device import Device
 from repro.sanitizer.schedule import (
@@ -8,6 +17,15 @@ from repro.sanitizer.schedule import (
     explore_schedules,
     replay_schedule,
 )
+
+ENGINES = ("instrumented", "fast", "jit")
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request, monkeypatch):
+    """Sweep the process-wide engine preference (downgrades silently)."""
+    monkeypatch.setenv("REPRO_ENGINE", request.param)
+    return request.param
 
 
 def order_dependent_run(policy):
@@ -37,7 +55,7 @@ def stable_run(policy):
 
 
 class TestExploration:
-    def test_order_dependence_reproduced_within_64_schedules(self):
+    def test_order_dependence_reproduced_within_64_schedules(self, engine):
         result = explore_schedules(order_dependent_run, schedules=64)
         assert result.order_dependent
         assert result.reproduced is not None
@@ -45,7 +63,7 @@ class TestExploration:
         assert result.report.by_category("schedule-divergence")
         assert "replay" in result.text()
 
-    def test_stable_kernel_never_diverges(self):
+    def test_stable_kernel_never_diverges(self, engine):
         result = explore_schedules(stable_run, schedules=16)
         assert not result.order_dependent
         assert result.reproduced is None
@@ -53,7 +71,7 @@ class TestExploration:
         assert result.report.clean
         assert "stable" in result.text()
 
-    def test_divergence_only_some_schedules_hit_is_reported(self):
+    def test_divergence_only_some_schedules_hit_is_reported(self, engine):
         """A deadlock only a permuted order reaches shows up as errored."""
 
         def racy_then_diverge(policy):
@@ -89,15 +107,60 @@ class TestExploration:
         assert "DeadlockError" in result.errored[0][1]
 
 
+class TestEngineDowngrade:
+    """Policies are hooks: fast/jit launches must deopt cleanly."""
+
+    def test_policy_deopts_jit_launch_without_telemetry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "jit")
+        dev = Device()
+        a = dev.alloc("a", 64, np.float64)
+
+        def kernel(tc, a):
+            yield from tc.store(a, tc.tid, float(tc.tid))
+
+        # Policy-free launch really uses the jit engine...
+        kc_free = dev.launch(kernel, num_blocks=1, threads_per_block=64,
+                             args=(a,))
+        assert kc_free.extra.get("engine") == "jit"
+        # ...the hooked launch silently deopts: no jit telemetry keys.
+        kc_hook = dev.launch(kernel, num_blocks=1, threads_per_block=64,
+                             args=(a,), schedule_policy=ShuffleSchedule(1))
+        assert "engine" not in kc_hook.extra
+        assert not any(k.startswith("jit_") for k in kc_hook.extra)
+
+    @pytest.mark.parametrize("explicit", ["fast", "jit"])
+    def test_explicit_engine_plus_policy_raises(self, explicit):
+        from repro.errors import LaunchError
+
+        dev = Device()
+        a = dev.alloc("a", 64, np.float64)
+
+        def kernel(tc, a):
+            yield from tc.store(a, tc.tid, float(tc.tid))
+
+        with pytest.raises(LaunchError, match="hook"):
+            dev.launch(kernel, num_blocks=1, threads_per_block=64,
+                       args=(a,), engine=explicit,
+                       schedule_policy=ShuffleSchedule(1))
+
+    def test_baseline_engine_does_not_change_verdict(self, engine):
+        """The same divergent seed is found whatever engine the baseline
+        (policy-free) run resolved to — memory is bit-identical across
+        the engine ladder, so the diff is engine-invariant."""
+        result = explore_schedules(order_dependent_run, schedules=64)
+        assert result.order_dependent
+        assert result.reproduced == 3  # first divergent seed is stable
+
+
 class TestReplay:
-    def test_replay_by_seed_is_deterministic(self):
+    def test_replay_by_seed_is_deterministic(self, engine):
         result = explore_schedules(order_dependent_run, schedules=64)
         seed = result.reproduced
         first = replay_schedule(order_dependent_run, seed)
         second = replay_schedule(order_dependent_run, seed)
         assert np.array_equal(first["a"], second["a"])
 
-    def test_replay_reproduces_the_divergent_output(self):
+    def test_replay_reproduces_the_divergent_output(self, engine):
         result = explore_schedules(order_dependent_run, schedules=64)
         seed = result.reproduced
         baseline = result.baseline["a"]
@@ -117,7 +180,7 @@ class TestReplay:
 
 
 class TestPolicyCorrectnessEnvelope:
-    def test_permuted_schedule_is_a_legal_interleaving(self):
+    def test_permuted_schedule_is_a_legal_interleaving(self, engine):
         """A well-synchronized kernel gives identical results under any
         explored schedule (the permutation only reorders commits the
         program declared unordered)."""
