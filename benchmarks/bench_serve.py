@@ -11,7 +11,10 @@ launches/second plus p50/p99 latency for three legs:
   merged grid per dispatch;
 * ``warm_pool`` — batched dispatch through a persistent forked
   :class:`~repro.serve.lease.PoolLease` (skipped where fork is
-  unavailable; recorded, not gated).
+  unavailable; recorded, not gated);
+* ``journal`` — batched dispatch with the write-ahead request journal
+  attached (keyed requests, fsync'd group commit to a temporary WAL):
+  durability must ride the group-commit path, not the latency ladder.
 
 The **gates** (``--check``, run by the CI ``serve-smoke`` job) follow
 the repo's perf-gate philosophy (see ``bench_substrate.py``): absolute
@@ -25,6 +28,9 @@ one process:
 * ``throughput_ratio`` = batched / unbatched launches per second —
   coalescing must not tax sustained throughput (hard floor
   :data:`THROUGHPUT_RATIO_FLOOR`);
+* ``journal_p99_ratio`` = journal-on p99 / journal-off p99 — one group
+  fsync per dispatch must keep the durability tax under
+  :data:`JOURNAL_P99_CEIL` (lower is better for this ratio);
 * every leg must complete all launches with **zero** verification
   errors — a perf number from wrong answers is meaningless;
 * the warm-pool leg must show zero worker respawns (the pool really
@@ -44,6 +50,7 @@ import asyncio
 import json
 import os
 import sys
+import tempfile
 
 from repro.exec.pool import fork_available
 from repro.gpu.device import Device
@@ -63,6 +70,10 @@ TOLERANCE_PCT = 30
 P99_RATIO_FLOOR = 1.1
 THROUGHPUT_RATIO_FLOOR = 0.6
 
+#: Hard ceiling on the durability tax: journal-on p99 must stay within
+#: 15% of journal-off p99 (group commit, one fsync per dispatch group).
+JOURNAL_P99_CEIL = 1.15
+
 #: Interleaved (unbatched, batched) measurement pairs; score is best-of.
 DEFAULT_REPS = 3
 
@@ -73,7 +84,7 @@ REQUESTS_PER_CLIENT = 4
 SEED = 9
 
 
-async def _run_leg(*, max_batch, lease=None):
+async def _run_leg(*, max_batch, lease=None, journal_path=None):
     service = LaunchService(
         Device(), demo_catalog(),
         scheduler=FairScheduler(max_queue=4096),
@@ -81,29 +92,40 @@ async def _run_leg(*, max_batch, lease=None):
         max_batch=max_batch,
         max_inflight=4096,
     )
+    if journal_path is not None:
+        service.load_journal(journal_path)
     async with service:
         metrics = await drive_service(
             service,
             clients=CLIENTS,
             requests_per_client=REQUESTS_PER_CLIENT,
             seed=SEED,
+            keyed=journal_path is not None,
         )
     metrics["batches"] = float(service.stats["batches"])
     metrics["max_batch_size"] = float(service.stats["max_batch_size"])
+    if service.journal is not None:
+        metrics["journal_appends"] = float(service.journal.stats["appends"])
+        metrics["journal_commits"] = float(service.journal.stats["commits"])
+        service.journal.close()
     return metrics
 
 
-def _leg(max_batch, lease=None):
-    return asyncio.run(_run_leg(max_batch=max_batch, lease=lease))
+def _leg(max_batch, lease=None, journal_path=None):
+    return asyncio.run(_run_leg(max_batch=max_batch, lease=lease,
+                                journal_path=journal_path))
 
 
 def measure(reps: int = DEFAULT_REPS) -> dict:
     expected = float(CLIENTS * REQUESTS_PER_CLIENT)
     best = None
+    journal_best = None
     for _ in range(reps):
         unbatched = _leg(1)
         batched = _leg(32)
-        for leg in (unbatched, batched):
+        with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+            journal = _leg(32, journal_path=os.path.join(tmp, "wal"))
+        for leg in (unbatched, batched, journal):
             if leg["errors"] or leg["launches"] != expected:
                 raise SystemExit(
                     f"benchmark leg failed: {leg['errors']} errors, "
@@ -112,6 +134,9 @@ def measure(reps: int = DEFAULT_REPS) -> dict:
         p99_ratio = unbatched["p99_ms"] / max(batched["p99_ms"], 1e-9)
         tp_ratio = (batched["launches_per_s"]
                     / max(unbatched["launches_per_s"], 1e-9))
+        journal_ratio = journal["p99_ms"] / max(batched["p99_ms"], 1e-9)
+        if journal_best is None or journal_ratio < journal_best["ratio"]:
+            journal_best = {"ratio": journal_ratio, "leg": journal}
         if best is None or p99_ratio > best["p99_ratio"]:
             best = {
                 "p99_ratio": p99_ratio,
@@ -129,6 +154,7 @@ def measure(reps: int = DEFAULT_REPS) -> dict:
         "tolerance_pct": TOLERANCE_PCT,
         "p99_ratio_floor": P99_RATIO_FLOOR,
         "throughput_ratio_floor": THROUGHPUT_RATIO_FLOOR,
+        "journal_p99_ceil": JOURNAL_P99_CEIL,
         "workload": {
             "clients": CLIENTS,
             "requests_per_client": REQUESTS_PER_CLIENT,
@@ -137,10 +163,12 @@ def measure(reps: int = DEFAULT_REPS) -> dict:
         "gates": {
             "p99_ratio": best["p99_ratio"],
             "throughput_ratio": best["throughput_ratio"],
+            "journal_p99_ratio": journal_best["ratio"],
         },
         "legs": {
             "unbatched": best["unbatched"],
             "batched": best["batched"],
+            "journal": journal_best["leg"],
         },
     }
 
@@ -167,7 +195,8 @@ def _print_bench(result: dict) -> None:
               f"errors={int(leg['errors'])}")
     g = result["gates"]
     print(f"BENCH serve.gates: p99_ratio={g['p99_ratio']:.2f} "
-          f"throughput_ratio={g['throughput_ratio']:.2f}")
+          f"throughput_ratio={g['throughput_ratio']:.2f} "
+          f"journal_p99_ratio={g['journal_p99_ratio']:.2f}")
 
 
 def check_against_baseline(result: dict, baseline_path: str) -> int:
@@ -182,6 +211,16 @@ def check_against_baseline(result: dict, baseline_path: str) -> int:
             f"throughput_ratio {g['throughput_ratio']:.2f} below hard "
             f"floor {THROUGHPUT_RATIO_FLOOR} — coalescing is taxing "
             f"sustained throughput")
+    if g["journal_p99_ratio"] > JOURNAL_P99_CEIL:
+        failures.append(
+            f"journal_p99_ratio {g['journal_p99_ratio']:.2f} above hard "
+            f"ceiling {JOURNAL_P99_CEIL} — the WAL is on the latency "
+            f"ladder instead of riding group commit")
+    journal_leg = result["legs"]["journal"]
+    if journal_leg["journal_commits"] > journal_leg["batches"] + 1:
+        failures.append(
+            "journal leg committed more often than it dispatched — "
+            "group commit is not grouping")
     pool = result["legs"].get("warm_pool")
     if pool is not None:
         if pool["worker_respawns"]:
@@ -205,6 +244,12 @@ def check_against_baseline(result: dict, baseline_path: str) -> int:
                 failures.append(
                     f"{key} {g[key]:.2f} regressed more than {tol:.0%} "
                     f"below baseline {base:.2f}")
+        base = baseline.get("gates", {}).get("journal_p99_ratio")
+        if base is not None and g["journal_p99_ratio"] > base * (1.0 + tol):
+            # Lower is better for the durability tax.
+            failures.append(
+                f"journal_p99_ratio {g['journal_p99_ratio']:.2f} regressed "
+                f"more than {tol:.0%} above baseline {base:.2f}")
     else:
         failures.append(f"no baseline at {baseline_path} "
                         f"(run --write-baseline first)")

@@ -291,6 +291,7 @@ def launch(
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.05,
+    resume: bool = False,
     stream=None,
 ) -> LaunchResult:
     """Launch a compiled kernel (or compile a tree on the fly) on ``device``.
@@ -321,9 +322,10 @@ def launch(
     The runtime counters are registered as launch side state so the
     parallel engine merges their per-team deltas deterministically.
 
-    ``faults``/``timeout``/``retries``/``backoff`` pass straight through
-    to :meth:`~repro.gpu.device.Device.launch` — fault-injection plan,
-    wall-clock watchdog, and launch-level retry-with-rollback (see
+    ``faults``/``timeout``/``retries``/``backoff``/``resume`` pass
+    straight through to :meth:`~repro.gpu.device.Device.launch` —
+    fault-injection plan, wall-clock watchdog, launch-level
+    retry-with-rollback, and block-granular checkpoint/resume (see
     ``docs/RESILIENCE.md``).
 
     ``stream`` (a :class:`repro.serve.Stream`) makes the call
@@ -385,6 +387,7 @@ def launch(
             timeout=timeout,
             retries=retries,
             backoff=backoff,
+            resume=resume,
         )
         kc.extra.update(rc.as_dict())
         kc.extra["simd_len"] = float(cfg.simd_len)

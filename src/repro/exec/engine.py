@@ -171,6 +171,13 @@ class LaunchPlan:
     #: and hooks (tracer/sanitizer/detect_races/schedule_policy) are
     #: rejected — batched launches are hook-free by construction.
     segments: Optional[Tuple[GridSegment, ...]] = None
+    #: Optional :class:`repro.faults.checkpoint.LaunchCheckpoint`.  The
+    #: parallel engine merges its completed block records instead of
+    #: re-executing those blocks, and harvests newly completed blocks
+    #: into it when an attempt dies mid-flight (watchdog timeout, merged
+    #: block error) so ``launch(retries=..., resume=True)`` resumes from
+    #: where the last attempt got to instead of from zero.
+    checkpoint: object = None
 
     # -- segmented-grid geometry ------------------------------------------
     def segment_spans(self) -> List[Tuple[int, int]]:
@@ -228,6 +235,10 @@ class ExecOutcome:
     recovery: Optional[dict] = None
     #: Per-segment outcomes for segmented (batched) plans; None otherwise.
     segments: Optional[List[SegmentOutcome]] = None
+    #: Checkpoint/resume split (``plan.checkpoint``): blocks merged from
+    #: a prior attempt's checkpoint vs blocks executed this attempt.
+    blocks_resumed: int = 0
+    blocks_replayed: int = 0
 
 
 def _make_monitor(plan: LaunchPlan):
@@ -383,6 +394,10 @@ class ParallelExecutor:
     :class:`SerialExecutor`) need an in-process executor.
     """
 
+    #: Consulted by ``Device.launch(resume=True)``: per-block isolated
+    #: records make checkpoint/resume sound here (module docstring).
+    supports_checkpoint = True
+
     def __init__(
         self,
         workers: Optional[int] = None,
@@ -416,31 +431,72 @@ class ParallelExecutor:
         # The handle watermark separates pre-launch buffers (tracked,
         # merged) from kernel-time allocations (block-local by the model).
         watermark = device.gmem.mark()
-        size = self.shard_size or -(-n // workers)
-        shards = [range(s, min(s + size, n)) for s in range(0, n, size)]
 
-        def run_shard(ids):
-            return [self._run_block(device, plan, watermark, b) for b in ids]
+        # Checkpoint/resume: blocks a prior attempt completed are merged
+        # from their recorded deltas instead of re-executing.  Sound
+        # because every block runs against the pre-launch snapshot — the
+        # retry ladder's rollback restores exactly the state those
+        # records were computed under (see repro.faults.checkpoint).
+        ckpt = plan.checkpoint
+        resumed: List[BlockRecord] = []
+        block_ids: Sequence[int] = range(n)
+        if ckpt is not None:
+            ckpt.bind(n, plan.threads_per_block)
+            done = ckpt.completed_ids()
+            if done:
+                block_ids = [b for b in range(n) if b not in done]
+                resumed = ckpt.take(range(n))
 
-        records: List[BlockRecord] = []
+        records: List[BlockRecord] = list(resumed)
         stats: dict = {}
-        retry = plan.retry if plan.retry is not None else RetryPolicy()
-        for status, payload in fork_map(
-            run_shard,
-            shards,
-            workers=workers,
-            processes=processes,
-            faults=plan.faults,
-            retry=retry,
-            deadline=plan.deadline,
-            stats=stats,
-        ):
-            if status == "err":
-                # Per-block errors are captured inside records; a shard-level
-                # error means the machinery itself failed.
-                payload.reraise()
-            records.extend(payload)
-        outcome = self._merge(device, plan, records)
+        if block_ids:
+            workers = min(workers, len(block_ids))
+            size = self.shard_size or -(-len(block_ids) // workers)
+            shards = [block_ids[s:s + size]
+                      for s in range(0, len(block_ids), size)]
+
+            def run_shard(ids):
+                return [self._run_block(device, plan, watermark, b)
+                        for b in ids]
+
+            retry = plan.retry if plan.retry is not None else RetryPolicy()
+            harvest: Optional[list] = [] if ckpt is not None else None
+            try:
+                shard_err = None
+                for status, payload in fork_map(
+                    run_shard,
+                    shards,
+                    workers=workers,
+                    processes=processes,
+                    faults=plan.faults,
+                    retry=retry,
+                    deadline=plan.deadline,
+                    stats=stats,
+                    partial=harvest,
+                ):
+                    if status == "err":
+                        # Per-block errors are captured inside records; a
+                        # shard-level error means the machinery itself
+                        # failed.
+                        shard_err = shard_err or payload
+                        continue
+                    records.extend(payload)
+                if shard_err is not None:
+                    shard_err.reraise()
+                outcome = self._merge(device, plan, records)
+            except BaseException:
+                if ckpt is not None:
+                    # Harvest what did complete — the timeout sink's
+                    # shards plus any fully collected records — so the
+                    # next attempt resumes instead of starting over.
+                    for _, payload in harvest or ():
+                        ckpt.add(payload)
+                    ckpt.add(records)
+                raise
+        else:
+            outcome = self._merge(device, plan, records)
+        outcome.blocks_resumed = len(resumed)
+        outcome.blocks_replayed = len(records) - len(resumed)
         if any(stats.values()):
             outcome.recovery = stats
         return outcome

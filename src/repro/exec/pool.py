@@ -59,6 +59,7 @@ the instrumented engine in the worker exactly as it would serially.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import multiprocessing
 import os
 import signal as _signal
@@ -111,6 +112,30 @@ class RetryPolicy:
     backoff: float = 0.02
     backoff_cap: float = 0.5
     hang_timeout: Optional[float] = None
+
+
+def retry_delay(policy: RetryPolicy, attempt: int, *,
+                faults=None, salt: object = 0) -> float:
+    """Backoff before retry round ``attempt + 1``, with seeded jitter.
+
+    The base is the classic capped exponential
+    ``min(backoff_cap, backoff * 2**attempt)``; without jitter,
+    concurrent failed chunks (several launches retrying after one
+    injected crash wave) sleep in lockstep and re-collide.  The jitter
+    factor is drawn in ``[0.5, 1.5)`` from a pure hash of
+    ``(plan seed, salt, attempt)`` — deterministic, so a campaign with
+    the same seed reproduces the identical retry timing, but distinct
+    chunks (distinct ``salt``) de-synchronize.  With no fault plan the
+    seed is 0: still jittered, still reproducible.
+    """
+    base = min(policy.backoff_cap, policy.backoff * (2 ** attempt))
+    if base <= 0.0:
+        return 0.0
+    seed = getattr(faults, "seed", 0) if faults is not None else 0
+    key = f"{seed}|backoff|{salt!r}|{attempt}".encode()
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    frac = int.from_bytes(digest, "big") / 2.0 ** 64
+    return base * (0.5 + frac)
 
 
 #: Stats keys :func:`fork_map` maintains in a caller-supplied dict.
@@ -222,6 +247,7 @@ def fork_map(
     deadline: Optional[float] = None,
     recover: bool = True,
     stats: Optional[dict] = None,
+    partial: Optional[list] = None,
 ) -> List[Tuple[str, object]]:
     """Run ``fn`` over ``tasks`` across forked workers; ordered outcomes.
 
@@ -235,6 +261,12 @@ def fork_map(
     :func:`time.monotonic` watchdog; ``recover=False`` restores the
     legacy raise-on-death behaviour; ``stats`` (a dict) receives the
     :data:`STAT_KEYS` counts for observability.
+
+    ``partial`` (a list) is the checkpoint harvest sink: when the
+    watchdog raises :class:`~repro.errors.LaunchTimeout` mid-map, the
+    ``("ok", result)`` outcomes already collected are appended to it
+    before the raise, so callers can checkpoint completed work instead
+    of discarding it (see :mod:`repro.faults.checkpoint`).
     """
     tasks = list(tasks)
     if stats is not None:
@@ -256,6 +288,9 @@ def fork_map(
                 if time.monotonic() >= deadline:
                     if faults is not None:
                         faults.counters.timeouts += 1
+                    if partial is not None:
+                        partial.extend((s, p) for _, s, p in flat
+                                       if s == "ok")
                     raise _deadline_timeout(i, len(tasks))
                 flat.extend(_run_chunk(fn, tasks, (i,)))
         return [(status, payload) for _, status, payload in flat]
@@ -369,24 +404,31 @@ def fork_map(
 
     chunks: List[Sequence[int]] = list(_chunk(len(tasks), workers))
     attempt = 0
-    failed = guarded_collect(spawn(chunks, attempt), attempt)
-
-    while failed and attempt < policy.max_retries:
-        delay = min(policy.backoff_cap, policy.backoff * (2 ** attempt))
-        if delay > 0:
-            time.sleep(delay)
-        attempt += 1
-        indices = sorted(i for chunk, _, _ in failed for i in chunk)
-        sub = _chunk(len(indices), workers)
-        chunks = [[indices[p] for p in r] for r in sub if len(r)]
-        if stats is not None:
-            stats["chunk_retries"] += len(failed)
-            stats["retry_rounds"] += 1
-            if len(chunks) != len(failed):
-                stats["redistributions"] += 1
-        if faults is not None:
-            faults.counters.chunk_retries += len(failed)
+    try:
         failed = guarded_collect(spawn(chunks, attempt), attempt)
+
+        while failed and attempt < policy.max_retries:
+            delay = retry_delay(policy, attempt, faults=faults,
+                                salt=(len(tasks), failed[0][0][0]))
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+            indices = sorted(i for chunk, _, _ in failed for i in chunk)
+            sub = _chunk(len(indices), workers)
+            chunks = [[indices[p] for p in r] for r in sub if len(r)]
+            if stats is not None:
+                stats["chunk_retries"] += len(failed)
+                stats["retry_rounds"] += 1
+                if len(chunks) != len(failed):
+                    stats["redistributions"] += 1
+            if faults is not None:
+                faults.counters.chunk_retries += len(failed)
+            failed = guarded_collect(spawn(chunks, attempt), attempt)
+    except LaunchTimeout:
+        if partial is not None:
+            partial.extend(o for o in outcomes
+                           if o is not None and o[0] == "ok")
+        raise
 
     if failed:
         if not recover:
@@ -807,8 +849,8 @@ class WorkerPool:
             bump("redistributions")
             if self.faults is not None:
                 self.faults.counters.chunk_retries += len(failed)
-            delay = min(self.retry.backoff_cap,
-                        self.retry.backoff * (2 ** attempt))
+            delay = retry_delay(self.retry, attempt, faults=self.faults,
+                                salt=(len(payloads), pending[0]))
             if delay > 0:
                 time.sleep(delay)
             attempt += 1

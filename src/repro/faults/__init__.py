@@ -41,6 +41,7 @@ import os
 import threading
 
 from repro.errors import FaultInjectionError
+from repro.faults.checkpoint import LaunchCheckpoint
 from repro.faults.plan import (
     SITES,
     FaultCounters,
@@ -56,6 +57,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "LaunchCheckpoint",
     "MemorySnapshot",
     "coerce_faults",
     "default_faults",

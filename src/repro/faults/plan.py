@@ -28,6 +28,19 @@ Hook sites (coordinates each site supplies):
                        :mod:`repro.serve.scheduler` — forces a typed
                        backpressure reject so clients' retry paths get
                        exercised deterministically)
+``serve.conn_drop``    ``tenant``, ``seq`` (the TCP front door drops the
+                       connection *after* executing but before the ack —
+                       the classic exactly-once ambiguity the journal
+                       dedup must resolve)
+``serve.dispatch_stall``  ``batch`` (the dispatch thread stalls briefly
+                       before running a batch, widening the window a
+                       chaos kill lands mid-flight)
+``journal.torn_write`` ``index`` (a journal append is truncated mid-record
+                       and not fsynced — models power loss during the
+                       write; replay must skip the torn record)
+``lease.corrupt``      ``batch``, ``payload``, ``attempt`` (a warm-pool
+                       result payload arrives corrupted; the lease
+                       discards it and re-dispatches that payload)
 =====================  =====================================================
 
 Every spec carries an ``attempts`` bound: it only fires while the
@@ -55,6 +68,10 @@ SITES = (
     "sharing.overflow",
     "atomic.transient",
     "serve.reject",
+    "serve.conn_drop",
+    "serve.dispatch_stall",
+    "journal.torn_write",
+    "lease.corrupt",
 )
 
 #: Cap on retained provenance entries (counters keep exact totals).
@@ -120,6 +137,10 @@ class FaultCounters:
     forced_overflows: int = 0
     atomic_transients: int = 0
     forced_rejects: int = 0
+    conn_drops: int = 0
+    dispatch_stalls: int = 0
+    torn_writes: int = 0
+    lease_corruptions: int = 0
     #: Detection/recovery outcomes.
     detected: int = 0
     recovered: int = 0
@@ -136,7 +157,9 @@ class FaultCounters:
     def injected(self) -> int:
         return (self.worker_crashes + self.worker_hangs + self.bitflips
                 + self.forced_overflows + self.atomic_transients
-                + self.forced_rejects)
+                + self.forced_rejects + self.conn_drops
+                + self.dispatch_stalls + self.torn_writes
+                + self.lease_corruptions)
 
     def as_dict(self) -> Dict[str, int]:
         out = dict(vars(self))
@@ -151,6 +174,10 @@ _SITE_COUNTER = {
     "sharing.overflow": "forced_overflows",
     "atomic.transient": "atomic_transients",
     "serve.reject": "forced_rejects",
+    "serve.conn_drop": "conn_drops",
+    "serve.dispatch_stall": "dispatch_stalls",
+    "journal.torn_write": "torn_writes",
+    "lease.corrupt": "lease_corruptions",
 }
 
 

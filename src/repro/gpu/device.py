@@ -121,6 +121,8 @@ class Device:
         timeout: Optional[float] = None,
         retries: int = 0,
         backoff: float = 0.05,
+        resume: bool = False,
+        checkpoint=None,
         fastpath: Optional[bool] = None,
         engine: Optional[str] = None,
     ) -> KernelCounters:
@@ -175,6 +177,17 @@ class Device:
           to a pre-launch snapshot — buffer contents restored, kernel-time
           allocations freed, side-state counters rewound — and re-executed
           after capped exponential backoff, up to ``retries`` times.
+        * ``resume=True`` upgrades those retries to block-granular
+          checkpoint/resume on checkpoint-capable executors (the
+          parallel engine): blocks an attempt completed before dying are
+          harvested into a :class:`repro.faults.LaunchCheckpoint` and
+          merged — not re-executed — on the next attempt, with
+          ``kc.extra["blocks_resumed"]``/``["blocks_replayed"]``
+          reporting the split.  ``checkpoint=`` supplies an external
+          (possibly persisted) checkpoint instead, for cross-process
+          resume.  On the serial executor, or when no blocks were
+          checkpointed, resume degrades cleanly to the full-rollback
+          retry it upgrades.
 
         ``engine`` selects the block round engine (``docs/PERF.md``):
         ``"auto"`` picks the fast interpreter whenever the launch is
@@ -325,6 +338,14 @@ class Device:
                 jit_stats=jit_stats,
             )
 
+            if checkpoint is None and resume:
+                from repro.faults.checkpoint import LaunchCheckpoint
+
+                checkpoint = LaunchCheckpoint()
+            if checkpoint is not None and getattr(
+                    exec_, "supports_checkpoint", False):
+                plan.checkpoint = checkpoint
+
             max_attempts = int(retries) + 1
             need_snapshot = max_attempts > 1 or (
                 faults_ is not None
@@ -412,6 +433,9 @@ class Device:
                 for key, val in sorted(outcome.recovery.items()):
                     if val:
                         kc.extra[f"pool_{key}"] = float(val)
+            if plan.checkpoint is not None:
+                kc.extra["blocks_resumed"] = float(outcome.blocks_resumed)
+                kc.extra["blocks_replayed"] = float(outcome.blocks_replayed)
             if faults_ is not None:
                 # Per-launch deltas only: a plan under which nothing fired adds
                 # no keys, keeping counters bit-identical to a plane-less run.

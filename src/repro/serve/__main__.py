@@ -4,17 +4,29 @@ Modes::
 
     python -m repro.serve                     # serve the demo catalog on TCP
     python -m repro.serve --port 9000 --pool 4
+    python -m repro.serve --journal /var/tmp/serve.wal   # durable serve
     python -m repro.serve --selftest          # boot + TCP loadgen + verify,
                                               # print metrics JSON, exit
     python -m repro.serve --selftest --faults 42:worker.crash=0.3
+    python -m repro.serve chaos --cycles 25 --seed 2023  # kill/restart
+                                              # campaign (see serve/chaos.py)
 
 ``--pool N`` attaches a persistent warm worker pool (N forked workers)
 so block execution survives across launches with zero fork-per-launch;
 without it, batches run on the in-process serial engine.  ``--faults``
-takes the ``REPRO_FAULTS`` grammar and wires the plan into both the
-pool (``worker.crash``/``worker.hang``) and admission
-(``serve.reject``) — the selftest must still return verified-correct
-results, which is exactly what the CI fault leg asserts.
+takes the ``REPRO_FAULTS`` grammar and wires the plan into the pool
+(``worker.crash``/``worker.hang``), admission (``serve.reject``), and
+the serve-layer durability sites (``serve.conn_drop``,
+``serve.dispatch_stall``, ``journal.torn_write``, ``lease.corrupt``) —
+the selftest must still return verified-correct results, which is
+exactly what the CI fault leg asserts.
+
+``--journal PATH`` makes acknowledged requests durable: the write-ahead
+journal is replayed at boot (completed keys answer resubmits without
+re-execution; admitted-but-unfinished requests are re-executed), and
+SIGTERM triggers a graceful drain — new submissions get
+``Backpressure(reason="draining")``, in-flight requests finish, the
+journal is flushed, then the process exits.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 
 from repro.faults import coerce_faults
@@ -48,7 +61,7 @@ def build_service(args) -> LaunchService:
         scheduler=scheduler,
         lease=lease,
         engine=args.engine,
-        faults=None if lease is not None else faults,
+        faults=faults,
         max_batch=args.max_batch,
         max_inflight=args.max_inflight,
     )
@@ -56,16 +69,46 @@ def build_service(args) -> LaunchService:
 
 async def _serve(args) -> int:
     service = build_service(args)
+    state = None
+    if getattr(args, "journal", None):
+        state = service.load_journal(args.journal)
     server = await service.serve_tcp(args.host, args.port)
     addr = server.sockets[0].getsockname()
     print(f"repro.serve listening on {addr[0]}:{addr[1]} "
           f"(kernels: {', '.join(service.catalog.names())})", flush=True)
+    if state is not None:
+        recovered = await service.recover(state)
+        print(f"journal: {len(state.done)} durable results replayed, "
+              f"{recovered} unfinished re-executed, "
+              f"{state.torn_records} torn records skipped", flush=True)
+    loop = asyncio.get_running_loop()
+    drain_requested = asyncio.Event()
     try:
-        await server.serve_forever()
+        loop.add_signal_handler(signal.SIGTERM, drain_requested.set)
+    except NotImplementedError:  # pragma: no cover - non-POSIX loops
+        pass
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    drain_task = asyncio.ensure_future(drain_requested.wait())
+    try:
+        await asyncio.wait({serve_task, drain_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if drain_requested.is_set():
+            print("SIGTERM: draining...", flush=True)
+            service.begin_drain()
+            await service.drain()
+            print("drained; shutting down", flush=True)
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (serve_task, drain_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
         await service.stop()
+        if service.journal is not None:
+            service.journal.close()
         if service.lease is not None:
             service.lease.close()
     return 0
@@ -118,6 +161,9 @@ def main(argv=None) -> int:
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--max-queue", type=int, default=2048)
     parser.add_argument("--max-inflight", type=int, default=4096)
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="write-ahead request journal (replayed at boot; "
+                             "SIGTERM drains gracefully)")
     parser.add_argument("--selftest", action="store_true",
                         help="boot, drive TCP load, verify outputs, exit")
     parser.add_argument("--clients", type=int, default=16)
@@ -129,5 +175,13 @@ def main(argv=None) -> int:
     return asyncio.run(_serve(args))
 
 
+def _dispatch(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "chaos":
+        from repro.serve.chaos import main as chaos_main
+        return chaos_main(argv[1:])
+    return main(argv)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_dispatch())

@@ -1,0 +1,410 @@
+"""Chaos campaign: SIGKILL the durable server under load, prove
+exactly-once.
+
+``python -m repro.serve chaos`` runs the serve tier's crash-recovery
+acceptance test end-to-end, with real processes and real sockets:
+
+1. a journaled server subprocess is booted on a free port;
+2. deterministic keyed clients (the :mod:`repro.serve.loadgen` workload,
+   seeded) submit requests over TCP, reconnecting and **resubmitting the
+   same idempotency key** whenever the connection dies;
+3. a killer task SIGKILLs the server ``--cycles`` times — paced so kills
+   land while traffic is in flight — and restarts it each time; the
+   restart replays the journal and re-executes whatever was admitted but
+   unfinished;
+4. the final shutdown is a SIGTERM drain (the graceful path), and then
+   the verdict is computed.
+
+The campaign passes only if **every acknowledged request completed
+exactly once**: each acked key has exactly one durable ``done`` record
+in the journal, and its acked outputs are bit-identical (``tobytes``
+equality, not allclose) to a fault-free serial baseline executed
+in-driver.  Crashes may lose *unacknowledged* work — that is the
+contract — but an ack, once seen by a client, must survive any number
+of SIGKILLs.
+
+On divergence the campaign dumps repro artifacts (seed, per-key expected
+vs. got arrays, the journal file) under ``--artifacts`` so the failure
+can be replayed offline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+import repro
+from repro.serve import batch as batchmod
+from repro.serve.demo import demo_catalog
+from repro.serve.journal import RequestJournal
+from repro.serve.loadgen import _make_request
+
+__all__ = ["main", "run_campaign"]
+
+#: The documented acceptance seed (ISSUE 9): 25+ cycles, zero loss.
+DEFAULT_SEED = 2023
+DEFAULT_CYCLES = 25
+#: Default serve-layer fault mix layered on top of the kills.
+DEFAULT_SITES = "serve.conn_drop=0.08,serve.dispatch_stall=0.05," \
+                "journal.torn_write=0.1"
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _requests_for(seed: int, clients: int, per_client: int) -> List[dict]:
+    """The campaign's deterministic keyed workload (loadgen's model)."""
+    out = []
+    for cid in range(clients):
+        rng = np.random.default_rng(seed * 10007 + cid)
+        for seq in range(per_client):
+            out.append(_make_request(rng, cid, seq, seed=seed, keyed=True))
+    return out
+
+
+def serial_baseline(requests: List[dict]) -> Dict[str, Dict[str, bytes]]:
+    """Fault-free serial execution of the workload, keyed by idempotency
+    key; values are output-name → raw bytes for bit-exact comparison."""
+    from repro.gpu.device import Device
+
+    device = Device()
+    catalog = demo_catalog()
+    expected: Dict[str, Dict[str, bytes]] = {}
+    for spec in requests:
+        prepared = batchmod.prepare(
+            device, catalog, spec["kernel"], spec["args"],
+            num_teams=spec["num_teams"], team_size=spec["team_size"],
+            out=spec["out"], tag=spec["key"],
+        )
+        try:
+            outcome = batchmod.run_batch(device, [prepared])[0]
+            outcome.raise_for_error()
+            expected[spec["key"]] = {
+                name: arr.tobytes() for name, arr in outcome.outputs.items()
+            }
+        finally:
+            batchmod.release(device, prepared)
+    return expected
+
+
+class _Server:
+    """The journaled server subprocess: boot, health-poll, kill, restart."""
+
+    def __init__(self, port: int, journal: str, *, faults: Optional[str],
+                 pool: int, log_path: str) -> None:
+        self.port = port
+        self.journal = journal
+        self.faults = faults
+        self.pool = pool
+        self.log_path = log_path
+        self.proc: Optional[subprocess.Popen] = None
+        self.boots = 0
+
+    def _cmd(self) -> List[str]:
+        cmd = [sys.executable, "-m", "repro.serve",
+               "--host", "127.0.0.1", "--port", str(self.port),
+               "--journal", self.journal]
+        if self.faults:
+            cmd += ["--faults", self.faults]
+        if self.pool:
+            cmd += ["--pool", str(self.pool)]
+        return cmd
+
+    def start(self) -> None:
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        log = open(self.log_path, "ab")
+        # Own session/process group: a SIGKILL must take down the warm
+        # pool's forked workers too (they inherit the listening socket;
+        # a surviving orphan would hold the port across the restart —
+        # and a real machine crash kills the whole tree anyway).
+        self.proc = subprocess.Popen(
+            self._cmd(), stdout=log, stderr=subprocess.STDOUT, env=env,
+            start_new_session=True,
+        )
+        log.close()
+        self.boots += 1
+
+    async def wait_ready(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited during boot (rc {self.proc.returncode}); "
+                    f"see {self.log_path}")
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", self.port)
+                writer.write(b'{"op": "health"}\n')
+                await writer.drain()
+                reply = json.loads(await asyncio.wait_for(
+                    reader.readline(), 2.0))
+                writer.close()
+                if reply.get("ready"):
+                    return
+            except (OSError, asyncio.TimeoutError, ValueError):
+                await asyncio.sleep(0.1)
+        raise RuntimeError(f"server not ready within {timeout}s")
+
+    def _killpg(self) -> None:
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            self.proc.kill()
+
+    def kill(self) -> None:
+        """SIGKILL the whole server session: no cleanup, no journal
+        flush, no survivors (the crash model)."""
+        if self.proc is not None and self.proc.poll() is None:
+            self._killpg()
+            self.proc.wait()
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """SIGTERM (graceful drain) and wait; returns the exit code."""
+        if self.proc is None:
+            return 0
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                return self.proc.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self._killpg()
+                return self.proc.wait()
+        return self.proc.returncode
+
+
+async def _client(server: _Server, requests: List[dict],
+                  acked: Dict[str, Dict[str, bytes]],
+                  counters: Dict[str, int], stop_by: float) -> None:
+    """Submit this client's requests in order; survive kills by
+    reconnecting and resubmitting the unacked key."""
+    reader = writer = None
+    for spec in requests:
+        msg = {k: v for k, v in spec.items() if k != "args"}
+        msg["id"] = spec["key"]
+        msg["args"] = {k: v.tolist() for k, v in spec["args"].items()}
+        payload = json.dumps(msg).encode() + b"\n"
+        while True:
+            if time.monotonic() > stop_by:
+                raise RuntimeError(
+                    f"campaign wall-clock budget exhausted with key "
+                    f"{spec['key']} unacked")
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port)
+                writer.write(payload)
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.readline(), 20.0)
+            except (OSError, asyncio.TimeoutError):
+                raw = b""
+            if not raw:
+                # Server died (or dropped us): reconnect, resubmit key.
+                counters["resubmits"] += 1
+                if writer is not None:
+                    try:
+                        writer.close()
+                    except Exception:
+                        pass
+                reader = writer = None
+                await asyncio.sleep(0.2)
+                continue
+            reply = json.loads(raw)
+            if "backpressure" in reply:
+                counters["rejects"] += 1
+                await asyncio.sleep(
+                    reply["backpressure"].get("retry_after", 0.05))
+                continue
+            if not reply.get("ok"):
+                raise RuntimeError(
+                    f"key {spec['key']} failed: {reply.get('error')}")
+            if reply.get("replayed"):
+                counters["replays"] += 1
+            acked[spec["key"]] = {
+                name: np.asarray(vals, dtype=np.float64).tobytes()
+                for name, vals in reply["outputs"].items()
+            }
+            break
+    if writer is not None:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def _killer(server: _Server, cycles: int, total: int,
+                  acked: Dict[str, Dict[str, bytes]],
+                  counters: Dict[str, int], stop_by: float) -> None:
+    """SIGKILL + restart ``cycles`` times, paced across the workload so
+    kills land while requests are genuinely in flight."""
+    for cycle in range(cycles):
+        target = min(total - 1, ((cycle + 1) * total) // (cycles + 1))
+        while len(acked) < target and time.monotonic() < stop_by:
+            await asyncio.sleep(0.05)
+        server.kill()
+        counters["kills"] += 1
+        server.start()
+        await server.wait_ready()
+
+
+async def run_campaign(args) -> dict:
+    """Run the campaign; returns the verdict/metrics dict (and raises
+    nothing — failures are reported in the dict)."""
+    workdir = args.artifacts or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    journal_path = os.path.join(workdir, "serve.wal")
+    if os.path.exists(journal_path):
+        os.unlink(journal_path)
+    faults = (f"{args.seed}:{args.sites}" if args.sites else None)
+    server = _Server(_free_port(), journal_path, faults=faults,
+                     pool=args.pool,
+                     log_path=os.path.join(workdir, "server.log"))
+
+    requests = _requests_for(args.seed, args.clients, args.requests)
+    per_client: Dict[int, List[dict]] = {}
+    for i, spec in enumerate(requests):
+        per_client.setdefault(i // args.requests, []).append(spec)
+    expected = serial_baseline(requests)
+
+    acked: Dict[str, Dict[str, bytes]] = {}
+    counters = {"kills": 0, "resubmits": 0, "rejects": 0, "replays": 0}
+    start = time.monotonic()
+    stop_by = start + args.budget
+    server.start()
+    await server.wait_ready()
+    failure: Optional[str] = None
+    try:
+        kill_task = asyncio.ensure_future(_killer(
+            server, args.cycles, len(requests), acked, counters, stop_by))
+        await asyncio.gather(*(
+            _client(server, reqs, acked, counters, stop_by)
+            for reqs in per_client.values()
+        ))
+        await kill_task
+    except Exception as err:
+        failure = f"campaign aborted: {err!r}"
+        kill_task.cancel()
+    rc = server.terminate()
+    wall = time.monotonic() - start
+
+    # -- verdict ------------------------------------------------------------
+    problems: List[str] = []
+    if failure:
+        problems.append(failure)
+    if rc != 0:
+        problems.append(f"graceful drain exited with rc {rc}")
+    state = RequestJournal.replay(journal_path)
+    done_counts: Dict[str, int] = {}
+    try:
+        with open(journal_path, "rb") as fh:
+            for raw in fh:
+                try:
+                    record = json.loads(raw)["r"]
+                except (ValueError, KeyError, TypeError):
+                    continue
+                if record.get("t") == "done":
+                    key = record.get("key")
+                    done_counts[key] = done_counts.get(key, 0) + 1
+    except OSError:
+        problems.append("journal file missing after campaign")
+    mismatched = []
+    for key, outputs in acked.items():
+        if key not in state.done:
+            problems.append(f"acked key {key} has no durable done record")
+        if done_counts.get(key, 0) > 1:
+            problems.append(
+                f"key {key} executed {done_counts[key]} times "
+                f"(duplicate done records)")
+        want = expected.get(key)
+        if want is None:
+            problems.append(f"acked key {key} not in the workload")
+            continue
+        if outputs != want:
+            mismatched.append(key)
+    if mismatched:
+        problems.append(
+            f"{len(mismatched)} acked results diverge bit-wise from the "
+            f"fault-free serial baseline: {mismatched[:5]}")
+        for key in mismatched:
+            np.save(os.path.join(workdir, f"got-{key}.npy"),
+                    {n: np.frombuffer(b) for n, b in acked[key].items()},
+                    allow_pickle=True)
+            np.save(os.path.join(workdir, f"want-{key}.npy"),
+                    {n: np.frombuffer(b) for n, b in expected[key].items()},
+                    allow_pickle=True)
+    if len(acked) < len(requests) and not failure:
+        problems.append(
+            f"only {len(acked)}/{len(requests)} requests acked")
+
+    verdict = {
+        "ok": not problems,
+        "problems": problems,
+        "seed": args.seed,
+        "cycles": counters["kills"],
+        "boots": server.boots,
+        "requests": len(requests),
+        "acked": len(acked),
+        "resubmits": counters["resubmits"],
+        "rejects": counters["rejects"],
+        "replayed_acks": counters["replays"],
+        "journal_records": state.records,
+        "journal_torn_records": state.torn_records,
+        "wall_s": round(wall, 3),
+        "artifacts": workdir,
+    }
+    if not problems and not args.artifacts:
+        shutil.rmtree(workdir, ignore_errors=True)
+        verdict["artifacts"] = None
+    return verdict
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve chaos",
+        description="SIGKILL/restart campaign against the journaled "
+                    "server; asserts exactly-once for acknowledged "
+                    "requests, bit-identical to a serial baseline",
+    )
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
+                        help="SIGKILL/restart cycles (default 25)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=10,
+                        help="requests per client")
+    parser.add_argument("--pool", type=int, default=0,
+                        help="warm pool workers in the server (0 = none)")
+    parser.add_argument("--sites", default=DEFAULT_SITES,
+                        help="serve-layer fault sites layered on the kills "
+                             "('' to disable)")
+    parser.add_argument("--budget", type=float, default=600.0,
+                        help="campaign wall-clock budget in seconds")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="keep journal/logs/divergence dumps here")
+    args = parser.parse_args(argv)
+    verdict = asyncio.run(run_campaign(args))
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    if not verdict["ok"]:
+        print("chaos campaign FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

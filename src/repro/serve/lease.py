@@ -35,6 +35,7 @@ lifecycle, which is the one that matters under sustained load.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -150,6 +151,8 @@ class PoolLease:
         catalog.freeze()
         self.catalog = catalog
         self.params = params
+        self.faults = faults
+        self._batch_seq = itertools.count()
         self.pool = WorkerPool(
             make_runner(catalog, params),
             workers,
@@ -218,6 +221,7 @@ class PoolLease:
             offsets.append(offset)
             offset += p.num_blocks
 
+        batch = next(self._batch_seq)
         records: List[BlockRecord] = []
         for i, (status, result) in enumerate(
             self.pool.map(payloads, deadline=deadline)
@@ -227,7 +231,36 @@ class PoolLease:
                 # records) — surface it; the service layer converts it
                 # into per-request errors.
                 result.reraise()
+            result = self._verified(batch, i, payloads[i], result, deadline)
             for rec in result:
                 rec.block_id += offsets[i]
                 records.append(rec)
         return records
+
+    def _verified(self, batch: int, payload_index: int, payload: dict,
+                  result: List[BlockRecord],
+                  deadline: Optional[float]) -> List[BlockRecord]:
+        """The ``lease.corrupt`` hook: a result payload modelled as
+        arriving corrupted is discarded whole and its request
+        re-dispatched — execution is deterministic, so the replacement
+        records are bit-identical to what the corrupt shipment carried.
+        The ``attempt`` coordinate counts re-dispatches, so a spec's
+        ``attempts`` bound lets a retry through."""
+        if self.faults is None:
+            return result
+        attempt = 0
+        while self.faults.fires("lease.corrupt", batch=batch,
+                                payload=payload_index,
+                                attempt=attempt) is not None:
+            self.faults.record(
+                "lease.corrupt",
+                {"batch": batch, "payload": payload_index,
+                 "attempt": attempt},
+                recovered=True,
+                detail="corrupt result payload discarded; re-dispatched",
+            )
+            attempt += 1
+            status, result = self.pool.map([payload], deadline=deadline)[0]
+            if status == "err":
+                result.reraise()
+        return result

@@ -40,7 +40,8 @@ def percentile(samples: List[float], q: float) -> float:
     return float(np.percentile(np.asarray(samples), q))
 
 
-def _make_request(rng: np.random.Generator, client: int, seq: int) -> dict:
+def _make_request(rng: np.random.Generator, client: int, seq: int,
+                  *, seed: int = 0, keyed: bool = False) -> dict:
     kernel = ("axpy", "square", "scale_sum")[seq % 3]
     args = {"x": rng.standard_normal(DEMO_N)}
     if kernel == "axpy":
@@ -50,7 +51,7 @@ def _make_request(rng: np.random.Generator, client: int, seq: int) -> dict:
     else:
         args["y"] = np.zeros(DEMO_N)
         args["acc"] = np.zeros(1)
-    return {
+    spec = {
         "kernel": kernel,
         "args": args,
         "num_teams": 1 + (seq % 3),
@@ -59,6 +60,9 @@ def _make_request(rng: np.random.Generator, client: int, seq: int) -> dict:
         "tenant": f"tenant-{client % 4}",
         "stream": f"client-{client}",
     }
+    if keyed:
+        spec["key"] = f"s{seed}-c{client}-r{seq}"
+    return spec
 
 
 def _verify(kernel: str, args: Dict[str, np.ndarray],
@@ -96,8 +100,14 @@ async def drive_service(
     requests_per_client: int = 8,
     seed: int = 0,
     verify: bool = True,
+    keyed: bool = False,
 ) -> Dict[str, float]:
-    """Drive an in-process service with concurrent stream clients."""
+    """Drive an in-process service with concurrent stream clients.
+
+    ``keyed=True`` stamps every request with a deterministic idempotency
+    key (``s<seed>-c<client>-r<seq>``) so journaled services exercise
+    the durability path under plain load.
+    """
     latencies: List[float] = []
     counters = {"rejects": 0, "retries": 0, "errors": 0}
     from repro.serve.server import LaunchRequest
@@ -105,7 +115,7 @@ async def drive_service(
     async def client(cid: int) -> None:
         rng = np.random.default_rng(seed * 10007 + cid)
         for seq in range(requests_per_client):
-            spec = _make_request(rng, cid, seq)
+            spec = _make_request(rng, cid, seq, seed=seed, keyed=keyed)
             args = spec.pop("args")
             request = LaunchRequest(args={k: v.copy() for k, v in args.items()},
                                     **spec)
@@ -142,8 +152,16 @@ async def drive_tcp(
     requests_per_client: int = 8,
     seed: int = 0,
     verify: bool = True,
+    keyed: bool = False,
 ) -> Dict[str, float]:
-    """Drive a TCP server: one connection + one stream per client."""
+    """Drive a TCP server: one connection + one stream per client.
+
+    With ``keyed=True`` every request carries a deterministic
+    idempotency key and a dropped connection (injected
+    ``serve.conn_drop`` or a restart) is handled by reconnecting and
+    resubmitting the same key — the journal answers the resubmit
+    without re-executing.
+    """
     latencies: List[float] = []
     counters = {"rejects": 0, "retries": 0, "errors": 0}
 
@@ -152,7 +170,7 @@ async def drive_tcp(
         rng = np.random.default_rng(seed * 10007 + cid)
         try:
             for seq in range(requests_per_client):
-                spec = _make_request(rng, cid, seq)
+                spec = _make_request(rng, cid, seq, seed=seed, keyed=keyed)
                 args = spec.pop("args")
                 msg = dict(spec)
                 msg["id"] = seq
@@ -160,9 +178,30 @@ async def drive_tcp(
                 start = time.monotonic()
                 reply: Optional[dict] = None
                 for _ in range(MAX_RETRIES):
-                    writer.write(json.dumps(msg).encode() + b"\n")
-                    await writer.drain()
-                    reply = json.loads(await reader.readline())
+                    try:
+                        writer.write(json.dumps(msg).encode() + b"\n")
+                        await writer.drain()
+                        raw = await reader.readline()
+                    except (ConnectionError, OSError):
+                        raw = b""
+                    if not raw:
+                        # Connection dropped mid-request: reconnect and
+                        # resubmit.  Only safe for keyed requests, which
+                        # the journal deduplicates.
+                        reply = None
+                        counters["retries"] += 1
+                        try:
+                            writer.close()
+                        except Exception:
+                            pass
+                        await asyncio.sleep(0.05)
+                        try:
+                            reader, writer = await asyncio.open_connection(
+                                host, port)
+                        except OSError:
+                            pass
+                        continue
+                    reply = json.loads(raw)
                     if "backpressure" in reply:
                         counters["rejects"] += 1
                         counters["retries"] += 1

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-__all__ = ["Backpressure", "FairScheduler", "TenantQueue"]
+__all__ = ["Backpressure", "CircuitBreaker", "FairScheduler", "TenantQueue"]
 
 #: Default deficit replenished per tenant per round, in block-cost units.
 DEFAULT_QUANTUM = 8
@@ -68,14 +69,84 @@ class Backpressure(Exception):
         }
 
 
+class CircuitBreaker:
+    """Per-tenant failure breaker: open after K consecutive failures.
+
+    Classic three-state machine.  *Closed* admits everything and counts
+    consecutive failures; ``threshold`` of them in a row trips it
+    *open*, which rejects until ``cooldown`` seconds pass; the first
+    :meth:`allow` after the cooldown transitions to *half-open* and
+    admits exactly one probe — its success closes the breaker, its
+    failure re-opens it for another cooldown.  A breaker protects the
+    device from a tenant whose requests deterministically fail (bad
+    kernels, impossible deadlines) without costing well-behaved tenants
+    anything.
+
+    ``clock`` is injectable for tests; not thread-safe on its own — the
+    service drives it from the event loop.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    def allow(self) -> bool:
+        """May a request pass right now?  (May transition open →
+        half-open; the admitted request is then the probe.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = "half_open"
+                return True
+            return False
+        # half_open: one probe is already in flight; hold the line.
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (self.state == "half_open"
+                or self.consecutive_failures >= self.threshold):
+            if self.state != "open":
+                self.trips += 1
+            self.state = "open"
+            self.opened_at = self._clock()
+            self.consecutive_failures = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+        }
+
+
 @dataclass
 class TenantQueue:
-    """Per-tenant scheduling state (DRR deficit + FIFO of entries)."""
+    """Per-tenant scheduling state (DRR deficit + FIFO of entries).
+
+    Entries are ``(cost, deadline, item)``; ``deadline`` is an absolute
+    :func:`time.monotonic` value or None.
+    """
 
     name: str
     weight: float = 1.0
     deficit: float = 0.0
-    entries: Deque[Tuple[float, object]] = field(default_factory=deque)
+    entries: Deque[Tuple[float, Optional[float], object]] = field(
+        default_factory=deque)
     #: Cumulative dispatched block-cost (observability / fairness tests).
     dispatched_cost: float = 0.0
 
@@ -115,6 +186,10 @@ class FairScheduler:
         self._seq = itertools.count()
         #: Rejects by reason (observability surface).
         self.rejects: Dict[str, int] = {}
+        #: Called with each entry whose deadline expired while queued
+        #: (outside the lock); the server fails the request's future
+        #: with a typed ``Backpressure("deadline")``.
+        self.on_expire: Optional[Callable[[object], None]] = None
 
     # -- configuration ------------------------------------------------------
     def set_weight(self, tenant: str, weight: float) -> None:
@@ -132,8 +207,15 @@ class FairScheduler:
 
     # -- admission ----------------------------------------------------------
     def submit(self, item, *, tenant: str = "default",
-               cost: float = 1.0) -> None:
-        """Enqueue ``item`` for ``tenant`` or raise :class:`Backpressure`."""
+               cost: float = 1.0,
+               deadline: Optional[float] = None) -> None:
+        """Enqueue ``item`` for ``tenant`` or raise :class:`Backpressure`.
+
+        ``deadline`` (absolute :func:`time.monotonic`) marks the entry
+        stale after that instant: :meth:`next_batch` drops it unstarted
+        and reports it through :attr:`on_expire` instead of wasting
+        device time on a result the client no longer wants.
+        """
         seq = next(self._seq)
         if self.faults is not None:
             coords = {"tenant": tenant, "seq": seq}
@@ -162,7 +244,7 @@ class FairScheduler:
                     detail=f"tenant has {tq.depth} queued (cap "
                            f"{self.max_tenant_queue})",
                 )
-            tq.entries.append((float(cost), item))
+            tq.entries.append((float(cost), deadline, item))
             self._depth += 1
 
     def _retry_hint(self) -> float:
@@ -192,7 +274,9 @@ class FairScheduler:
         into grids.
         """
         out: List[object] = []
+        expired: List[object] = []
         budget = float("inf") if max_cost is None else float(max_cost)
+        now = time.monotonic()
         with self._lock:
             active = [tq for tq in self._tenants.values() if tq.entries]
             if not active:
@@ -205,9 +289,21 @@ class FairScheduler:
                 for tq in active:
                     if len(out) >= max_items or budget <= 0:
                         break
+                    # Stale heads (client deadline already passed) are
+                    # dropped unstarted: they cost no deficit and make
+                    # no progress toward the batch.
+                    while tq.entries:
+                        cost, deadline, item = tq.entries[0]
+                        if deadline is None or now < deadline:
+                            break
+                        tq.entries.popleft()
+                        self._depth -= 1
+                        self._count_reject_locked("deadline")
+                        expired.append(item)
+                        progress = True
                     if not tq.entries:
                         continue
-                    cost, item = tq.entries[0]
+                    cost, deadline, item = tq.entries[0]
                     if cost > tq.deficit:
                         continue
                     tq.entries.popleft()
@@ -221,6 +317,9 @@ class FairScheduler:
                 if not tq.entries:
                     # No backlog: credit does not bank across idleness.
                     tq.deficit = 0.0
+        if expired and self.on_expire is not None:
+            for item in expired:
+                self.on_expire(item)
         return out
 
     # -- observability ------------------------------------------------------

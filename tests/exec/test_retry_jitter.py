@@ -1,0 +1,107 @@
+"""Seeded jitter on retry backoff, and the serve-layer fault sites.
+
+Retry storms re-collide when every failed chunk sleeps the same capped
+exponential; the fix is jitter that is *deterministic* (same plan seed →
+same campaign timing) yet de-synchronized across chunks (distinct salts
+draw distinct factors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.pool import RetryPolicy, retry_delay
+from repro.faults import FaultPlan, FaultSpec, coerce_faults
+from repro.faults.plan import SITES
+
+POLICY = RetryPolicy(backoff=0.02, backoff_cap=0.5)
+
+
+class TestRetryJitter:
+    def test_deterministic_for_same_inputs(self):
+        plan = FaultPlan(seed=7)
+        a = retry_delay(POLICY, 1, faults=plan, salt="chunk-3")
+        b = retry_delay(POLICY, 1, faults=plan, salt="chunk-3")
+        assert a == b
+
+    def test_within_half_to_threehalves_of_base(self):
+        for attempt in range(6):
+            base = min(POLICY.backoff_cap, POLICY.backoff * 2 ** attempt)
+            for salt in ("a", "b", 17):
+                d = retry_delay(POLICY, attempt, salt=salt)
+                assert 0.5 * base <= d < 1.5 * base
+
+    def test_varies_with_seed_salt_and_attempt(self):
+        base = retry_delay(POLICY, 2, faults=FaultPlan(seed=1), salt="s")
+        assert retry_delay(POLICY, 2, faults=FaultPlan(seed=2),
+                           salt="s") != base
+        assert retry_delay(POLICY, 2, faults=FaultPlan(seed=1),
+                           salt="t") != base
+        assert retry_delay(POLICY, 3, faults=FaultPlan(seed=1),
+                           salt="s") != base
+
+    def test_no_plan_is_still_jittered_and_reproducible(self):
+        d = retry_delay(POLICY, 0, salt="x")
+        assert d == retry_delay(POLICY, 0, salt="x")
+        base = POLICY.backoff
+        assert 0.5 * base <= d < 1.5 * base
+
+    def test_zero_backoff_stays_zero(self):
+        assert retry_delay(RetryPolicy(backoff=0.0), 3, salt="x") == 0.0
+
+
+class TestServeFaultSites:
+    SERVE_SITES = ("serve.conn_drop", "serve.dispatch_stall",
+                   "journal.torn_write", "lease.corrupt")
+
+    def test_sites_are_registered(self):
+        for site in self.SERVE_SITES:
+            assert site in SITES
+            # Registration is what validation enforces.
+            FaultSpec(site, probability=0.5)
+
+    def test_counters_roll_up_into_injected(self):
+        plan = FaultPlan(seed=3)
+        plan.record("serve.conn_drop", {"tenant": "t", "seq": "k"},
+                    recovered=True)
+        plan.record("serve.dispatch_stall", {"batch": 0}, recovered=True)
+        plan.record("journal.torn_write", {"index": 0}, recovered=True)
+        plan.record("lease.corrupt", {"batch": 0, "payload": 0},
+                    recovered=True)
+        c = plan.counters
+        assert c.conn_drops == 1
+        assert c.dispatch_stalls == 1
+        assert c.torn_writes == 1
+        assert c.lease_corruptions == 1
+        assert c.injected >= 4
+
+    def test_grammar_parses_serve_sites(self):
+        plan = coerce_faults(
+            "2023:serve.conn_drop=0.08,journal.torn_write=0.1")
+        assert plan.seed == 2023
+        sites = {spec.site for spec in plan.specs}
+        assert sites == {"serve.conn_drop", "journal.torn_write"}
+
+    def test_fires_is_deterministic_per_seed(self):
+        spec = (FaultSpec("serve.conn_drop", probability=0.5),)
+        a = FaultPlan(seed=9, specs=spec)
+        b = FaultPlan(seed=9, specs=spec)
+        coords = [{"tenant": "t", "seq": f"k{i}", "attempt": 0}
+                  for i in range(64)]
+        hits_a = [a.fires("serve.conn_drop", **c) is not None
+                  for c in coords]
+        hits_b = [b.fires("serve.conn_drop", **c) is not None
+                  for c in coords]
+        assert hits_a == hits_b
+        assert any(hits_a) and not all(hits_a)
+
+    def test_attempt_bound_lets_the_retry_through(self):
+        # Default attempts=1: the resubmit (attempt=1) must escape the
+        # spec even when attempt 0 fired — this is what guarantees a
+        # conn_drop client eventually gets its ack.
+        plan = FaultPlan(seed=9, specs=(
+            FaultSpec("serve.conn_drop", probability=1.0),))
+        assert plan.fires("serve.conn_drop", tenant="t", seq="k",
+                          attempt=0) is not None
+        assert plan.fires("serve.conn_drop", tenant="t", seq="k",
+                          attempt=1) is None

@@ -1,0 +1,36 @@
+"""Bounded chaos-campaign smoke: the full SIGKILL/restart loop, small.
+
+The CI acceptance campaign is 25 cycles (``python -m repro.serve chaos``);
+this keeps a two-cycle version inside the normal test run so a regression
+in the journal/recovery/verdict machinery fails fast and locally, not
+only in the chaos-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+import pytest
+
+from repro.serve.chaos import DEFAULT_SITES, run_campaign
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(__import__("os"), "fork"), reason="requires os.fork")
+
+
+def _args(**kw):
+    base = dict(cycles=2, seed=2023, clients=2, requests=3, pool=0,
+                sites=DEFAULT_SITES, budget=120.0, artifacts=None)
+    base.update(kw)
+    return argparse.Namespace(**base)
+
+
+@needs_fork
+def test_two_cycle_campaign_exactly_once(catalog):
+    verdict = asyncio.run(run_campaign(_args()))
+    assert verdict["ok"], verdict["problems"]
+    assert verdict["boots"] >= 3  # initial boot + one restart per cycle
+    assert verdict["acked"] == 2 * 3
+    # Every acked request has exactly one durable done record.
+    assert verdict["journal_records"] >= verdict["acked"]

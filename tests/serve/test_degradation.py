@@ -1,0 +1,206 @@
+"""Graceful degradation: client deadlines, drain-mode shutdown, and the
+per-tenant circuit breaker.
+
+Overload and shutdown must shed load with *typed* rejects
+(:class:`Backpressure` with a machine-readable reason) rather than
+unbounded queueing, silent drops, or hung clients — and a tenant whose
+requests deterministically fail must get a fast circuit-open reject
+instead of burning device time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.device import Device
+from repro.serve import (Backpressure, CircuitBreaker, FairScheduler,
+                         LaunchService)
+from repro.serve.server import LaunchRequest
+
+from serve_helpers import make_args
+
+
+def _service(catalog, **kw):
+    kw.setdefault("scheduler", FairScheduler(max_queue=4096))
+    return LaunchService(Device(), catalog, **kw)
+
+
+def _request(kernel, args, **kw):
+    return LaunchRequest(kernel=kernel,
+                         args={k: v.copy() for k, v in args.items()},
+                         num_teams=2, team_size=64, **kw)
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_shed_with_typed_reject(self, catalog):
+        async def main():
+            service = _service(catalog, batch_window=0.02)
+            rng = np.random.default_rng(11)
+            args = make_args("axpy", rng)
+            async with service:
+                with pytest.raises(Backpressure) as info:
+                    # Zero patience: the entry is already expired when
+                    # the pump looks, so it is shed unstarted.
+                    await service.submit(
+                        _request("axpy", args, deadline_ms=0.0))
+            return service, info.value
+
+        service, bp = asyncio.run(main())
+        assert bp.reason == "deadline"
+        assert service.scheduler.rejects.get("deadline", 0) >= 1
+        assert service.stats["completed"] == 0
+
+    def test_generous_deadline_completes(self, catalog):
+        async def main():
+            service = _service(catalog)
+            rng = np.random.default_rng(12)
+            args = make_args("axpy", rng)
+            async with service:
+                return await service.submit(
+                    _request("axpy", args, deadline_ms=30_000.0))
+
+        outcome = asyncio.run(main())
+        assert outcome.error is None
+        assert outcome.outputs
+
+
+class TestDrain:
+    def test_drain_rejects_new_and_finishes_inflight(self, catalog):
+        async def main():
+            service = _service(catalog)
+            rng = np.random.default_rng(13)
+            args = make_args("square", rng)
+            async with service:
+                inflight = asyncio.ensure_future(
+                    service.submit(_request("square", args)))
+                await asyncio.sleep(0)
+                service.begin_drain()
+                with pytest.raises(Backpressure) as info:
+                    await service.submit(_request("square", args))
+                assert info.value.reason == "draining"
+                outcome = await inflight
+                await asyncio.wait_for(service.drain(), timeout=5.0)
+            return service, outcome
+
+        service, outcome = asyncio.run(main())
+        # The pre-drain request finished normally; only the late one was
+        # turned away.
+        assert outcome.error is None
+        assert service.stats["completed"] == 1
+        assert service.stats["rejected"] == 1
+
+
+class TestCircuitBreakerUnit:
+    def test_trips_after_threshold_and_recovers_via_probe(self):
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0,
+                                 clock=lambda: now[0])
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 1
+        assert not breaker.allow()
+        now[0] = 9.9
+        assert not breaker.allow()
+        now[0] = 10.0
+        # Cooldown elapsed: exactly one probe passes, the line holds.
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 2
+        assert not breaker.allow()
+
+
+class TestServiceBreaker:
+    def test_failing_tenant_trips_breaker_then_recovers(self, catalog):
+        async def main():
+            service = _service(catalog, breaker_threshold=2,
+                               breaker_cooldown=0.05)
+            rng = np.random.default_rng(14)
+            good = make_args("axpy", rng)
+            async with service:
+                for _ in range(2):
+                    with pytest.raises(LaunchError):
+                        await service.submit(_request("no_such_kernel", {}))
+                with pytest.raises(Backpressure) as info:
+                    await service.submit(_request("axpy", good))
+                assert info.value.reason == "circuit_open"
+                state_open = service._breakers["default"].snapshot()
+                await asyncio.sleep(0.06)
+                # Post-cooldown probe succeeds and closes the breaker.
+                outcome = await service.submit(_request("axpy", good))
+            return service, state_open, outcome
+
+        service, state_open, outcome = asyncio.run(main())
+        assert state_open["state"] == "open"
+        assert outcome.error is None
+        assert service._breakers["default"].state == "closed"
+        assert service.stats["errors"] == 2
+
+    def test_other_tenants_unaffected_by_open_breaker(self, catalog):
+        async def main():
+            service = _service(catalog, breaker_threshold=1,
+                               breaker_cooldown=60.0)
+            rng = np.random.default_rng(15)
+            args = make_args("axpy", rng)
+            async with service:
+                with pytest.raises(LaunchError):
+                    await service.submit(
+                        _request("no_such_kernel", {}, tenant="noisy"))
+                with pytest.raises(Backpressure):
+                    await service.submit(
+                        _request("axpy", args, tenant="noisy"))
+                return await service.submit(
+                    _request("axpy", args, tenant="quiet"))
+
+        outcome = asyncio.run(main())
+        assert outcome.error is None
+
+
+class TestTcpOps:
+    def test_health_and_stats_surface_degradation_state(self, catalog):
+        async def main():
+            service = _service(catalog)
+            server = await service.serve_tcp("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def ask(payload):
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            health = await ask({"op": "health"})
+            stats = await ask({"op": "stats"})
+            service.begin_drain()
+            draining = await ask({"op": "health"})
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+            return health, stats, draining
+
+        health, stats, draining = asyncio.run(main())
+        assert health["ok"] and health["ready"]
+        assert health["draining"] is False
+        assert draining["draining"] is True
+        for key in ("stats", "rejects", "respawns", "forced_rejects",
+                    "breakers", "journal"):
+            assert key in stats

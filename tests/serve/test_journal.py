@@ -1,0 +1,235 @@
+"""Request journal: WAL format, torn tails, dedup, crash recovery.
+
+The exactly-once contract for acknowledged requests rests on replayable
+``done`` records: every edge here — a torn final line, a duplicate key
+resubmitted after its ack, a replay on a fresh device whose original
+buffers are long gone — must resolve to one execution and bit-identical
+outputs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.gpu.device import Device
+from repro.serve import FairScheduler, LaunchService, RequestJournal
+from repro.serve.journal import pack_array, unpack_array
+from repro.serve.demo import REFERENCE
+from repro.serve.server import LaunchRequest
+
+from serve_helpers import make_args
+
+
+def _service(catalog, **kw):
+    kw.setdefault("scheduler", FairScheduler(max_queue=4096))
+    return LaunchService(Device(), catalog, **kw)
+
+
+def _request(kernel, args, *, key=None, num_teams=2, **kw):
+    return LaunchRequest(kernel=kernel,
+                         args={k: v.copy() for k, v in args.items()},
+                         num_teams=num_teams, team_size=64, key=key, **kw)
+
+
+class TestWalFormat:
+    def test_roundtrip_replay(self, tmp_path):
+        path = os.path.join(tmp_path, "wal")
+        with RequestJournal(path, fsync=False) as journal:
+            journal.append_admit("k1", {"kernel": "axpy"})
+            journal.append_admit("k2", {"kernel": "square"})
+            journal.append_done("k1", {"outputs": {"y": [1.0]},
+                                       "cycles": 9.0})
+            journal.commit()
+        state = RequestJournal.replay(path)
+        assert state.records == 3
+        assert state.torn_records == 0
+        assert set(state.admitted) == {"k1", "k2"}
+        assert set(state.done) == {"k1"}
+        assert state.unfinished() == {"k2": {"kernel": "square"}}
+
+    def test_array_wire_roundtrip_is_bit_exact(self):
+        arr = np.random.default_rng(0).standard_normal(192)
+        packed = pack_array(arr)
+        assert json.dumps(packed)  # wire form must be JSON-encodable
+        assert unpack_array(packed).tobytes() == arr.tobytes()
+        # Plain lists (legacy records, hand-written fixtures) still load.
+        assert unpack_array(arr.tolist()).tobytes() == arr.tobytes()
+
+    def test_torn_final_record_is_skipped(self, tmp_path):
+        path = os.path.join(tmp_path, "wal")
+        with RequestJournal(path, fsync=False) as journal:
+            journal.append_admit("k1", {"kernel": "axpy"})
+            journal.append_done("k1", {"outputs": {}, "cycles": 1.0})
+            journal.append_admit("k2", {"kernel": "square"})
+            journal.commit()
+        # Crash mid-append: shear half the final line off.
+        with open(path, "rb") as fh:
+            lines = fh.readlines()
+        with open(path, "wb") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])
+        state = RequestJournal.replay(path)
+        assert state.torn_records == 1
+        assert set(state.admitted) == {"k1"}
+        assert set(state.done) == {"k1"}
+
+    def test_crc_mismatch_is_skipped(self, tmp_path):
+        path = os.path.join(tmp_path, "wal")
+        with RequestJournal(path, fsync=False) as journal:
+            journal.append_done("k1", {"outputs": {}, "cycles": 1.0})
+            journal.commit()
+        with open(path, "rb") as fh:
+            line = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(line.replace(b'"cycles":1.0', b'"cycles":2.0'))
+        state = RequestJournal.replay(path)
+        assert state.records == 0
+        assert state.torn_records == 1
+
+    def test_torn_write_fault_site_tears_admits_only(self, tmp_path):
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec("journal.torn_write", probability=1.0),))
+        path = os.path.join(tmp_path, "wal")
+        with RequestJournal(path, faults=plan, fsync=False) as journal:
+            journal.append_admit("k1", {"kernel": "axpy"})
+            journal.append_done("k1", {"outputs": {}, "cycles": 1.0})
+            journal.commit()
+        state = RequestJournal.replay(path)
+        # The admit was torn (unsynced append, client never acked);
+        # the done record is fsync-critical and exempt by design.
+        assert plan.counters.torn_writes == 1
+        assert state.torn_records == 1
+        assert set(state.admitted) == set()
+        assert set(state.done) == {"k1"}
+
+
+class TestServiceDurability:
+    def test_dup_key_after_ack_replays_without_reexecution(
+            self, catalog, tmp_path):
+        path = os.path.join(tmp_path, "wal")
+
+        async def main():
+            journal = RequestJournal(path, fsync=False)
+            service = _service(catalog, journal=journal)
+            rng = np.random.default_rng(3)
+            args = make_args("axpy", rng)
+            async with service:
+                first = await service.submit(
+                    _request("axpy", args, key="dup-1"))
+                second = await service.submit(
+                    _request("axpy", args, key="dup-1"))
+            journal.close()
+            return service, first, second
+
+        service, first, second = asyncio.run(main())
+        assert first.error is None and second.error is None
+        assert second.counters.extra.get("journal_replay") == 1.0
+        for name, want in first.outputs.items():
+            assert second.outputs[name].tobytes() == want.tobytes()
+        # Exactly one execution and one durable done record.
+        assert service.stats["completed"] == 1
+        assert service.stats["replays"] == 1
+        state = RequestJournal.replay(path)
+        assert set(state.done) == {"dup-1"}
+        assert state.unfinished() == {}
+
+    def test_replay_survives_restart_with_freed_device_buffers(
+            self, catalog, tmp_path):
+        """The original service (and its device, and every buffer the
+        launch touched) is gone; a fresh service must answer the
+        resubmitted key from the journal alone, bit-identically."""
+        path = os.path.join(tmp_path, "wal")
+        rng = np.random.default_rng(4)
+        args = make_args("square", rng)
+
+        async def first_life():
+            journal = RequestJournal(path, fsync=False)
+            service = _service(catalog, journal=journal)
+            async with service:
+                outcome = await service.submit(
+                    _request("square", args, key="restart-1"))
+            journal.close()
+            return {k: v.copy() for k, v in outcome.outputs.items()}
+
+        outputs = asyncio.run(first_life())
+
+        async def second_life():
+            service = _service(catalog)
+            state = service.load_journal(path, fsync=False)
+            assert state.unfinished() == {}
+            async with service:
+                outcome = await service.submit(
+                    _request("square", args, key="restart-1"))
+            service.journal.close()
+            return service, outcome
+
+        service, replayed = asyncio.run(second_life())
+        assert replayed.counters.extra.get("journal_replay") == 1.0
+        assert service.stats["completed"] == 0  # no re-execution
+        for name, want in outputs.items():
+            assert replayed.outputs[name].tobytes() == want.tobytes()
+        want = REFERENCE["square"](args)
+        for name, arr in want.items():
+            assert np.allclose(replayed.outputs[name], arr)
+
+    def test_recover_reexecutes_admitted_but_unfinished(
+            self, catalog, tmp_path):
+        path = os.path.join(tmp_path, "wal")
+        rng = np.random.default_rng(5)
+        args = make_args("axpy", rng)
+        # A crash after admission, before completion: only the admit
+        # record made it to disk.
+        with RequestJournal(path, fsync=False) as journal:
+            journal.append_admit("lost-1", {
+                "kernel": "axpy",
+                "args": {k: v.tolist() for k, v in args.items()},
+                "num_teams": 2,
+                "team_size": 64,
+                "out": ["x", "y"],
+                "tenant": "default",
+            })
+            journal.commit()
+
+        async def boot():
+            service = _service(catalog)
+            state = service.load_journal(path, fsync=False)
+            assert set(state.unfinished()) == {"lost-1"}
+            async with service:
+                count = await service.recover(state)
+            service.journal.close()
+            return service, count
+
+        service, count = asyncio.run(boot())
+        assert count == 1
+        assert service.stats["completed"] == 1
+        state = RequestJournal.replay(path)
+        assert "lost-1" in state.done
+        got = unpack_array(state.done["lost-1"]["outputs"]["y"])
+        want = REFERENCE["axpy"](args)["y"]
+        assert np.allclose(got, want)
+
+    def test_resume_fallback_without_journal(self, catalog):
+        """Keyed submits on a journal-less service still dedup in
+        memory and never crash on the missing journal."""
+
+        async def main():
+            service = _service(catalog)
+            rng = np.random.default_rng(6)
+            args = make_args("axpy", rng)
+            async with service:
+                first = await service.submit(
+                    _request("axpy", args, key="nojournal-1"))
+                second = await service.submit(
+                    _request("axpy", args, key="nojournal-1"))
+            return service, first, second
+
+        service, first, second = asyncio.run(main())
+        assert first.error is None
+        assert second.counters.extra.get("journal_replay") == 1.0
+        assert service.stats["completed"] == 1
