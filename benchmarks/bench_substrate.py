@@ -71,6 +71,14 @@ DEFAULT_REPS = 7
 #: regardless of what the committed baseline says.
 JIT_MIN_SPEEDUP = 10.0
 
+#: Hard floor on the incremental-vs-full snapshot ratio for the
+#: ``snapshot_rollback`` workload.  This gate is floor-only (never
+#: baseline-relative): the ratio scales with how sparse the writes are
+#: relative to the arena, so its absolute value is huge and
+#: machine-sensitive — a ±25% band around a committed value would flake,
+#: while the acceptance bar ("O(dirty) beats O(N) clearly") is stable.
+SNAPSHOT_MIN_SPEEDUP = 5.0
+
 
 # ---------------------------------------------------------------------------
 # Gate workloads.
@@ -257,6 +265,68 @@ JIT_WORKLOADS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Snapshot gate workload.
+#
+# The retry-ladder / serve-clone shape: a large device arena, a loop of
+# sparse kernel writes, and a snapshot + rollback per attempt.  The full
+# leg rebuilds an un-chained ``MemorySnapshot`` every iteration — the
+# pre-refactor cost model, O(arena) copy + checksum per attempt — while
+# the incremental leg chains ``base=`` snapshots exactly as
+# ``Device.launch``'s retry loop and the serve tier do, paying O(dirty
+# pages) per attempt.  Both legs restore to the identical pre-loop state
+# (asserted bit-exact), so the ratio compares equal work.
+
+
+def measure_snapshot_speedup(reps: int = DEFAULT_REPS) -> dict:
+    from repro.faults.scrub import MemorySnapshot
+    from repro.gpu.memory import PAGE_SHIFT, GlobalMemory
+
+    n = 1 << 20  # 8 MiB arena: 4096 pages of 256 float64 elements
+    iters = 16
+    # Sparse write pattern: a fixed stride walk dirties a handful of
+    # pages per attempt, the regime snapshots exist for.
+    idx = (np.arange(32, dtype=np.int64) * 12007) % n
+    dirty_per_iter = len(np.unique(idx >> PAGE_SHIFT))
+
+    gmem = GlobalMemory()
+    buf = gmem.from_array("state", np.zeros(n))
+    baseline_state = buf.to_numpy()
+    pages_total = buf.npages
+
+    def run_full():
+        t0 = time.perf_counter()
+        for it in range(iters):
+            snap = MemorySnapshot(gmem)
+            buf.scatter(idx, np.full(idx.size, float(it + 1)))
+            snap.restore()
+        return time.perf_counter() - t0
+
+    def run_incremental():
+        snap = MemorySnapshot(gmem)  # seed paid once, like the retry loop
+        t0 = time.perf_counter()
+        for it in range(iters):
+            buf.scatter(idx, np.full(idx.size, float(it + 1)))
+            snap.restore()
+            snap = MemorySnapshot(gmem, base=snap)
+        return time.perf_counter() - t0
+
+    best_full = best_incr = float("inf")
+    for _ in range(reps):
+        best_full = min(best_full, run_full())
+        assert np.array_equal(buf.to_numpy(), baseline_state)
+        best_incr = min(best_incr, run_incremental())
+        assert np.array_equal(buf.to_numpy(), baseline_state)
+    return {
+        "pages_total": int(pages_total),
+        "dirty_pages_per_iter": int(dirty_per_iter),
+        "iters": int(iters),
+        "full_s_per_iter": best_full / iters,
+        "incr_s_per_iter": best_incr / iters,
+        "snapshot_speedup": best_full / best_incr,
+    }
+
+
 def measure_speedup(name: str, reps: int = DEFAULT_REPS) -> dict:
     """Interleaved fast/instrumented measurement of one gate workload.
 
@@ -400,6 +470,20 @@ def test_jit_speedup_gate():
         )
 
 
+def test_snapshot_speedup_gate():
+    """Incremental (chained) snapshots clearly beat full-copy snapshots
+    on a sparse-write rollback loop, and both restore bit-exactly.
+
+    The light pytest leg keeps a generous floor; the hard ``>= 5x``
+    acceptance floor lives in the CI ``perf-smoke`` ``--check`` run.
+    """
+    r = measure_snapshot_speedup(reps=2)
+    assert r["snapshot_speedup"] > 2.0, (
+        f"snapshot_rollback: incremental snapshots only "
+        f"{r['snapshot_speedup']:.2f}x over full copies"
+    )
+
+
 @pytest.mark.benchmark(group="substrate")
 def test_scheduler_throughput_streaming_jit(benchmark):
     """Streaming triad under the trace-compiling JIT tier."""
@@ -523,11 +607,16 @@ def test_coalescing_cost_calibration(benchmark):
 # Standalone entry point (CI perf-smoke leg)
 
 
-def run_measurements(reps: int) -> dict:
+def run_measurements(reps: int, only=None) -> dict:
     from repro.jit import snapshot as jit_snapshot
+
+    def wanted(name):
+        return only is None or name in only
 
     results = {}
     for name in WORKLOADS:
+        if not wanted(name):
+            continue
         r = measure_speedup(name, reps=reps)
         results[name] = r
         print(
@@ -537,6 +626,8 @@ def run_measurements(reps: int) -> dict:
             f"cycles={r['cycles']:.0f})"
         )
     for name in JIT_WORKLOADS:
+        if not wanted(name):
+            continue
         r = measure_jit_speedup(name, reps=reps)
         results[name] = r
         print(
@@ -546,11 +637,23 @@ def run_measurements(reps: int) -> dict:
             f"{JIT_MIN_SPEEDUP:.0f}x, rounds={r['rounds']}, "
             f"cycles={r['cycles']:.0f})"
         )
+    if wanted("snapshot_rollback"):
+        r = measure_snapshot_speedup(reps=reps)
+        results["snapshot_rollback"] = r
+        print(
+            f"BENCH substrate snapshot_rollback: full "
+            f"{r['full_s_per_iter'] * 1e3:.2f}ms/iter  incremental "
+            f"{r['incr_s_per_iter'] * 1e3:.2f}ms/iter  speedup "
+            f"{r['snapshot_speedup']:.1f}x  (gate >= "
+            f"{SNAPSHOT_MIN_SPEEDUP:.0f}x, {r['dirty_pages_per_iter']}/"
+            f"{r['pages_total']} pages dirty per iter)"
+        )
     return {
         "schema": 1,
         "metric": "lane_steps_per_second",
         "tolerance_pct": TOLERANCE_PCT,
         "jit_min_speedup": JIT_MIN_SPEEDUP,
+        "snapshot_min_speedup": SNAPSHOT_MIN_SPEEDUP,
         # Advisory process-global JIT totals for this bench run (trace
         # cache temperature, deopt tallies); recorded, never gated.
         "jit_stats": jit_snapshot(),
@@ -558,24 +661,34 @@ def run_measurements(reps: int) -> dict:
     }
 
 
-def check_against_baseline(measured: dict, baseline_path: str) -> int:
+def check_against_baseline(measured: dict, baseline_path: str,
+                           only=None) -> int:
     with open(baseline_path) as f:
         baseline = json.load(f)
     rc = 0
     tol = baseline.get("tolerance_pct", TOLERANCE_PCT) / 100.0
     jit_min = baseline.get("jit_min_speedup", JIT_MIN_SPEEDUP)
+    snap_min = baseline.get("snapshot_min_speedup", SNAPSHOT_MIN_SPEEDUP)
     for name, base in baseline["workloads"].items():
+        if only is not None and name not in only:
+            continue
         got = measured["workloads"].get(name)
         if got is None:
             print(f"BENCH substrate FAIL: workload {name!r} missing")
             rc = 1
             continue
-        ratio_key = "jit_speedup" if "jit_speedup" in base else "speedup"
-        lo = base[ratio_key] * (1.0 - tol)
-        if ratio_key == "jit_speedup":
+        if "snapshot_speedup" in base:
+            # Floor-only gate: the absolute ratio is sparsity- and
+            # machine-dependent, so no baseline-relative band.
+            ratio_key, lo = "snapshot_speedup", snap_min
+        elif "jit_speedup" in base:
+            ratio_key = "jit_speedup"
             # The JIT tier's acceptance bar is absolute: >= 10x whatever
             # the committed baseline drifted to.
-            lo = max(lo, jit_min)
+            lo = max(base[ratio_key] * (1.0 - tol), jit_min)
+        else:
+            ratio_key = "speedup"
+            lo = base[ratio_key] * (1.0 - tol)
         if got[ratio_key] < lo:
             print(
                 f"BENCH substrate FAIL: {name} {ratio_key} "
@@ -589,8 +702,9 @@ def check_against_baseline(measured: dict, baseline_path: str) -> int:
                 f"(baseline {base[ratio_key]:.2f}x, floor {lo:.2f}x)"
             )
         # Simulation outputs are deterministic and must never drift at all.
-        for field in ("lane_steps", "rounds", "cycles"):
-            if got[field] != base[field]:
+        for field in ("lane_steps", "rounds", "cycles",
+                      "pages_total", "dirty_pages_per_iter", "iters"):
+            if field in base and got[field] != base[field]:
                 print(
                     f"BENCH substrate FAIL: {name} {field} changed "
                     f"{base[field]} -> {got[field]} (update the baseline "
@@ -610,9 +724,12 @@ def main(argv=None) -> int:
                     help=f"compare speedups against {BASELINE_PATH}")
     ap.add_argument("--write-baseline", action="store_true",
                     help=f"rewrite {BASELINE_PATH} from this run")
+    ap.add_argument("--only", action="append", metavar="WORKLOAD",
+                    help="measure (and check) only the named workload; "
+                    "repeatable")
     args = ap.parse_args(argv)
 
-    measured = run_measurements(args.reps)
+    measured = run_measurements(args.reps, only=args.only)
     if args.json:
         with open(args.json, "w") as f:
             json.dump(measured, f, indent=2, sort_keys=True)
@@ -623,7 +740,8 @@ def main(argv=None) -> int:
             f.write("\n")
         print(f"BENCH substrate baseline written to {BASELINE_PATH}")
     if args.check:
-        return check_against_baseline(measured, BASELINE_PATH)
+        return check_against_baseline(measured, BASELINE_PATH,
+                                      only=args.only)
     return 0
 
 

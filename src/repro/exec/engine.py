@@ -55,6 +55,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import DeadlockError, LaunchError, LaunchTimeout
 from repro.gpu.atomics import apply_atomic
 from repro.gpu.block import DEFAULT_MAX_ROUNDS, ThreadBlock
@@ -69,6 +71,8 @@ from repro.exec.record import (
 )
 from repro.exec.state import (
     apply_deltas,
+    apply_pages,
+    capture_dirty_pages,
     delta_numeric,
     restore_numeric,
     snapshot_numeric,
@@ -728,10 +732,25 @@ def _apply_records(gmem, records: Sequence[BlockRecord]) -> bool:
     added: List[object] = []
     try:
         for r in records:
+            # Columnar apply: group the write-set by buffer (first-seen
+            # handle order), then one gather (old values, canonical
+            # bounds fault) + one scatter per buffer instead of a Python
+            # read/write round-trip per cell.  Cells are unique within a
+            # record, so per-buffer grouping cannot reorder conflicting
+            # writes.
+            by_handle: Dict[int, Tuple[list, list]] = {}
             for (handle, idx), value in r.write_set.items():
+                cols = by_handle.get(handle)
+                if cols is None:
+                    cols = by_handle[handle] = ([], [])
+                cols[0].append(idx)
+                cols[1].append(value)
+            for handle, (idxs, values) in by_handle.items():
                 buf = gmem.lookup(handle)
-                undo.append((buf, idx, buf.read(idx)))
-                buf.write(idx, value)
+                idx_arr = np.asarray(idxs, dtype=np.int64)
+                vals = np.asarray(values, dtype=buf.dtype)
+                undo.append((buf, idx_arr, buf.gather(idx_arr)))
+                buf.scatter(idx_arr, vals)
             for op in r.oplog:
                 buf = gmem.lookup(op[1])
                 idx = op[2]
@@ -744,15 +763,16 @@ def _apply_records(gmem, records: Sequence[BlockRecord]) -> bool:
                     # serial, which is always correct.
                     if not (old == op[5]):
                         raise _StaleAtomicRead
-            for name, size, dtype, data in r.live_allocs:
+            for name, size, dtype, pages in r.live_allocs:
                 buf = gmem.alloc(name, size, dtype)
-                buf.data[:] = data
+                apply_pages(buf, pages)
                 added.append(buf)
     except _StaleAtomicRead:
         for buf in added:
             gmem.free(buf)
         for buf, idx, old in reversed(undo):
             buf.data[idx] = old
+            buf.mark_dirty_sel(idx)
         return True
     return False
 
@@ -769,7 +789,12 @@ def _capture_and_purge(gmem, watermark: int) -> List[tuple]:
     survivors = []
     for buf in gmem.allocated_since(watermark):
         if buf.space == "global":
-            survivors.append((buf.name, buf.size, buf.dtype, buf.data.copy()))
+            # Kernel-time allocations start zeroed with a clear bitmap,
+            # so their dirty pages are exactly the written content —
+            # ship those instead of the whole buffer.
+            survivors.append(
+                (buf.name, buf.size, buf.dtype, capture_dirty_pages(buf))
+            )
             gmem.free(buf)
         else:
             # Shared/local buffers registered for handle travel: forget the

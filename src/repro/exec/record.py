@@ -128,6 +128,7 @@ class GlobalWriteRecorder:
             else:
                 _, buf, idx, _op, _operand, old = entry
             buf.data[idx] = old
+            buf.mark_dirty_sel(idx)
 
     def extract(self) -> Tuple[Dict[Tuple[int, int], object], List[tuple]]:
         """Compact the log into ``(write_set, oplog)`` keyed by handle.
@@ -253,9 +254,11 @@ class BlockRecord:
     report: object = None
     #: Global allocations the kernel made and never freed (e.g. the
     #: runtime's per-team ``dyn_counter``, a leaked sharing fallback),
-    #: captured as ``(name, size, dtype, data)`` so the coordinator can
-    #: recreate them — serial launches leave them live in global memory
-    #: and tests assert on ``live_bytes`` growth.
+    #: captured as ``(name, size, dtype, dirty_pages)`` — only the pages
+    #: the kernel actually wrote travel (the rest is still the zero fill
+    #: a fresh allocation starts with) — so the coordinator can recreate
+    #: them; serial launches leave them live in global memory and tests
+    #: assert on ``live_bytes`` growth.
     live_allocs: List[tuple] = field(default_factory=list)
     #: Per-block numeric deltas of the launch's side-state objects.
     side_deltas: Tuple[Dict[str, float], ...] = ()

@@ -61,3 +61,29 @@ def apply_deltas(objs: Sequence, deltas: Sequence[Tuple[Dict[str, float], ...]])
         for obj, delta in zip(objs, per_block):
             for name, inc in delta.items():
                 setattr(obj, name, getattr(obj, name) + inc)
+
+
+# -- dirty-page capture/apply (paged buffer state) ---------------------------
+#
+# Kernel-time allocations travel between executor and coordinator as
+# ``(name, size, dtype, pages)`` where ``pages`` is the buffer's dirty
+# pages only.  A fresh allocation starts zeroed with a clear bitmap and
+# every mutating path marks its page, so unmarked pages are still zero on
+# both sides — copying just the dirty ones reconstructs the buffer
+# bit-identically at a fraction of the shipping cost.
+
+def capture_dirty_pages(buf) -> list:
+    """``[(page, elements_copy), ...]`` for every dirty page of ``buf``."""
+    pages = []
+    for page in buf.dirty_page_indices():
+        lo, hi = buf.page_span(page)
+        pages.append((int(page), buf.data[lo:hi].copy()))
+    return pages
+
+
+def apply_pages(buf, pages) -> None:
+    """Copy captured pages into ``buf`` (marking them dirty)."""
+    for page, chunk in pages:
+        lo, hi = buf.page_span(page)
+        buf.data[lo:hi] = chunk
+        buf.mark_dirty_span(lo, hi)

@@ -1,4 +1,4 @@
-"""ECC-style memory scrubbing and launch-state snapshots.
+"""ECC-style memory scrubbing and O(dirty-page) launch-state snapshots.
 
 Real GPUs detect in-flight memory corruption with ECC; this module gives
 the simulated device the same contract in a form the fault plane can
@@ -19,9 +19,34 @@ then serves three masters:
 * **verification** — tests compare post-recovery memory against the
   snapshot-restored fault-free run.
 
-Pages are ~:data:`PAGE_ELEMS` elements; the checksum granularity only
-affects detection *reporting* (which pages were dirty), not correctness,
-because repair copies whole pages from the snapshot.
+Pages are :data:`~repro.gpu.memory.PAGE_ELEMS` elements — the same
+granularity as the buffers' dirty bitmaps, so one page index means the
+same element span to the bitmap, the checksum table, and the repair
+copy.
+
+Cost model
+==========
+
+Construction and restore are **O(dirty pages)**, not O(live bytes):
+
+* A snapshot *clears* every tracked buffer's dirty bitmap, opening a
+  tracking window; each buffer's ``snap_epoch`` is recorded so the
+  snapshot can later prove the bits still describe its own window.
+* ``restore()`` re-copies only pages whose dirty bit is set.  If some
+  other snapshot cleared the bitmap in between (epoch mismatch) it
+  falls back to a full-buffer copy — correct either way, fast in the
+  intended single-owner chains.
+* ``MemorySnapshot(gmem, base=prev)`` *advances* a previous snapshot:
+  it steals ``prev``'s copies/checksum storage and refreshes only the
+  pages dirtied since, which is what makes the retry ladder's
+  per-attempt snapshot and the serve tier's per-request cloning cheap.
+  ``prev`` is consumed — using it afterwards raises.
+
+Corruption *detection* (``dirty_pages``/``scrub``) intentionally stays
+a full checksum scan: a bit-flip is modelled as a physical upset the
+memory controller cannot see, so detection must not trust any write
+tracking (and :meth:`~repro.gpu.memory.Buffer.flip_bit` marking its
+page dirty is only for the rollback path, not relied on here).
 """
 
 from __future__ import annotations
@@ -32,9 +57,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.errors import MemoryFault
-
-#: Elements per checksum page.
-PAGE_ELEMS = 256
+from repro.gpu.memory import PAGE_ELEMS
 
 
 def _page_checksums(data: np.ndarray) -> List[int]:
@@ -44,25 +67,70 @@ def _page_checksums(data: np.ndarray) -> List[int]:
             for off in range(0, max(raw.nbytes, 1), max(page_bytes, 1))]
 
 
-class MemorySnapshot:
-    """Copy-plus-checksums of all live global buffers at one instant."""
+def _page_crc(data: np.ndarray, lo: int, hi: int) -> int:
+    """CRC32 of one page's element span — matches :func:`_page_checksums`
+    for the same page (both hash the identical raw byte window)."""
+    return zlib.crc32(np.ascontiguousarray(data[lo:hi]).view(np.uint8)
+                      .tobytes())
 
-    def __init__(self, gmem) -> None:
+
+class MemorySnapshot:
+    """Copy-plus-checksums of all live global buffers at one instant.
+
+    ``base`` chains snapshots: pass the previous attempt's (or previous
+    request's) snapshot to pay only for pages dirtied since it was
+    taken.  The base is consumed by the handoff.
+    """
+
+    def __init__(self, gmem, base: "MemorySnapshot | None" = None) -> None:
         self.gmem = gmem
         self.mark = gmem.mark()
+        self._consumed = False
+        if base is not None and (base._consumed or base.gmem is not gmem):
+            raise ValueError("base snapshot already consumed or foreign")
+        prev_copies = base._copies if base is not None else {}
+        prev_sums = base._checksums if base is not None else {}
+        prev_epochs = base._epochs if base is not None else {}
         self._copies: Dict[int, np.ndarray] = {}
         self._checksums: Dict[int, List[int]] = {}
         self._names: Dict[int, str] = {}
+        self._epochs: Dict[int, int] = {}
         for buf in gmem.live_buffers():
             if buf.space != "global":
                 continue
-            self._copies[buf.handle] = buf.data.copy()
-            self._checksums[buf.handle] = _page_checksums(buf.data)
-            self._names[buf.handle] = buf.name
+            handle = buf.handle
+            copy = prev_copies.get(handle)
+            if copy is not None and buf.snap_epoch == prev_epochs.get(handle):
+                # The dirty bits describe exactly the window since
+                # ``base`` — refresh only those pages in place.
+                sums = prev_sums[handle]
+                for page in buf.dirty_page_indices():
+                    lo, hi = buf.page_span(page)
+                    copy[lo:hi] = buf.data[lo:hi]
+                    sums[page] = _page_crc(buf.data, lo, hi)
+            else:
+                copy = buf.data.copy()
+                sums = _page_checksums(buf.data)
+            buf.clear_dirty()
+            self._copies[handle] = copy
+            self._checksums[handle] = sums
+            self._names[handle] = buf.name
+            self._epochs[handle] = buf.snap_epoch
+        if base is not None:
+            # The storage moved; a restore through the stale base would
+            # silently resurrect refreshed pages.  Fail loudly instead.
+            base._consumed = True
+
+    def _check_live(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "snapshot was consumed as the base of a newer snapshot"
+            )
 
     # -- detection ---------------------------------------------------------
     def dirty_pages(self) -> List[Tuple[int, int]]:
         """``(handle, page)`` rows whose checksum no longer matches."""
+        self._check_live()
         dirty = []
         for handle, sums in self._checksums.items():
             try:
@@ -105,8 +173,11 @@ class MemorySnapshot:
         Buffer contents are restored from the copies and buffers
         allocated after the snapshot are freed (global) or dropped
         (registered shared/local), so a retried launch starts from the
-        same state the failed attempt saw.
+        same state the failed attempt saw.  Only dirty pages are copied
+        back; an epoch mismatch (another snapshot cleared the bits in
+        between) downgrades that buffer to a full copy.
         """
+        self._check_live()
         for buf in list(self.gmem.allocated_since(self.mark)):
             if buf.space == "global":
                 self.gmem.free(buf)
@@ -117,7 +188,17 @@ class MemorySnapshot:
                 buf = self.gmem.lookup(handle)
             except MemoryFault:
                 continue
-            buf.data[:] = copy
+            if buf.snap_epoch == self._epochs[handle]:
+                for page in buf.dirty_page_indices():
+                    lo, hi = buf.page_span(page)
+                    buf.data[lo:hi] = copy[lo:hi]
+            else:
+                buf.data[:] = copy
+            # Post-restore the buffer equals this snapshot again: reopen
+            # the window so a follow-up restore (or a chained snapshot)
+            # stays O(dirty).
+            buf.clear_dirty()
+            self._epochs[handle] = buf.snap_epoch
 
 
 def inject_bitflips(gmem, plan, spec, coords) -> int:

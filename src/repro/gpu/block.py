@@ -78,7 +78,7 @@ from repro.gpu.events import (
     T_SYNCWARP,
     T_VOTE,
 )
-from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.memory import PAGE_SHIFT, GlobalMemory, SharedMemory
 from repro.gpu.thread import (
     DONE,
     RUN,
@@ -87,6 +87,7 @@ from repro.gpu.thread import (
     WAIT_WARP,
     Lane,
     ThreadCtx,
+    lane_table,
 )
 
 #: Hard cap on scheduling rounds; hitting it means a runaway kernel.
@@ -297,7 +298,9 @@ class ThreadBlock:
         """Instantiate the scalar lane generators (one per thread)."""
         ws = self.params.warp_size
         entry, args = self._entry, self._args
-        for tid in range(self.num_threads):
+        # SoA identity columns, computed once per geometry and shared by
+        # every block of every launch that uses it.
+        for tid, warp_id, lane_id in lane_table(self.num_threads, ws).rows:
             tc = ThreadCtx(
                 tid=tid,
                 warp_size=ws,
@@ -305,6 +308,8 @@ class ThreadBlock:
                 num_blocks=self.num_blocks,
                 block_dim=self.num_threads,
                 block=self,
+                lane_id=lane_id,
+                warp_id=warp_id,
             )
             gen = entry(tc, *args)
             if not hasattr(gen, "send"):
@@ -313,7 +318,7 @@ class ThreadBlock:
                     f"(got {type(gen).__name__} from {entry!r})"
                 )
             self.ctxs.append(tc)
-            self.lanes.append(Lane(tid, tc.warp_id, tc.lane_id, gen))
+            self.lanes.append(Lane(tid, warp_id, lane_id, gen))
         self._warps[:] = [
             self.lanes[w * ws : (w + 1) * ws] for w in range(self.num_warps)
         ]
@@ -517,6 +522,7 @@ class ThreadBlock:
                                 i = int(i)
                             if 0 <= i < buf.size:
                                 buf.data[i] = values[0]
+                                buf.dirty[i >> PAGE_SHIFT] = 1
                             else:
                                 buf.check_index(i)
                         else:
@@ -772,6 +778,7 @@ class ThreadBlock:
             i = int(idxs[0])
             if 0 <= i < buf.size:
                 buf.data[i] = values[0]
+                buf.dirty[i >> PAGE_SHIFT] = 1
                 return
             buf.check_index(i)
         write = buf.write

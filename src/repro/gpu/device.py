@@ -365,12 +365,16 @@ class Device:
             # pre-launch snapshot and re-executes after capped backoff.
             attempt = 0
             leak_mark = self.gmem.mark()
+            snapshot = None
             while True:
-                snapshot = None
                 if need_snapshot:
                     from repro.faults.scrub import MemorySnapshot
 
-                    snapshot = MemorySnapshot(self.gmem)
+                    # Chained: attempt 0 pays the full copy; every retry
+                    # advances the previous snapshot for O(dirty pages)
+                    # (the failed attempt was rolled back through marked
+                    # write paths, so the bitmap covers all divergence).
+                    snapshot = MemorySnapshot(self.gmem, base=snapshot)
                 if faults_ is not None:
                     faults_.launch_attempt = attempt
                 plan.deadline = (

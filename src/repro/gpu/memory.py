@@ -24,6 +24,7 @@ Spaces
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -38,6 +39,14 @@ SPACES = ("global", "shared", "local")
 #: alignment for global allocations, kept smaller for shared memory.
 GLOBAL_ALIGN = 256
 SHARED_ALIGN = 8
+
+#: Elements per dirty-tracking page.  Matches the scrub tier's CRC page so
+#: one page index means the same span to the snapshot, the scrubber, and
+#: the parallel merge.  256 elements keeps the bitmap tiny (1 byte per
+#: 1-2 KiB of data) while a sparse kernel still dirties only a handful of
+#: pages in a megabyte-scale buffer.
+PAGE_ELEMS = 256
+PAGE_SHIFT = 8  # log2(PAGE_ELEMS); pages are idx >> PAGE_SHIFT
 
 
 def _dtype_of(dtype) -> np.dtype:
@@ -77,6 +86,9 @@ class Buffer:
         "data",
         "sig_load",
         "sig_store",
+        "npages",
+        "dirty",
+        "snap_epoch",
     )
 
     def __init__(
@@ -119,6 +131,15 @@ class Buffer:
                     f"backing array dtype {data.dtype} != declared {self.dtype}"
                 )
         self.data = data
+        # Dirty-page bitmap: one byte per PAGE_ELEMS-element page, set by
+        # every mutating path (write/scatter/fill_from/flip_bit and the
+        # engines' inlined stores).  Snapshots clear it to open a tracking
+        # window; ``snap_epoch`` counts those clears so a snapshot can tell
+        # whether the bits still describe *its* window (see
+        # repro.faults.scrub.MemorySnapshot).
+        self.npages = max(1, (self.size + PAGE_ELEMS - 1) >> PAGE_SHIFT)
+        self.dirty = bytearray(self.npages)
+        self.snap_epoch = 0
 
     # -- element access (scheduler-side) ----------------------------------
     def check_index(self, idx: int) -> None:
@@ -134,8 +155,10 @@ class Buffer:
         return self.data[int(idx)]
 
     def write(self, idx: int, value) -> None:
-        self.check_index(int(idx))
-        self.data[int(idx)] = value
+        i = int(idx)
+        self.check_index(i)
+        self.data[i] = value
+        self.dirty[i >> PAGE_SHIFT] = 1
 
     def byte_address(self, idx: int) -> int:
         """Byte address of element ``idx`` within this buffer's space."""
@@ -205,8 +228,10 @@ class Buffer:
             want = _slice_len(idxs, self.size)
             if stop - start < want:
                 self.data[start:stop] = _value_prefix(values, stop - start)
+                self.mark_dirty_span(start, stop)
                 self.check_index(self.size)
             self.data[start:stop] = values
+            self.mark_dirty_span(start, stop)
             return
         idx = self._as_index_array(idxs)
         if idx.size:
@@ -214,8 +239,10 @@ class Buffer:
             if not valid.all():
                 bad = int(np.argmin(valid))
                 self.data[idx[:bad]] = _value_prefix(values, bad)
+                self.mark_dirty_indices(idx[:bad])
                 self.check_index(int(idx[bad]))
         self.data[idx] = values
+        self.mark_dirty_indices(idx)
 
     @property
     def nbytes(self) -> int:
@@ -231,6 +258,7 @@ class Buffer:
         if arr.size != self.size:
             raise ValueError("size mismatch in fill_from")
         self.data[:] = arr
+        self.mark_all_dirty()
 
     def flip_bit(self, idx: int, bit: int) -> None:
         """Flip one bit of element ``idx`` in place (fault injection).
@@ -247,6 +275,53 @@ class Buffer:
         raw = self.data.view(np.uint8)
         byte = int(idx) * self.itemsize + bit // 8
         raw[byte] ^= np.uint8(1 << (bit % 8))
+        # A flip is a mutation like any other: the O(dirty) rollback path
+        # must re-copy this page even when the scrubber is disabled.
+        self.dirty[int(idx) >> PAGE_SHIFT] = 1
+
+    # -- dirty-page tracking ------------------------------------------------
+    def mark_dirty_span(self, start: int, stop: int) -> None:
+        """Mark every page overlapping elements ``[start, stop)`` dirty."""
+        if stop > start:
+            lo = start >> PAGE_SHIFT
+            hi = ((stop - 1) >> PAGE_SHIFT) + 1
+            self.dirty[lo:hi] = b"\x01" * (hi - lo)
+
+    def mark_dirty_indices(self, idx: np.ndarray) -> None:
+        """Mark the pages covering an integer index array dirty."""
+        if len(idx):
+            dirty = self.dirty
+            for page in np.unique(np.asarray(idx) >> PAGE_SHIFT):
+                dirty[page] = 1
+
+    def mark_dirty_sel(self, sel) -> None:
+        """Mark pages for any store selector: int, slice, or index array."""
+        if type(sel) is slice:
+            start = 0 if sel.start is None else int(sel.start)
+            stop = self.size if sel.stop is None else min(int(sel.stop),
+                                                          self.size)
+            self.mark_dirty_span(start, stop)
+        elif isinstance(sel, (int, np.integer)):
+            self.dirty[int(sel) >> PAGE_SHIFT] = 1
+        else:
+            self.mark_dirty_indices(sel)
+
+    def mark_all_dirty(self) -> None:
+        self.dirty = bytearray(b"\x01" * self.npages)
+
+    def clear_dirty(self) -> None:
+        """Open a fresh tracking window (bumps :attr:`snap_epoch`)."""
+        self.dirty = bytearray(self.npages)
+        self.snap_epoch += 1
+
+    def dirty_page_indices(self) -> np.ndarray:
+        """Indices of pages written since the last :meth:`clear_dirty`."""
+        return np.flatnonzero(np.frombuffer(self.dirty, dtype=np.uint8))
+
+    def page_span(self, page: int) -> Tuple[int, int]:
+        """Element span ``[lo, hi)`` of ``page`` (last page may be short)."""
+        lo = int(page) << PAGE_SHIFT
+        return lo, min(lo + PAGE_ELEMS, self.size)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -286,10 +361,27 @@ class GlobalMemory:
         self._next_base = GLOBAL_ALIGN  # keep 0 as a null address
         self._next_handle = 1  # 0 is the null handle
         self._buffers: Dict[int, Buffer] = {}
+        # Freed address extents, kept sorted by base and coalesced on
+        # insert: ``[base, span]`` pairs of GLOBAL_ALIGN-granular byte
+        # ranges available for reuse.  Handles stay monotonic forever —
+        # only *addresses* recycle — so ``mark``/``allocated_since``
+        # semantics and handle-keyed snapshots are unaffected by churn.
+        self._free_extents: list[list[int]] = []
         self.live_bytes = 0
         self.peak_bytes = 0
         self.alloc_count = 0
         self.free_count = 0
+
+    @staticmethod
+    def _extent_span(nbytes: int) -> int:
+        """Aligned bytes an allocation consumes (what the bump pointer
+        advanced by: at least one byte, rounded up to GLOBAL_ALIGN)."""
+        return _align(max(int(nbytes), 1), GLOBAL_ALIGN)
+
+    @property
+    def address_high_water(self) -> int:
+        """First never-allocated byte address (churn regression metric)."""
+        return self._next_base
 
     # -- allocation --------------------------------------------------------
     def alloc(self, name: str, size: int, dtype) -> Buffer:
@@ -301,8 +393,22 @@ class GlobalMemory:
                 f"global memory exhausted: requested {nbytes} bytes, "
                 f"{self.capacity - self.live_bytes} available"
             )
-        base = self._next_base
-        self._next_base = _align(base + max(nbytes, 1), GLOBAL_ALIGN)
+        span = self._extent_span(nbytes)
+        base = 0
+        # First fit from the recycled extents; fall back to the bump
+        # pointer.  A fresh (free-less) allocation sequence therefore
+        # produces the exact base sequence the pure bump allocator did.
+        for i, (fbase, fspan) in enumerate(self._free_extents):
+            if fspan >= span:
+                base = fbase
+                if fspan == span:
+                    del self._free_extents[i]
+                else:
+                    self._free_extents[i] = [fbase + span, fspan - span]
+                break
+        if not base:
+            base = self._next_base
+            self._next_base = base + span
         handle = self._next_handle
         self._next_handle += 1
         buf = Buffer(name, "global", size, dt, base=base, handle=handle)
@@ -317,6 +423,7 @@ class GlobalMemory:
         arr = np.ascontiguousarray(array).reshape(-1)
         buf = self.alloc(name, arr.size, arr.dtype)
         buf.data[:] = arr
+        buf.mark_all_dirty()
         return buf
 
     def scalar(self, name: str, value, dtype=None) -> Buffer:
@@ -324,15 +431,42 @@ class GlobalMemory:
         dt = _dtype_of(dtype) if dtype is not None else np.asarray(value).dtype
         buf = self.alloc(name, 1, dt)
         buf.data[0] = value
+        buf.dirty[0] = 1
         return buf
 
     def free(self, buf: Buffer) -> None:
-        """Release a buffer; its handle becomes invalid."""
+        """Release a buffer; its handle becomes invalid.
+
+        The buffer's address extent is recycled: coalesced into the
+        sorted free list, and — when the freed range reaches the bump
+        pointer — the pointer itself rewinds, so alloc/free churn keeps
+        both ``live_bytes`` and the address high-water stable instead of
+        growing ``_next_base`` without bound.
+        """
         if buf.handle not in self._buffers:
             raise MemoryFault(f"double free or foreign buffer {buf.name!r}")
         del self._buffers[buf.handle]
         self.live_bytes -= buf.nbytes
         self.free_count += 1
+        if buf.space == "global" and buf.base:
+            self._release_extent(buf.base, self._extent_span(buf.nbytes))
+
+    def _release_extent(self, base: int, span: int) -> None:
+        extents = self._free_extents
+        i = bisect.bisect_left(extents, [base, 0])
+        # Coalesce with the neighbour below, then above.
+        if i > 0 and extents[i - 1][0] + extents[i - 1][1] == base:
+            i -= 1
+            extents[i][1] += span
+        else:
+            extents.insert(i, [base, span])
+        if i + 1 < len(extents) and extents[i][0] + extents[i][1] == extents[i + 1][0]:
+            extents[i][1] += extents[i + 1][1]
+            del extents[i + 1]
+        # Rewind the bump pointer over a freed tail extent.
+        if extents and extents[-1][0] + extents[-1][1] == self._next_base:
+            tail = extents.pop()
+            self._next_base = tail[0]
 
     def is_live(self, buf: Buffer) -> bool:
         """Whether ``buf`` still owns its handle (cleanup-path guard)."""
@@ -373,8 +507,14 @@ class GlobalMemory:
         return self._next_handle
 
     def allocated_since(self, mark: int) -> Iterable[Buffer]:
-        """Live buffers whose handles were issued at or after ``mark``."""
-        return [buf for handle, buf in sorted(self._buffers.items())
+        """Live buffers whose handles were issued at or after ``mark``.
+
+        Handles are issued monotonically and dict insertion order
+        preserves issue order, so plain traversal already yields
+        ascending handles — no per-call re-sort of the whole table
+        (this runs on every parallel block launch).
+        """
+        return [buf for handle, buf in self._buffers.items()
                 if handle >= mark]
 
     def drop(self, buf: Buffer) -> None:

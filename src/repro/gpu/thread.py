@@ -56,6 +56,54 @@ def full_mask(warp_size: int) -> int:
     return (1 << warp_size) - 1
 
 
+class LaneTable:
+    """Structure-of-arrays lane identity for one block geometry.
+
+    The per-lane identity triple ``(tid, warp_id, lane_id)`` is a pure
+    function of ``(num_threads, warp_size)``, yet block construction
+    used to recompute it with per-lane Python modular arithmetic for
+    every block of every launch — a visible cost for the serve tier's
+    many small launches.  The table computes the columns once with
+    NumPy, materializes them as plain-int rows for the scalar engines,
+    and is memoized per geometry via :func:`lane_table`.
+
+    The int32 columns are kept as arrays too, so vectorized consumers
+    (the JIT tracer's affine lane vectors, diagnostics) can slice a
+    warp's identity without boxing.
+    """
+
+    __slots__ = ("num_threads", "warp_size", "tid", "warp_id", "lane_id",
+                 "rows")
+
+    def __init__(self, num_threads: int, warp_size: int) -> None:
+        import numpy as np
+
+        self.num_threads = int(num_threads)
+        self.warp_size = int(warp_size)
+        tids = np.arange(self.num_threads, dtype=np.int32)
+        self.tid = tids
+        self.warp_id = tids // self.warp_size
+        self.lane_id = tids - self.warp_id * self.warp_size
+        #: ``(tid, warp_id, lane_id)`` Python-int rows in tid order.
+        self.rows = list(zip(tids.tolist(), self.warp_id.tolist(),
+                             self.lane_id.tolist()))
+
+
+_LANE_TABLES: dict = {}
+_LANE_TABLE_CAP = 64
+
+
+def lane_table(num_threads: int, warp_size: int) -> LaneTable:
+    """Memoized :class:`LaneTable` for a geometry (bounded cache)."""
+    key = (num_threads, warp_size)
+    table = _LANE_TABLES.get(key)
+    if table is None:
+        if len(_LANE_TABLES) >= _LANE_TABLE_CAP:
+            _LANE_TABLES.pop(next(iter(_LANE_TABLES)))
+        table = _LANE_TABLES[key] = LaneTable(num_threads, warp_size)
+    return table
+
+
 class ThreadCtx:
     """Identity and device-action helpers for one simulated GPU thread.
 
@@ -100,10 +148,17 @@ class ThreadCtx:
         num_blocks: int,
         block_dim: int,
         block,
+        lane_id: Optional[int] = None,
+        warp_id: Optional[int] = None,
     ) -> None:
         self.tid = tid
-        self.lane_id = tid % warp_size
-        self.warp_id = tid // warp_size
+        if lane_id is None:
+            # Standalone construction; block builders pass the memoized
+            # LaneTable columns instead of re-deriving per lane.
+            lane_id = tid % warp_size
+            warp_id = tid // warp_size
+        self.lane_id = lane_id
+        self.warp_id = warp_id
         self.block_id = block_id
         self.num_blocks = num_blocks
         self.block_dim = block_dim

@@ -16,6 +16,7 @@ nothing).
 
 from __future__ import annotations
 
+from repro.gpu.memory import PAGE_SHIFT
 from repro.jit.compile import compile_block
 from repro.jit.stats import GLOBAL_STATS
 from repro.jit.trace import TRACE_CACHE, trace_key
@@ -150,14 +151,17 @@ def _consume(block, scripts):
                 advanced += script.nlanes
             elif tag == "S":
                 _, npos, nelem, secs, transactions, buf, commits = step
+                mark = buf.mark_dirty_sel
                 if rec is not None and rec.tracks(buf):
                     for sel, values in commits:
                         rec.on_store_bulk(buf, sel, values)
                         buf.data[sel] = values
+                        mark(sel)
                 else:
                     data = buf.data
                     for sel, values in commits:
                         data[sel] = values
+                        mark(sel)
                 issues += 1
                 stores += nelem
                 issue_cycles += cost_st * npos
@@ -189,10 +193,12 @@ def _consume(block, scripts):
                 _, buf, prefix, bad_idx = step
                 tracked = rec is not None and rec.tracks(buf)
                 data = buf.data
+                dirty = buf.dirty
                 for i, v in prefix:
                     if tracked:
                         rec.on_store(buf, i, v)
                     data[i] = v
+                    dirty[i >> PAGE_SHIFT] = 1
                 buf.check_index(bad_idx)
                 raise AssertionError("unreachable: bad_idx was in bounds")
         lane_steps += advanced

@@ -36,6 +36,7 @@ lifecycle, which is the one that matters under sustained load.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -43,6 +44,7 @@ import numpy as np
 from repro.exec import ParallelExecutor, WorkerPool
 from repro.exec.engine import LaunchPlan
 from repro.exec.record import BlockRecord
+from repro.exec.transport import pack_records, unpack_records
 
 __all__ = ["PoolLease", "make_runner"]
 
@@ -57,19 +59,29 @@ def make_runner(catalog, params):
     ``handles`` (arg name → server buffer handle), ``block_range``
     (list of local block ids to run), and ``side_slots``/``side_index``
     (how to pad side-state deltas into the batch's layout).
+
+    Results come back packed (:mod:`repro.exec.transport`): columnar
+    write-sets, and — from a forked worker — large payloads ride a
+    shared-memory segment instead of the result pipe.  The pool's
+    in-process degradation path returns raw records (``unpack_records``
+    passes them through), so recovery semantics are transport-free.
     """
     from repro.gpu.device import Device
 
-    def runner(payload: dict) -> List[BlockRecord]:
+    parent_pid = os.getpid()
+
+    def runner(payload: dict):
         dev = Device(params=params)
         local_args = {}
         handle_map: Dict[int, int] = {}
+        dtypes: Dict[int, np.dtype] = {}
         for arg_name in sorted(payload["args"]):
             buf = dev.from_array(
                 f"lease:{arg_name}", np.asarray(payload["args"][arg_name])
             )
             local_args[arg_name] = buf
             handle_map[buf.handle] = payload["handles"][arg_name]
+            dtypes[payload["handles"][arg_name]] = buf.dtype
         entry, cfg, rc = catalog.build_entry(
             payload["kernel"],
             dev.gmem,
@@ -104,7 +116,11 @@ def make_runner(catalog, params):
                 [{}] * index + deltas + [{}] * (slots - index - 1)
             )
             records.append(rec)
-        return records
+        if os.getpid() == parent_pid:
+            # In-process execution (degradation, processes=False): the
+            # records never cross a pipe, so hand them back as-is.
+            return records
+        return pack_records(records, dtypes)
 
     return runner
 
@@ -200,8 +216,9 @@ class PoolLease:
         offset = 0
         n = len(prepared)
         for i, p in enumerate(prepared):
+            # ``to_numpy`` already returns a fresh host copy.
             arrays = {
-                name: buf.to_numpy().copy()
+                name: buf.to_numpy()
                 for name, buf in p.buffers.items()
             }
             handles = {name: buf.handle for name, buf in p.buffers.items()}
@@ -231,6 +248,7 @@ class PoolLease:
                 # records) — surface it; the service layer converts it
                 # into per-request errors.
                 result.reraise()
+            result = unpack_records(result)
             result = self._verified(batch, i, payloads[i], result, deadline)
             for rec in result:
                 rec.block_id += offsets[i]
@@ -263,4 +281,5 @@ class PoolLease:
             status, result = self.pool.map([payload], deadline=deadline)[0]
             if status == "err":
                 result.reraise()
+            result = unpack_records(result)
         return result

@@ -1,0 +1,173 @@
+"""Columnar exec-state machinery: merge apply, page capture, transport.
+
+Pins the parallel executor's refactored data plane:
+
+* ``allocated_since`` walks the handle table in insertion order — the
+  micro-assertion that it yields ascending handles without sorting,
+  including after free churn punches holes in the table;
+* ``_capture_and_purge``/``_apply_records`` round-trip kernel-time
+  allocations through the dirty-page wire format bit-identically;
+* the columnar write-set apply (one gather/scatter per buffer) matches
+  the per-cell semantics, including rollback on stale atomic reads;
+* ``pack_records``/``unpack_records`` round-trip records bit-identically
+  over both the inline and the shared-memory lanes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec.engine import _apply_records, _capture_and_purge
+from repro.exec.record import OP_ATOMIC, OP_STORE, BlockRecord
+from repro.exec.transport import pack_records, unpack_records
+from repro.gpu.memory import PAGE_ELEMS, GlobalMemory
+
+
+class TestAllocatedSinceOrder:
+    def test_insertion_order_is_ascending_handles(self):
+        gmem = GlobalMemory()
+        bufs = [gmem.alloc(f"b{i}", 8, np.float64) for i in range(16)]
+        # Punch holes so insertion order is the only thing giving the
+        # ascending walk (a sorted() would hide a regression here).
+        for buf in bufs[1::3]:
+            gmem.free(buf)
+        for i in range(16, 24):
+            gmem.alloc(f"b{i}", 8, np.float64)
+        since = gmem.allocated_since(0)
+        handles = [b.handle for b in since]
+        assert handles == sorted(handles)
+        assert len(handles) == len(set(handles))
+
+    def test_mark_threshold(self):
+        gmem = GlobalMemory()
+        gmem.alloc("before", 8, np.float64)
+        mark = gmem.mark()
+        after = gmem.alloc("after", 8, np.float64)
+        assert [b.handle for b in gmem.allocated_since(mark)] == [after.handle]
+
+
+class TestPagedLiveAllocs:
+    def test_capture_and_apply_round_trip(self):
+        worker = GlobalMemory()
+        mark = worker.mark()
+        buf = worker.alloc("scratch", 4 * PAGE_ELEMS, np.float64)
+        buf.write(1, 1.5)
+        buf.write(2 * PAGE_ELEMS + 3, -2.5)
+        want = buf.to_numpy()
+        survivors = _capture_and_purge(worker, mark)
+        assert len(survivors) == 1
+        name, size, dtype, pages = survivors[0]
+        # Only the two written pages travel.
+        assert [p for p, _ in pages] == [0, 2]
+        assert not worker.allocated_since(mark)
+
+        coordinator = GlobalMemory()
+        rec = BlockRecord(block_id=0, live_allocs=survivors)
+        assert _apply_records(coordinator, [rec]) is False
+        (rebuilt,) = coordinator.allocated_since(0)
+        assert rebuilt.name == name and rebuilt.size == size
+        np.testing.assert_array_equal(rebuilt.to_numpy(), want)
+
+
+class TestColumnarApply:
+    def test_write_set_applies_bitwise(self):
+        gmem = GlobalMemory()
+        a = gmem.from_array("a", np.zeros(2 * PAGE_ELEMS))
+        b = gmem.from_array("b", np.zeros(8, dtype=np.int64))
+        rec = BlockRecord(block_id=0, write_set={
+            (a.handle, 0): np.float64(0.1),
+            (a.handle, PAGE_ELEMS): np.float64(-0.2),
+            (b.handle, 7): np.int64(2**62 + 1),  # must not round-trip via float
+        })
+        assert _apply_records(gmem, [rec]) is False
+        assert a.data[0] == np.float64(0.1)
+        assert a.data[PAGE_ELEMS] == np.float64(-0.2)
+        assert b.data[7] == np.int64(2**62 + 1)
+
+    def test_stale_atomic_read_rolls_back_everything(self):
+        gmem = GlobalMemory()
+        a = gmem.from_array("a", np.zeros(8))
+        before = a.to_numpy()
+        rec = BlockRecord(
+            block_id=0,
+            write_set={(a.handle, 1): np.float64(5.0)},
+            # The block observed old=99 under its snapshot; live memory
+            # says 0 — the merge must undo the write-set and report it.
+            oplog=[(OP_ATOMIC, a.handle, 0, "add", 1.0, np.float64(99.0))],
+        )
+        assert _apply_records(gmem, [rec]) is True
+        np.testing.assert_array_equal(a.to_numpy(), before)
+
+    def test_plain_oplog_store_still_applies(self):
+        gmem = GlobalMemory()
+        a = gmem.from_array("a", np.zeros(8))
+        rec = BlockRecord(
+            block_id=0,
+            oplog=[(OP_STORE, a.handle, 2, np.float64(3.0))],
+        )
+        assert _apply_records(gmem, [rec]) is False
+        assert a.data[2] == 3.0
+
+
+def _sample_records():
+    counters = {"rounds": 3}
+    recs = [
+        BlockRecord(
+            block_id=0,
+            counters=counters,
+            shared_used=128,
+            completed=True,
+            write_set={(5, i): np.float64(i) * 0.5 for i in range(300)},
+            oplog=[(OP_ATOMIC, 5, 0, "add", 1.0, np.float64(0.0))],
+            side_deltas=({"teams_entered": 1},),
+            live_allocs=[("dyn", 8, np.dtype(np.float64),
+                          [(0, np.ones(8))])],
+        ),
+        BlockRecord(
+            block_id=1,
+            completed=True,
+            write_set={(7, 3): np.int64(-9)},
+        ),
+    ]
+    return recs
+
+
+def _assert_round_trip(records, out):
+    assert len(out) == len(records)
+    for want, got in zip(records, out):
+        assert got.block_id == want.block_id
+        assert got.completed == want.completed
+        assert got.shared_used == want.shared_used
+        assert list(got.write_set) == list(want.write_set)  # order too
+        for key in want.write_set:
+            a, b = want.write_set[key], got.write_set[key]
+            assert a == b and np.asarray(a).dtype == np.asarray(b).dtype
+        assert got.oplog == want.oplog
+        assert got.side_deltas == want.side_deltas
+
+
+class TestTransport:
+    DTYPES = {5: np.dtype(np.float64), 7: np.dtype(np.int64)}
+
+    def test_inline_round_trip(self):
+        records = _sample_records()
+        payload = pack_records(records, self.DTYPES, use_shm=False)
+        assert payload[0] == "inline"
+        _assert_round_trip(records, unpack_records(payload))
+
+    def test_shared_memory_round_trip(self, monkeypatch):
+        import repro.exec.transport as T
+
+        monkeypatch.setattr(T, "SHM_MIN_BYTES", 1)  # force the shm lane
+        records = _sample_records()
+        payload = pack_records(records, self.DTYPES, use_shm=True)
+        assert payload[0] == "shm"
+        _assert_round_trip(records, unpack_records(payload))
+        # The segment is gone after unpacking.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=payload[1])
+
+    def test_raw_records_pass_through(self):
+        records = _sample_records()
+        assert unpack_records(records) is records
